@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+records the series it produced under ``benchmarks/results/`` so the
+numbers survive pytest's output capturing (EXPERIMENTS.md is written
+from these files).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Sequence
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record(name: str, lines: Iterable[str]) -> str:
+    """Write a result table to ``benchmarks/results/<name>.txt``.
+
+    Also prints it (visible with ``pytest -s``) and returns the text.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines) + "\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print(f"\n=== {name} ===\n{text}")
+    return text
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> list:
+    """Fixed-width table lines from headers and value rows."""
+    header_line = "  ".join(f"{h:>14s}" for h in headers)
+    lines = [header_line, "-" * len(header_line)]
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(f"{value:>14.4g}")
+            else:
+                cells.append(f"{str(value):>14s}")
+        lines.append("  ".join(cells))
+    return lines

@@ -1,0 +1,62 @@
+"""Fig. 5 — inter-layer pipeline: formulas vs executed schedule.
+
+The paper derives ``(2L+1)N + N/B`` cycles without the pipeline and
+``(N/B)(2L+B+1)`` with it.  The benchmark sweeps batch size for an
+AlexNet-depth network (L = 8), checks the closed forms against the
+event-driven schedule simulator, and records the speedup series
+(the crossover structure: speedup ~1 at B = 1, approaching 2L + 1
+for large B).
+"""
+
+from benchmarks._common import format_table, record
+from repro.core import (
+    asymptotic_training_speedup,
+    simulate_training_pipeline,
+    training_cycles_pipelined,
+    training_cycles_sequential,
+)
+
+LAYERS = 8          # AlexNet's weighted-layer depth
+BATCHES = [1, 2, 4, 8, 16, 32, 64, 128]
+N_PER_BATCH = 4     # inputs = 4 batches per configuration
+
+
+def sweep():
+    rows = []
+    for batch in BATCHES:
+        n_inputs = batch * N_PER_BATCH
+        sequential = training_cycles_sequential(LAYERS, n_inputs, batch)
+        pipelined = training_cycles_pipelined(LAYERS, n_inputs, batch)
+        simulated = simulate_training_pipeline(
+            LAYERS, n_inputs, batch
+        ).makespan
+        rows.append(
+            (
+                batch,
+                sequential,
+                pipelined,
+                simulated,
+                sequential / pipelined,
+            )
+        )
+    return rows
+
+
+def bench_fig5_pipeline(benchmark):
+    rows = benchmark(sweep)
+    lines = format_table(
+        ("B", "seq_cycles", "pipe_cycles", "sim_cycles", "speedup"), rows
+    )
+    lines.append(
+        f"asymptote (B->inf): {2 * LAYERS + 1}x; "
+        f"at B=128: {asymptotic_training_speedup(LAYERS, 128):.2f}x"
+    )
+    record("fig5_pipeline", lines)
+
+    for batch, sequential, pipelined, simulated, speedup in rows:
+        assert pipelined == simulated          # formula == execution
+        assert pipelined <= sequential
+    speedups = [row[4] for row in rows]
+    assert speedups == sorted(speedups)        # monotone in B
+    assert speedups[0] < 1.5                   # B=1: pipeline useless
+    assert speedups[-1] > 0.75 * (2 * LAYERS + 1)  # near the 2L+1 limit

@@ -1,0 +1,42 @@
+"""Table I, row 1 — PipeLayer speedup and energy saving vs GTX 1080.
+
+Paper: "on average, PipeLayer achieves 42.45x speedup and 7.17x energy
+saving" over the GPU platform on MNIST and ImageNet workloads.
+
+This benchmark runs the PipeLayer model over the three-network suite
+(MNIST CNN, AlexNet, VGG-16) at batch 32 and reports the per-workload
+and geometric-mean speedup/energy-saving, recording the table to
+``benchmarks/results/table1_pipelayer.txt``.
+"""
+
+from benchmarks._common import format_table, record
+from repro.core import pipelayer_table1
+from repro.core.estimator import (
+    PAPER_PIPELAYER_ENERGY,
+    PAPER_PIPELAYER_SPEEDUP,
+)
+
+
+def compute_row():
+    return pipelayer_table1(batch=32)
+
+
+def bench_table1_pipelayer(benchmark):
+    row = benchmark(compute_row)
+    rows = [
+        (name, speedup, energy)
+        for name, speedup, energy in row.per_workload
+    ]
+    rows.append(("GEOMEAN", row.speedup, row.energy_saving))
+    rows.append(("paper", PAPER_PIPELAYER_SPEEDUP, PAPER_PIPELAYER_ENERGY))
+    lines = format_table(
+        ("workload", "speedup_x", "energy_saving_x"), rows
+    )
+    record("table1_pipelayer", lines)
+
+    # Shape assertions: PipeLayer wins big on time, modestly on energy.
+    assert row.speedup > 10
+    assert 1 < row.energy_saving < row.speedup
+    # Within ~4x of the printed averages.
+    assert 0.25 < row.speedup / PAPER_PIPELAYER_SPEEDUP < 4
+    assert 0.25 < row.energy_saving / PAPER_PIPELAYER_ENERGY < 4

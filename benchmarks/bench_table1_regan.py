@@ -1,0 +1,37 @@
+"""Table I, row 2 — ReGAN speedup and energy saving vs GTX 1080.
+
+Paper: "Due to the high complexity of GAN system, ReGAN obtains even
+higher benefit — 240x improvement in performance and 94x energy
+reduction" over DCGAN training on MNIST / CIFAR-10 / CelebA / LSUN.
+
+The benchmark runs the ReGAN model (scheme SP+CS, the full design)
+over the four-dataset DCGAN suite at batch 32.
+"""
+
+from benchmarks._common import format_table, record
+from repro.core import pipelayer_table1, regan_table1
+from repro.core.estimator import PAPER_REGAN_ENERGY, PAPER_REGAN_SPEEDUP
+
+
+def compute_row():
+    return regan_table1(batch=32, scheme="sp_cs")
+
+
+def bench_table1_regan(benchmark):
+    row = benchmark(compute_row)
+    rows = [
+        (name, speedup, energy)
+        for name, speedup, energy in row.per_workload
+    ]
+    rows.append(("GEOMEAN", row.speedup, row.energy_saving))
+    rows.append(("paper", PAPER_REGAN_SPEEDUP, PAPER_REGAN_ENERGY))
+    lines = format_table(("dataset", "speedup_x", "energy_saving_x"), rows)
+    record("table1_regan", lines)
+
+    # Shape assertions: ReGAN's benefit exceeds PipeLayer's (Table I
+    # ordering) and the speedup lands in the paper's regime.
+    pipelayer = pipelayer_table1(batch=32)
+    assert row.speedup > pipelayer.speedup
+    assert row.energy_saving > pipelayer.energy_saving
+    assert 0.25 < row.speedup / PAPER_REGAN_SPEEDUP < 4
+    assert row.energy_saving > 5

@@ -1,0 +1,95 @@
+"""Crossbar fidelity study: what the analog datapath does to accuracy.
+
+Sweeps the simulated PIM datapath's non-idealities on a trained
+MNIST-shaped CNN, one knob at a time:
+
+* weight resolution (bit slicing across 4-bit cells);
+* activation (spike-code) resolution;
+* ADC resolution (I&F counter width);
+* device programming noise and stuck-at faults;
+* differential vs offset weight mapping under noise.
+
+This is the experiment behind `benchmarks/bench_accuracy_crossbar.py`,
+expanded into a full study.
+
+Run:  python examples/crossbar_fidelity.py
+"""
+
+import numpy as np
+
+from repro.core import deploy_network
+from repro.datasets import make_train_test
+from repro.nn import Adam, build_mnist_cnn, evaluate_classifier, train_classifier
+from repro.xbar import (
+    CrossbarEngineConfig,
+    DeviceConfig,
+    InputEncoding,
+    WeightMapping,
+)
+
+
+def accuracy_with(network, x_test, y_test, config, rng_seed=3):
+    deployment = deploy_network(network, config, rng=rng_seed)
+    accuracy = evaluate_classifier(network, x_test, y_test)
+    deployment.undeploy()
+    return accuracy
+
+
+def main() -> None:
+    x_train, y_train, x_test, y_test = make_train_test(600, 150, rng=7)
+    network = build_mnist_cnn(rng=11)
+    train_classifier(
+        network, Adam(network.parameters(), lr=1e-3), x_train, y_train,
+        epochs=3, batch_size=32, rng=np.random.default_rng(1),
+    )
+    baseline = evaluate_classifier(network, x_test, y_test)
+    print(f"float32 baseline accuracy: {baseline:.3f}\n")
+
+    print("weight resolution (8-bit activations, ideal device):")
+    for bits in (16, 8, 4, 2):
+        config = CrossbarEngineConfig(
+            mapping=WeightMapping(weight_bits=bits,
+                                  cell_bits=min(4, bits - 1))
+        )
+        print(f"  {bits:>2d}-bit weights: "
+              f"{accuracy_with(network, x_test, y_test, config):.3f}")
+
+    print("\nactivation resolution (16-bit weights, ideal device):")
+    for bits in (8, 4, 2, 1):
+        config = CrossbarEngineConfig(encoding=InputEncoding(bits=bits))
+        print(f"  {bits:>2d}-bit activations: "
+              f"{accuracy_with(network, x_test, y_test, config):.3f}")
+
+    print("\nADC resolution (128-row arrays need ~11 bits for lossless):")
+    for bits in (12, 8, 6, 4):
+        config = CrossbarEngineConfig(adc_bits=bits, fast_ideal=False)
+        print(f"  {bits:>2d}-bit ADC: "
+              f"{accuracy_with(network, x_test[:60], y_test[:60], config):.3f}")
+
+    print("\ndevice noise (full path, 60 test images):")
+    for program_noise in (0.0, 0.02, 0.05, 0.1):
+        device = DeviceConfig(program_noise=program_noise)
+        config = CrossbarEngineConfig(device=device, fast_ideal=False)
+        print(f"  sigma={program_noise:<5g}: "
+              f"{accuracy_with(network, x_test[:60], y_test[:60], config):.3f}")
+
+    print("\nstuck-at faults (full path, 60 test images):")
+    for rate in (0.0, 0.001, 0.01, 0.05):
+        device = DeviceConfig(stuck_off_rate=rate, stuck_on_rate=rate)
+        config = CrossbarEngineConfig(device=device, fast_ideal=False)
+        print(f"  rate={rate:<6g}: "
+              f"{accuracy_with(network, x_test[:60], y_test[:60], config):.3f}")
+
+    print("\nmapping scheme under programming noise (sigma=0.05):")
+    device = DeviceConfig(program_noise=0.05)
+    for scheme in ("differential", "offset"):
+        config = CrossbarEngineConfig(
+            device=device, fast_ideal=False,
+            mapping=WeightMapping(scheme=scheme),
+        )
+        print(f"  {scheme:<13s}: "
+              f"{accuracy_with(network, x_test[:60], y_test[:60], config):.3f}")
+
+
+if __name__ == "__main__":
+    main()

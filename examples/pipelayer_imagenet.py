@@ -1,0 +1,64 @@
+"""PipeLayer on the ImageNet-class workloads (Sec. III-A, Table I).
+
+Reproduces the PipeLayer analysis end to end at full network scale:
+
+* balances the weight-duplication factor X across AlexNet's and
+  VGG-16's layers under an array budget (Fig. 4's trade-off);
+* prints the per-layer mapping table (matrix geometry, grid, X,
+  arrays, passes);
+* evaluates the Fig. 5 training pipeline against the sequential
+  schedule and against the GPU roofline;
+* prints the energy ledger (MVM / buffer / weight-write / static).
+
+Run:  python examples/pipelayer_imagenet.py
+"""
+
+from repro.core import (
+    PipeLayerModel,
+    mapping_table,
+    training_cycles_pipelined,
+    training_cycles_sequential,
+)
+from repro.workloads import alexnet_spec, vggnet_spec
+
+ARRAY_BUDGET = 262144
+BATCH = 32
+N_INPUTS = 1024
+
+
+def analyse(spec) -> None:
+    print("=" * 72)
+    print(spec.summary())
+
+    model = PipeLayerModel(spec, array_budget=ARRAY_BUDGET)
+    print("\nlayer mapping (balanced duplication under "
+          f"{ARRAY_BUDGET:,} arrays):")
+    print(mapping_table(list(model.mappings.values())))
+
+    depth = spec.depth
+    sequential = training_cycles_sequential(depth, N_INPUTS, BATCH)
+    pipelined = training_cycles_pipelined(depth, N_INPUTS, BATCH)
+    print(f"\ntraining {N_INPUTS} inputs, B={BATCH}: "
+          f"{sequential:,} cycles sequential vs {pipelined:,} pipelined "
+          f"({sequential / pipelined:.1f}x from the Fig. 5 pipeline)")
+
+    report = model.report(batch=BATCH, training=True)
+    energy = report.energy_per_image
+    print(f"cycle time {report.cycle_time * 1e6:.2f} us  |  "
+          f"{report.throughput:,.0f} img/s  |  "
+          f"chip power {model.static_power_watts():.1f} W static")
+    print(f"energy/img: {energy.total * 1e3:.2f} mJ "
+          f"(mvm {energy.mvm * 1e3:.2f}, buffer {energy.buffer * 1e3:.2f}, "
+          f"writes {energy.weight_write * 1e3:.2f}, "
+          f"static {energy.static * 1e3:.2f})")
+    print(f"vs GTX 1080: speedup {report.speedup:.1f}x, "
+          f"energy saving {report.energy_saving:.1f}x")
+
+
+def main() -> None:
+    for spec in (alexnet_spec(), vggnet_spec()):
+        analyse(spec)
+
+
+if __name__ == "__main__":
+    main()

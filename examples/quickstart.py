@@ -1,0 +1,62 @@
+"""Quickstart: train a CNN, run it through ReRAM crossbars, price it.
+
+The 60-second tour of the library:
+
+1. generate a synthetic MNIST-shaped dataset;
+2. train a small CNN with the numpy DNN substrate;
+3. deploy it onto the simulated ReRAM crossbar datapath (Fig. 3) and
+   compare accuracy;
+4. compile it to the PipeLayer accelerator model and print speedup /
+   energy vs the GTX 1080 baseline (Table I machinery).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import PipeLayerModel, deploy_network, spec_from_network
+from repro.datasets import make_train_test
+from repro.nn import Adam, build_mnist_cnn, evaluate_classifier, train_classifier
+from repro.xbar import CrossbarEngineConfig, NOISY_DEVICE
+
+
+def main() -> None:
+    # 1. Data: deterministic synthetic stand-in for MNIST.
+    x_train, y_train, x_test, y_test = make_train_test(800, 200, rng=7)
+    print(f"dataset: {x_train.shape[0]} train / {x_test.shape[0]} test")
+
+    # 2. Train with batch-synchronous updates (the paper's semantics).
+    network = build_mnist_cnn(rng=11)
+    optimizer = Adam(network.parameters(), lr=1e-3)
+    history = train_classifier(
+        network, optimizer, x_train, y_train,
+        epochs=3, batch_size=32, rng=np.random.default_rng(1),
+    )
+    float_accuracy = evaluate_classifier(network, x_test, y_test)
+    print(f"trained: final loss {history.mean_loss():.4f}, "
+          f"float accuracy {float_accuracy:.3f}")
+
+    # 3. Deploy onto crossbars: ideal device, then a noisy one.
+    deployment = deploy_network(network, CrossbarEngineConfig(), rng=3)
+    ideal_accuracy = evaluate_classifier(network, x_test, y_test)
+    deployment.undeploy()
+
+    noisy_config = CrossbarEngineConfig(device=NOISY_DEVICE, fast_ideal=False)
+    deployment = deploy_network(network, noisy_config, rng=3)
+    noisy_accuracy = evaluate_classifier(network, x_test[:50], y_test[:50])
+    stats = deployment.total_stats()
+    deployment.undeploy()
+    print(f"crossbar accuracy: ideal {ideal_accuracy:.3f}, "
+          f"noisy-device {noisy_accuracy:.3f}")
+    print(f"crossbar ops (noisy run): {stats['array_reads']:,} array reads, "
+          f"{stats['adc_conversions']:,} ADC conversions")
+
+    # 4. Price the same network on PipeLayer vs the GPU.
+    spec = spec_from_network(network, (1, 28, 28))
+    model = PipeLayerModel(spec, array_budget=65536)
+    report = model.report(batch=32, training=True)
+    print(report.summary())
+
+
+if __name__ == "__main__":
+    main()

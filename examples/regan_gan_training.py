@@ -1,0 +1,122 @@
+"""ReGAN: GAN training on ReRAM — functional and architectural views.
+
+Two halves, mirroring Sec. III-B:
+
+1. **Functional**: train a small DCGAN on synthetic blob images with
+   the Fig. 8 dataflows, using ReGAN's *computation-sharing* step
+   (one shared forward pass, two backward branches), and report the
+   discriminator's real/fake scores as training progresses.
+2. **Architectural**: price one training iteration of the CelebA-sized
+   DCGAN on ReGAN under all five pipeline schemes (unpipelined,
+   pipelined, +SP, +CS, +SP+CS) and against the GPU baseline —
+   the Fig. 9 comparison plus Table I row 2.
+
+Run:  python examples/regan_gan_training.py
+"""
+
+from repro.core import ReGANModel, scheme_table
+from repro.datasets import DatasetShape, make_gan_images
+from repro.nn import (
+    Adam,
+    GANTrainer,
+    build_dcgan_discriminator,
+    build_dcgan_generator,
+)
+from repro.workloads import regan_suite
+
+
+def functional_half() -> None:
+    print("=" * 72)
+    print("functional: DCGAN training with computation sharing (Fig. 9)")
+    shape = DatasetShape("blobs", 1, 16, 2)
+    real = make_gan_images(64, shape, rng=5)
+
+    noise_dim = 16
+    generator = build_dcgan_generator(
+        noise_dim=noise_dim, base_channels=8, image_channels=1,
+        image_size=16, rng=1,
+    )
+    discriminator = build_dcgan_discriminator(
+        base_channels=8, image_channels=1, image_size=16, rng=2
+    )
+    trainer = GANTrainer(
+        generator,
+        discriminator,
+        Adam(generator.parameters(), lr=1e-3),
+        Adam(discriminator.parameters(), lr=1e-3),
+        noise_dim=noise_dim,
+        rng=3,
+    )
+    from repro.datasets import gan_mode_templates
+    from repro.nn import mode_coverage, sample_diversity
+
+    templates = gan_mode_templates(shape, modes=4, rng=5)
+    for step in range(40):
+        d_loss, g_loss = trainer.train_step_shared(real)
+        if step % 10 == 9:
+            real_score, fake_score = trainer.discriminator_scores(real)
+            samples = trainer.generate(32)
+            print(f"  step {step + 1:3d}: d_loss {d_loss:.3f} "
+                  f"g_loss {g_loss:.3f} | D(real) {real_score:.2f} "
+                  f"D(fake) {fake_score:.2f} | modes "
+                  f"{mode_coverage(samples, templates):.0%} "
+                  f"diversity {sample_diversity(samples):.2f}")
+
+
+def architectural_half() -> None:
+    print("=" * 72)
+    print("architectural: pipeline schemes for the CelebA DCGAN (Fig. 9)")
+    generator, discriminator = regan_suite()["celeba"]
+    print(f"  L_G = {generator.depth}, L_D = {discriminator.depth}, B = 32")
+    for row in scheme_table(discriminator.depth, generator.depth, 32):
+        print(f"  {row['scheme']:<12s} {row['cycles']:>6d} cycles  "
+              f"{row['speedup']:>6.2f}x  (D copies {row['d_copies']}, "
+              f"storage {row['storage_factor']:g}x)")
+
+    print("\n  vs GTX 1080 (Table I row 2 machinery):")
+    for scheme in ("pipelined", "sp_cs"):
+        model = ReGANModel(
+            generator, discriminator, array_budget=1048576,
+            scheme=scheme, dataset="celeba",
+        )
+        report = model.report(batch=32)
+        print(f"  {scheme:<10s} {report.summary()}")
+
+
+def crossbar_generation_half() -> None:
+    print("=" * 72)
+    print("generation through the crossbars (Fig. 7a mapping, incl. FCNN)")
+    import numpy as np
+
+    from repro.core import deploy_network
+    from repro.xbar import CrossbarEngineConfig
+
+    generator = build_dcgan_generator(
+        noise_dim=16, base_channels=8, image_channels=1, image_size=16,
+        rng=1,
+    )
+    rng = np.random.default_rng(0)
+    generator.forward(rng.uniform(-1, 1, size=(8, 16)), training=True)
+    noise = rng.uniform(-1, 1, size=(4, 16))
+    reference = generator.forward(noise)
+    deployment = deploy_network(
+        generator, CrossbarEngineConfig(array_rows=64, array_cols=64),
+        rng=2,
+    )
+    deployed = generator.forward(noise)
+    arrays = deployment.array_count
+    deployment.undeploy()
+    rel = float(np.max(np.abs(deployed - reference))
+                / np.max(np.abs(reference)))
+    print(f"  {len(generator.layers)}-layer generator on {arrays:,} "
+          f"physical arrays; max rel deviation from float: {rel:.4f}")
+
+
+def main() -> None:
+    functional_half()
+    architectural_half()
+    crossbar_generation_half()
+
+
+if __name__ == "__main__":
+    main()

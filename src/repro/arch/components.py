@@ -1,0 +1,104 @@
+"""Component-level cost helpers for the PIM datapath (Fig. 6 circuits).
+
+Each function prices one hardware event in terms of the technology
+table: a spike-driven array sub-cycle (spike drivers + crossbar + I&F
+ADCs + shift-add), a weight write, a buffer transfer.  The accelerator
+models compose these with their operation counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.params import XbarTechParams
+from repro.utils.validation import check_non_negative, check_positive
+
+
+def array_subcycle_energy(
+    tech: XbarTechParams, rows: int, cols: int
+) -> float:
+    """Dynamic energy of one bit-serial read of one ``rows x cols`` array.
+
+    Covers the spike drivers firing every word line, the crossbar
+    itself, one I&F conversion per bit line, and the digital
+    shift-and-add that merges the column result into the accumulator.
+    """
+    check_positive("rows", rows)
+    check_positive("cols", cols)
+    return (
+        tech.array_read_energy
+        + rows * tech.driver_energy_per_line
+        + cols * tech.adc_energy_per_conversion
+        + cols * tech.shift_add_energy_per_column
+    )
+
+
+def weight_write_energy(tech: XbarTechParams, cells: int) -> float:
+    """Energy to (re)program ``cells`` ReRAM cells."""
+    check_non_negative("cells", cells)
+    return cells * tech.cell_write_energy
+
+
+def buffer_transfer_energy(tech: XbarTechParams, bits: float) -> float:
+    """Energy to move ``bits`` through a memory/buffer subarray port."""
+    check_non_negative("bits", bits)
+    return bits * tech.buffer_energy_per_bit
+
+
+def static_power(tech: XbarTechParams, array_count: int) -> float:
+    """Always-on chip power for ``array_count`` deployed arrays."""
+    check_non_negative("array_count", array_count)
+    return (
+        array_count * tech.array_static_power + tech.controller_static_power
+    )
+
+
+def chip_area_mm2(tech: XbarTechParams, array_count: int) -> float:
+    """Die area estimate for ``array_count`` arrays plus periphery."""
+    check_non_negative("array_count", array_count)
+    return array_count * tech.array_area_mm2
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy ledger for one workload execution (joules).
+
+    The models fill the dynamic categories; ``static`` is power x
+    makespan.  ``total`` sums everything — the figure Table I's energy
+    ratios are computed from.
+    """
+
+    mvm: float = 0.0
+    buffer: float = 0.0
+    weight_write: float = 0.0
+    static: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("mvm", "buffer", "weight_write", "static"):
+            check_non_negative(name, getattr(self, name))
+
+    @property
+    def total(self) -> float:
+        return self.mvm + self.buffer + self.weight_write + self.static
+
+    @property
+    def dynamic(self) -> float:
+        return self.mvm + self.buffer + self.weight_write
+
+    def scaled(self, factor: float) -> "EnergyBreakdown":
+        """All categories multiplied by ``factor`` (e.g. per-image)."""
+        check_non_negative("factor", factor)
+        return EnergyBreakdown(
+            mvm=self.mvm * factor,
+            buffer=self.buffer * factor,
+            weight_write=self.weight_write * factor,
+            static=self.static * factor,
+        )
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            mvm=self.mvm + other.mvm,
+            buffer=self.buffer + other.buffer,
+            weight_write=self.weight_write + other.weight_write,
+            static=self.static + other.static,
+        )

@@ -1,0 +1,135 @@
+"""Technology parameter tables for the accelerator and GPU models.
+
+The paper's evaluation (Sec. III-C) compares PipeLayer and ReGAN
+against a GTX 1080.  The original studies drew circuit numbers from
+fabricated-device data plus NVSim/CACTI; we cannot re-run those tools,
+so this module carries parameter tables assembled from the public
+PipeLayer [12], ISAAC [9] and PRIME [8] papers (see DESIGN.md,
+"Substitutions").  All downstream models consume only these dataclasses,
+so sensitivity studies can sweep any constant.
+
+Units: seconds, joules, watts, square millimetres.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class XbarTechParams:
+    """Per-component costs of the ReRAM PIM datapath.
+
+    Parameters
+    ----------
+    subcycle_time:
+        One bit-serial array read, including I&F conversion — ISAAC's
+        100 ns IMA read.
+    array_read_energy:
+        Crossbar dynamic energy per 128x128 array activation.
+    adc_energy_per_conversion:
+        One 8-bit I&F/counter conversion (~2 mW at 1.28 GS/s).
+    driver_energy_per_line:
+        One spike-driver (binary word-line) fire.
+    shift_add_energy_per_column:
+        Digital shift-and-add merge per column result.
+    cell_write_energy:
+        Programming one ReRAM cell (set/reset incl. verify).
+    cell_write_time:
+        Per-cell program pulse (rows written in parallel per column
+        group; the update of a whole layer is the paper's one cycle).
+    buffer_energy_per_bit:
+        Read or write of one bit in a memory/buffer subarray.
+    array_static_power:
+        Always-on power per physical array (shared ADC slice, sense
+        amps, decoders).
+    controller_static_power:
+        Bank control units, I/O and clocking for the whole chip.
+    array_area_mm2:
+        Die area of one 128x128 array plus its share of periphery.
+    """
+
+    subcycle_time: float = 100e-9
+    array_read_energy: float = 2.0e-12
+    adc_energy_per_conversion: float = 1.6e-12
+    driver_energy_per_line: float = 0.05e-12
+    shift_add_energy_per_column: float = 0.2e-12
+    cell_write_energy: float = 50.0e-12
+    cell_write_time: float = 50e-9
+    buffer_energy_per_bit: float = 1.0e-12
+    array_static_power: float = 2.0e-3
+    controller_static_power: float = 2.0
+    array_area_mm2: float = 0.0025
+
+    def __post_init__(self) -> None:
+        for name in (
+            "subcycle_time",
+            "array_read_energy",
+            "adc_energy_per_conversion",
+            "cell_write_energy",
+            "cell_write_time",
+            "buffer_energy_per_bit",
+            "array_area_mm2",
+        ):
+            check_positive(name, getattr(self, name))
+        for name in (
+            "driver_energy_per_line",
+            "shift_add_energy_per_column",
+            "array_static_power",
+            "controller_static_power",
+        ):
+            check_non_negative(name, getattr(self, name))
+
+    def scaled(self, **overrides) -> "XbarTechParams":
+        """Copy with selected fields replaced (for ablations)."""
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class GpuParams:
+    """Roofline parameters of the baseline GPU.
+
+    Defaults describe the GTX 1080 the paper compares against:
+    8873 GFLOPS peak fp32, 320 GB/s GDDR5X, 180 W board power.
+    Utilisation factors reflect typical cuDNN efficiency by layer
+    type (convolutions vectorise well; FC layers at inference batch
+    sizes are bandwidth-bound).
+    """
+
+    name: str = "GTX 1080"
+    peak_flops: float = 8.873e12
+    memory_bandwidth: float = 320e9
+    board_power: float = 180.0
+    conv_utilization: float = 0.55
+    fc_utilization: float = 0.30
+    pool_utilization: float = 0.10
+    kernel_launch_overhead: float = 5e-6
+    bytes_per_value: int = 4
+
+    def __post_init__(self) -> None:
+        check_positive("peak_flops", self.peak_flops)
+        check_positive("memory_bandwidth", self.memory_bandwidth)
+        check_positive("board_power", self.board_power)
+        for name in ("conv_utilization", "fc_utilization", "pool_utilization"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], got {value}")
+        check_non_negative("kernel_launch_overhead", self.kernel_launch_overhead)
+        check_positive("bytes_per_value", self.bytes_per_value)
+
+    def utilization_for(self, kind: str) -> float:
+        """Peak-FLOPS fraction achievable for a layer kind."""
+        if kind in ("conv", "fcnn"):
+            return self.conv_utilization
+        if kind == "fc":
+            return self.fc_utilization
+        return self.pool_utilization
+
+
+#: Default PIM technology (PipeLayer/ISAAC-derived constants).
+DEFAULT_TECH = XbarTechParams()
+
+#: Default GPU baseline (GTX 1080, the paper's comparator).
+GTX1080 = GpuParams()

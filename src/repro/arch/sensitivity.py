@@ -1,0 +1,143 @@
+"""Sensitivity of the Table I conclusions to the technology constants.
+
+DESIGN.md's substitution table replaces the papers' circuit-level
+numbers with parameter tables assembled from the public literature.
+That substitution is only honest if the *conclusions* — who wins, by
+roughly what factor — survive plausible perturbations of those
+constants.  This module quantifies that: each technology parameter is
+scaled down/up by a factor and the Table I metrics recomputed, giving a
+tornado-style table of metric swings.
+
+Reading the output: parameters whose swing is small are "don't-care"
+constants; a parameter whose halving/doubling flips a conclusion would
+demand a sourced value.  (Spoiler, recorded by the benchmark: speedup
+is insensitive to every energy constant and linear only in
+``subcycle_time``; the energy ratio moves with ADC energy, write
+energy, and static power — but stays an order of magnitude above 1x
+throughout, so "large speedup, modest energy saving" is robust.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.arch.params import DEFAULT_TECH, XbarTechParams
+from repro.utils.validation import check_positive
+
+#: Technology fields that are scalable costs (area field excluded from
+#: the default sweep: it has no effect on speedup/energy).
+SWEEPABLE_FIELDS = (
+    "subcycle_time",
+    "array_read_energy",
+    "adc_energy_per_conversion",
+    "driver_energy_per_line",
+    "shift_add_energy_per_column",
+    "cell_write_energy",
+    "buffer_energy_per_bit",
+    "array_static_power",
+    "controller_static_power",
+)
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    """Metric values for one parameter at (low, nominal, high)."""
+
+    field: str
+    low_factor: float
+    high_factor: float
+    metric_low: float
+    metric_nominal: float
+    metric_high: float
+
+    @property
+    def swing(self) -> float:
+        """Relative metric range across the sweep (tornado width)."""
+        return (
+            abs(self.metric_high - self.metric_low) / self.metric_nominal
+        )
+
+    @property
+    def direction(self) -> str:
+        """Whether increasing the parameter raises or lowers the metric."""
+        if self.metric_high > self.metric_low:
+            return "increasing"
+        if self.metric_high < self.metric_low:
+            return "decreasing"
+        return "flat"
+
+
+def scaled_tech(
+    tech: XbarTechParams, field_name: str, factor: float
+) -> XbarTechParams:
+    """Copy of ``tech`` with one field multiplied by ``factor``."""
+    check_positive("factor", factor)
+    if field_name not in {f.name for f in fields(XbarTechParams)}:
+        raise ValueError(f"unknown technology field {field_name!r}")
+    value = getattr(tech, field_name) * factor
+    return replace(tech, **{field_name: value})
+
+
+def tech_sensitivity(
+    metric: Callable[[XbarTechParams], float],
+    tech: XbarTechParams = DEFAULT_TECH,
+    field_names: Sequence[str] = SWEEPABLE_FIELDS,
+    low_factor: float = 0.5,
+    high_factor: float = 2.0,
+) -> List[SensitivityRow]:
+    """Tornado sweep: ``metric`` under per-field scaling.
+
+    ``metric`` maps a technology table to a scalar (e.g. the geomean
+    PipeLayer speedup).  Returns one row per field, sorted by swing,
+    widest first.
+    """
+    check_positive("low_factor", low_factor)
+    check_positive("high_factor", high_factor)
+    nominal = metric(tech)
+    if nominal == 0:
+        raise ValueError("metric is zero at the nominal point")
+    rows = []
+    for field_name in field_names:
+        low = metric(scaled_tech(tech, field_name, low_factor))
+        high = metric(scaled_tech(tech, field_name, high_factor))
+        rows.append(
+            SensitivityRow(
+                field=field_name,
+                low_factor=low_factor,
+                high_factor=high_factor,
+                metric_low=low,
+                metric_nominal=nominal,
+                metric_high=high,
+            )
+        )
+    rows.sort(key=lambda row: row.swing, reverse=True)
+    return rows
+
+
+def conclusion_robustness(
+    metrics: Dict[str, Callable[[XbarTechParams], float]],
+    predicates: Dict[str, Callable[[Dict[str, float]], bool]],
+    tech: XbarTechParams = DEFAULT_TECH,
+    field_names: Sequence[str] = SWEEPABLE_FIELDS,
+    factors: Tuple[float, float] = (0.5, 2.0),
+) -> Dict[str, bool]:
+    """Check that named conclusions hold at every sweep corner.
+
+    ``metrics`` are named scalar functions of the tech table;
+    ``predicates`` receive the metric dict and return whether a
+    conclusion holds.  Each field is perturbed one-at-a-time; the
+    return maps conclusion name -> held at every point.
+    """
+    held = {name: True for name in predicates}
+    points = [tech] + [
+        scaled_tech(tech, field_name, factor)
+        for field_name in field_names
+        for factor in factors
+    ]
+    for point in points:
+        values = {name: fn(point) for name, fn in metrics.items()}
+        for name, predicate in predicates.items():
+            if not predicate(values):
+                held[name] = False
+    return held

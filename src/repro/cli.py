@@ -1,0 +1,227 @@
+"""Command-line interface: regenerate the paper's results from a shell.
+
+Usage::
+
+    python -m repro.cli table1              # both Table I rows
+    python -m repro.cli fig4                # mapping trade-off sweep
+    python -m repro.cli fig5 --layers 8     # pipeline cycles + chart
+    python -m repro.cli fig9                # GAN pipeline schemes
+    python -m repro.cli summary alexnet     # workload inventory
+    python -m repro.cli trace --layers 3 --batch 4   # ASCII Gantt
+
+Each subcommand prints the same series the corresponding benchmark
+records; the CLI exists so users can explore parameters without writing
+code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.estimator import pipelayer_table1, regan_table1
+from repro.core.gan_pipeline import scheme_table
+from repro.core.gan_schedule import simulate_gan_iteration
+from repro.core.mapping import balanced_mapping
+from repro.core.pipeline import (
+    training_cycles_pipelined,
+    training_cycles_sequential,
+)
+from repro.core.schedule import simulate_training_pipeline
+from repro.core.trace import render_gan_schedule, render_training_schedule
+from repro.workloads import (
+    FIG4_EXAMPLE,
+    alexnet_spec,
+    mnist_cnn_spec,
+    regan_suite,
+    vggnet_spec,
+)
+
+_WORKLOADS = {
+    "mnist": mnist_cnn_spec,
+    "alexnet": alexnet_spec,
+    "vggnet": vggnet_spec,
+}
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    print(pipelayer_table1(batch=args.batch).summary())
+    print()
+    print(regan_table1(batch=args.batch).summary())
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    print("Fig. 4 mapping trade-off (114x114x128 -> 112x112x256, 3x3):")
+    print(f"{'X':>8s} {'passes/img':>12s} {'arrays':>10s}")
+    for duplication in (1, 4, 16, 64, 256, 1024, 4096, 12544):
+        mapping = balanced_mapping(FIG4_EXAMPLE, duplication)
+        print(
+            f"{duplication:>8d} {mapping.passes_per_image:>12d} "
+            f"{mapping.total_arrays:>10d}"
+        )
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    layers = args.layers
+    print(f"Fig. 5 pipeline, L = {layers}:")
+    print(f"{'B':>6s} {'sequential':>12s} {'pipelined':>12s} {'speedup':>9s}")
+    for batch in (1, 2, 4, 8, 16, 32, 64, 128):
+        n_inputs = batch * 4
+        sequential = training_cycles_sequential(layers, n_inputs, batch)
+        pipelined = training_cycles_pipelined(layers, n_inputs, batch)
+        print(
+            f"{batch:>6d} {sequential:>12d} {pipelined:>12d} "
+            f"{sequential / pipelined:>8.2f}x"
+        )
+    return 0
+
+
+def _cmd_fig9(args: argparse.Namespace) -> int:
+    for dataset, (generator, discriminator) in regan_suite().items():
+        print(f"{dataset} (L_G={generator.depth}, L_D={discriminator.depth},"
+              f" B={args.batch}):")
+        for row in scheme_table(
+            discriminator.depth, generator.depth, args.batch
+        ):
+            print(
+                f"  {row['scheme']:<12s} {row['cycles']:>6d} cycles "
+                f"{row['speedup']:>7.2f}x"
+            )
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    if args.workload not in _WORKLOADS:
+        print(
+            f"unknown workload {args.workload!r}; pick from "
+            f"{sorted(_WORKLOADS)}",
+            file=sys.stderr,
+        )
+        return 2
+    print(_WORKLOADS[args.workload]().summary())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.gan:
+        result = simulate_gan_iteration(
+            args.layers, args.layers, args.batch, args.scheme
+        )
+        print(
+            f"GAN iteration, L_D=L_G={args.layers}, B={args.batch}, "
+            f"scheme={args.scheme} -> {result.makespan} cycles"
+        )
+        print(render_gan_schedule(result))
+    else:
+        result = simulate_training_pipeline(
+            args.layers, args.batch * 2, args.batch
+        )
+        print(
+            f"training pipeline, L={args.layers}, B={args.batch}, "
+            f"2 batches -> {result.makespan} cycles"
+        )
+        print(render_training_schedule(result))
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.arch.sensitivity import tech_sensitivity
+    from repro.core.estimator import pipelayer_table1
+
+    metric = {
+        "speedup": lambda tech: pipelayer_table1(tech=tech).speedup,
+        "energy": lambda tech: pipelayer_table1(tech=tech).energy_saving,
+    }[args.metric]
+    print(f"PipeLayer {args.metric} sensitivity (0.5x .. 2x per field):")
+    print(f"{'parameter':<28s}{'0.5x':>10s}{'nominal':>10s}{'2x':>10s}"
+          f"{'swing':>8s}")
+    for row in tech_sensitivity(metric):
+        print(
+            f"{row.field:<28s}{row.metric_low:>10.2f}"
+            f"{row.metric_nominal:>10.2f}{row.metric_high:>10.2f}"
+            f"{row.swing:>8.2f}"
+        )
+    return 0
+
+
+def _cmd_area(args: argparse.Namespace) -> int:
+    from repro.arch.report import pipelayer_report
+    from repro.core.pipelayer import PipeLayerModel
+
+    if args.workload not in _WORKLOADS:
+        print(
+            f"unknown workload {args.workload!r}; pick from "
+            f"{sorted(_WORKLOADS)}",
+            file=sys.stderr,
+        )
+        return 2
+    model = PipeLayerModel(
+        _WORKLOADS[args.workload](), array_budget=args.budget
+    )
+    print(pipelayer_report(model, batch=args.batch).summary())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate results from 'ReRAM-based Accelerator "
+        "for Deep Learning' (DATE 2018).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table1 = sub.add_parser("table1", help="Table I: both accelerators")
+    p_table1.add_argument("--batch", type=int, default=32)
+    p_table1.set_defaults(func=_cmd_table1)
+
+    p_fig4 = sub.add_parser("fig4", help="Fig. 4 mapping sweep")
+    p_fig4.set_defaults(func=_cmd_fig4)
+
+    p_fig5 = sub.add_parser("fig5", help="Fig. 5 pipeline cycles")
+    p_fig5.add_argument("--layers", type=int, default=8)
+    p_fig5.set_defaults(func=_cmd_fig5)
+
+    p_fig9 = sub.add_parser("fig9", help="Fig. 9 GAN pipeline schemes")
+    p_fig9.add_argument("--batch", type=int, default=32)
+    p_fig9.set_defaults(func=_cmd_fig9)
+
+    p_summary = sub.add_parser("summary", help="workload inventory")
+    p_summary.add_argument("workload")
+    p_summary.set_defaults(func=_cmd_summary)
+
+    p_sens = sub.add_parser(
+        "sensitivity", help="tech-parameter tornado for Table I"
+    )
+    p_sens.add_argument(
+        "--metric", choices=("speedup", "energy"), default="speedup"
+    )
+    p_sens.set_defaults(func=_cmd_sensitivity)
+
+    p_area = sub.add_parser("area", help="area/power budget of a workload")
+    p_area.add_argument("workload")
+    p_area.add_argument("--budget", type=int, default=262144)
+    p_area.add_argument("--batch", type=int, default=32)
+    p_area.set_defaults(func=_cmd_area)
+
+    p_trace = sub.add_parser("trace", help="ASCII Gantt of a schedule")
+    p_trace.add_argument("--layers", type=int, default=3)
+    p_trace.add_argument("--batch", type=int, default=4)
+    p_trace.add_argument("--gan", action="store_true")
+    p_trace.add_argument("--scheme", default="sp_cs")
+    p_trace.set_defaults(func=_cmd_trace)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

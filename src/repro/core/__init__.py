@@ -1,0 +1,182 @@
+"""The paper's primary contribution: PipeLayer and ReGAN models.
+
+Data mapping (Fig. 4), inter-layer pipelines (Fig. 5), FCNN mapping
+(Fig. 7), GAN training pipelines (Figs. 8-9), the accelerator cost
+models behind Table I, and the compiler that runs live networks through
+the crossbar simulator.
+"""
+
+from repro.core.allocation import (
+    AllocationResult,
+    BankConfig,
+    Placement,
+    allocate_banks,
+)
+from repro.core.compiler import Deployment, deploy_network, spec_from_network
+from repro.core.estimator import (
+    PAPER_PIPELAYER_ENERGY,
+    PAPER_PIPELAYER_SPEEDUP,
+    PAPER_REGAN_ENERGY,
+    PAPER_REGAN_SPEEDUP,
+    PIPELAYER_ARRAY_BUDGET,
+    REGAN_ARRAY_BUDGET,
+    TableOneRow,
+    geometric_mean,
+    pipelayer_table1,
+    regan_table1,
+    table1,
+)
+from repro.core.fcnn import (
+    equivalent_conv_kernel,
+    extended_input_shape,
+    fcnn_backward_strided_conv,
+    fcnn_forward_zero_insertion,
+    zero_fraction,
+    zero_insertion_padding,
+)
+from repro.core.gan_pipeline import (
+    SCHEME_COSTS,
+    SCHEMES,
+    SchemeCost,
+    d_training_cycles_pipelined,
+    d_training_cycles_unpipelined,
+    g_training_cycles_pipelined,
+    g_training_cycles_unpipelined,
+    iteration_cycles,
+    iteration_speedup,
+    scheme_table,
+    sweep_d_fake,
+    sweep_d_real,
+    sweep_g,
+)
+from repro.core.mapping import (
+    LayerMapping,
+    MappingConfig,
+    balance_duplication,
+    balanced_mapping,
+    duplication_for_passes,
+    mapping_table,
+    naive_mapping,
+)
+from repro.core.pipelayer import PipeLayerModel, PipeLayerReport
+from repro.core.pipeline import (
+    PipelineSummary,
+    asymptotic_training_speedup,
+    inference_cycles_pipelined,
+    inference_cycles_sequential,
+    training_cycles_per_batch_pipelined,
+    training_cycles_pipelined,
+    training_cycles_sequential,
+    training_speedup,
+)
+from repro.core.gan_schedule import (
+    GanEvent,
+    GanScheduleResult,
+    simulate_gan_iteration,
+    verify_scheme,
+)
+from repro.core.pipelined_gan import PipelinedGANTrainer, fix_vbn_references
+from repro.core.pipelined_trainer import (
+    PipelinedTrainer,
+    PipelineTickLog,
+    group_into_stages,
+)
+from repro.core.regan import ReGANModel, ReGANReport
+from repro.core.trace import (
+    occupancy_profile,
+    render_gan_schedule,
+    render_training_schedule,
+)
+from repro.core.training_sim import (
+    CrossbarTrainingResult,
+    NoiseAwareComparison,
+    compare_noise_aware,
+    train_on_crossbar,
+)
+from repro.core.schedule import (
+    ScheduleEvent,
+    ScheduleResult,
+    simulate_inference_pipeline,
+    simulate_training_pipeline,
+    simulate_training_sequential,
+)
+
+__all__ = [
+    "AllocationResult",
+    "BankConfig",
+    "Placement",
+    "allocate_banks",
+    "Deployment",
+    "deploy_network",
+    "spec_from_network",
+    "TableOneRow",
+    "geometric_mean",
+    "pipelayer_table1",
+    "regan_table1",
+    "table1",
+    "PAPER_PIPELAYER_SPEEDUP",
+    "PAPER_PIPELAYER_ENERGY",
+    "PAPER_REGAN_SPEEDUP",
+    "PAPER_REGAN_ENERGY",
+    "PIPELAYER_ARRAY_BUDGET",
+    "REGAN_ARRAY_BUDGET",
+    "equivalent_conv_kernel",
+    "fcnn_forward_zero_insertion",
+    "fcnn_backward_strided_conv",
+    "extended_input_shape",
+    "zero_fraction",
+    "zero_insertion_padding",
+    "SCHEMES",
+    "SCHEME_COSTS",
+    "SchemeCost",
+    "iteration_cycles",
+    "iteration_speedup",
+    "scheme_table",
+    "sweep_d_real",
+    "sweep_d_fake",
+    "sweep_g",
+    "d_training_cycles_pipelined",
+    "d_training_cycles_unpipelined",
+    "g_training_cycles_pipelined",
+    "g_training_cycles_unpipelined",
+    "LayerMapping",
+    "MappingConfig",
+    "naive_mapping",
+    "balanced_mapping",
+    "balance_duplication",
+    "duplication_for_passes",
+    "mapping_table",
+    "PipeLayerModel",
+    "PipeLayerReport",
+    "GanEvent",
+    "GanScheduleResult",
+    "simulate_gan_iteration",
+    "verify_scheme",
+    "render_training_schedule",
+    "render_gan_schedule",
+    "occupancy_profile",
+    "CrossbarTrainingResult",
+    "NoiseAwareComparison",
+    "train_on_crossbar",
+    "compare_noise_aware",
+    "PipelinedGANTrainer",
+    "fix_vbn_references",
+    "PipelinedTrainer",
+    "PipelineTickLog",
+    "group_into_stages",
+    "ReGANModel",
+    "ReGANReport",
+    "PipelineSummary",
+    "training_cycles_sequential",
+    "training_cycles_pipelined",
+    "training_cycles_per_batch_pipelined",
+    "inference_cycles_sequential",
+    "inference_cycles_pipelined",
+    "training_speedup",
+    "asymptotic_training_speedup",
+    "ScheduleEvent",
+    "ScheduleResult",
+    "simulate_training_pipeline",
+    "simulate_training_sequential",
+    "simulate_inference_pipeline",
+]

@@ -1,0 +1,154 @@
+"""Placing a deployment onto memory banks (Fig. 6's organisation).
+
+PipeLayer partitions each ReRAM bank into morphable, memory, and buffer
+subarray regions; a deployed network claims morphable subarrays (one
+physical 128x128 array each) across however many banks it needs.  This
+module performs that placement: given a
+:class:`~repro.core.pipelayer.PipeLayerModel`, it builds banks, switches
+the claimed subarrays into compute mode through the bank control
+interface (:class:`~repro.arch.subarray.Bank`), and reports per-bank
+utilisation — connecting the cycle/energy model to the Fig. 6
+structure the paper draws.
+
+Placement policy: first-fit in layer order.  Layers may span banks
+(their partial sums already merge through the connection units), so
+first-fit wastes nothing; the interesting outputs are the bank count
+and the morphable-region utilisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil
+from typing import Dict, List
+
+from repro.arch.subarray import Bank, SubarrayKind
+from repro.core.pipelayer import TRAINING_ARRAY_FACTOR, PipeLayerModel
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class BankConfig:
+    """Per-bank region sizes (subarray counts)."""
+
+    morphable: int = 384
+    memory: int = 96
+    buffer: int = 32
+
+    def __post_init__(self) -> None:
+        check_positive("morphable", self.morphable)
+        check_positive("memory", self.memory)
+        check_positive("buffer", self.buffer)
+
+
+@dataclass
+class Placement:
+    """Where one layer's arrays landed."""
+
+    layer: str
+    arrays: int
+    banks: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def bank_span(self) -> int:
+        """Number of banks this layer touches."""
+        return len(self.banks)
+
+
+@dataclass
+class AllocationResult:
+    """A deployment placed onto banks."""
+
+    banks: List[Bank]
+    placements: List[Placement]
+    config: BankConfig
+
+    @property
+    def bank_count(self) -> int:
+        return len(self.banks)
+
+    @property
+    def total_compute_subarrays(self) -> int:
+        return sum(p.arrays for p in self.placements)
+
+    def utilisation(self) -> List[float]:
+        """Per-bank fraction of morphable subarrays in compute mode."""
+        fractions = []
+        for bank in self.banks:
+            morphable = bank.of_kind(SubarrayKind.MORPHABLE)
+            used = sum(1 for s in morphable if s.assigned_to is not None)
+            fractions.append(used / len(morphable))
+        return fractions
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.bank_count} banks of {self.config.morphable} morphable "
+            f"subarrays; {self.total_compute_subarrays:,} in compute mode"
+        ]
+        for placement in self.placements:
+            lines.append(
+                f"  {placement.layer:<18s} {placement.arrays:>8,d} arrays "
+                f"across {placement.bank_span} bank(s)"
+            )
+        used = self.utilisation()
+        lines.append(
+            f"  utilisation: min {min(used):.0%}, max {max(used):.0%}"
+        )
+        return "\n".join(lines)
+
+
+def allocate_banks(
+    model: PipeLayerModel, bank_config: BankConfig = BankConfig()
+) -> AllocationResult:
+    """Place a PipeLayer deployment onto banks, first-fit.
+
+    Each layer claims ``total_arrays`` morphable subarrays for its
+    forward copies plus the same again for its training transposes
+    (when the model holds them).  Returns the populated banks with
+    every claimed subarray switched to compute mode.
+    """
+    factor = TRAINING_ARRAY_FACTOR if model.training_arrays else 1
+    demands = [
+        (name, mapping.total_arrays * factor)
+        for name, mapping in model.mappings.items()
+    ]
+    total = sum(arrays for _, arrays in demands)
+    bank_count = max(1, ceil(total / bank_config.morphable))
+    banks = [
+        Bank(
+            morphable_count=bank_config.morphable,
+            memory_count=bank_config.memory,
+            buffer_count=bank_config.buffer,
+        )
+        for _ in range(bank_count)
+    ]
+
+    placements: List[Placement] = []
+    bank_index = 0
+    for name, arrays in demands:
+        placement = Placement(layer=name, arrays=arrays)
+        remaining = arrays
+        while remaining > 0:
+            if bank_index >= len(banks):
+                banks.append(
+                    Bank(
+                        morphable_count=bank_config.morphable,
+                        memory_count=bank_config.memory,
+                        buffer_count=bank_config.buffer,
+                    )
+                )
+            bank = banks[bank_index]
+            free = len(bank.free_morphable())
+            if free == 0:
+                bank_index += 1
+                continue
+            take = min(free, remaining)
+            bank.assign_compute(name, take)
+            placement.banks[bank_index] = (
+                placement.banks.get(bank_index, 0) + take
+            )
+            remaining -= take
+        placements.append(placement)
+    return AllocationResult(
+        banks=banks, placements=placements, config=bank_config
+    )

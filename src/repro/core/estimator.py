@@ -1,0 +1,144 @@
+"""Table I estimator: aggregate speedup / energy saving vs the GPU.
+
+"Compared to the GPU platform, on average, PipeLayer achieves 42.45x
+speedup and 7.17x energy saving ... ReGAN obtains even higher benefit —
+240x improvement in performance and 94x energy reduction"
+(Sec. III-C).  The functions here run the accelerator models over the
+paper's workload suites and aggregate with the geometric mean, giving
+the two rows of Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.pipelayer import PipeLayerModel, PipeLayerReport
+from repro.core.regan import ReGANModel, ReGANReport
+from repro.arch.params import DEFAULT_TECH, XbarTechParams
+from repro.utils.validation import check_positive
+from repro.workloads.suite import pipelayer_suite, regan_suite
+
+#: Table I, as printed in the paper.
+PAPER_PIPELAYER_SPEEDUP = 42.45
+PAPER_PIPELAYER_ENERGY = 7.17
+PAPER_REGAN_SPEEDUP = 240.0
+PAPER_REGAN_ENERGY = 94.0
+
+#: Default deployment sizes (physical 128x128 arrays).  PipeLayer is a
+#: per-bank design; ReGAN deploys across the whole ReRAM main memory,
+#: hence the larger budget.
+PIPELAYER_ARRAY_BUDGET = 262144
+REGAN_ARRAY_BUDGET = 1048576
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values."""
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        raise ValueError("geometric mean of an empty sequence")
+    if np.any(array <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(array))))
+
+
+@dataclass(frozen=True)
+class TableOneRow:
+    """One accelerator row of Table I (measured by this reproduction)."""
+
+    accelerator: str
+    speedup: float
+    energy_saving: float
+    paper_speedup: float
+    paper_energy_saving: float
+    per_workload: tuple
+
+    @property
+    def speedup_ratio_to_paper(self) -> float:
+        """measured / paper speedup (1.0 = exact match)."""
+        return self.speedup / self.paper_speedup
+
+    @property
+    def energy_ratio_to_paper(self) -> float:
+        """measured / paper energy saving."""
+        return self.energy_saving / self.paper_energy_saving
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.accelerator}: speedup {self.speedup:.2f}x "
+            f"(paper {self.paper_speedup}x), energy saving "
+            f"{self.energy_saving:.2f}x (paper {self.paper_energy_saving}x)"
+        ]
+        for name, speedup, energy in self.per_workload:
+            lines.append(
+                f"  {name:<16s} speedup {speedup:8.1f}x   "
+                f"energy saving {energy:6.1f}x"
+            )
+        return "\n".join(lines)
+
+
+def pipelayer_table1(
+    array_budget: int = PIPELAYER_ARRAY_BUDGET,
+    batch: int = 32,
+    tech: XbarTechParams = DEFAULT_TECH,
+    training: bool = True,
+) -> TableOneRow:
+    """Table I row 1: PipeLayer over the MNIST/ImageNet suite."""
+    check_positive("batch", batch)
+    reports: List[PipeLayerReport] = []
+    for spec in pipelayer_suite():
+        model = PipeLayerModel(spec, array_budget=array_budget, tech=tech)
+        reports.append(model.report(batch=batch, training=training))
+    return TableOneRow(
+        accelerator="PipeLayer",
+        speedup=geometric_mean([r.speedup for r in reports]),
+        energy_saving=geometric_mean([r.energy_saving for r in reports]),
+        paper_speedup=PAPER_PIPELAYER_SPEEDUP,
+        paper_energy_saving=PAPER_PIPELAYER_ENERGY,
+        per_workload=tuple(
+            (r.network, r.speedup, r.energy_saving) for r in reports
+        ),
+    )
+
+
+def regan_table1(
+    array_budget: int = REGAN_ARRAY_BUDGET,
+    batch: int = 32,
+    scheme: str = "sp_cs",
+    tech: XbarTechParams = DEFAULT_TECH,
+) -> TableOneRow:
+    """Table I row 2: ReGAN over the four-dataset DCGAN suite."""
+    check_positive("batch", batch)
+    reports: List[ReGANReport] = []
+    for name, (generator, discriminator) in regan_suite().items():
+        model = ReGANModel(
+            generator,
+            discriminator,
+            array_budget=array_budget,
+            scheme=scheme,
+            tech=tech,
+            dataset=name,
+        )
+        reports.append(model.report(batch=batch))
+    return TableOneRow(
+        accelerator="ReGAN",
+        speedup=geometric_mean([r.speedup for r in reports]),
+        energy_saving=geometric_mean([r.energy_saving for r in reports]),
+        paper_speedup=PAPER_REGAN_SPEEDUP,
+        paper_energy_saving=PAPER_REGAN_ENERGY,
+        per_workload=tuple(
+            (r.dataset, r.speedup, r.energy_saving) for r in reports
+        ),
+    )
+
+
+def table1(
+    batch: int = 32, tech: XbarTechParams = DEFAULT_TECH
+) -> Dict[str, TableOneRow]:
+    """Both rows of Table I."""
+    return {
+        "PipeLayer": pipelayer_table1(batch=batch, tech=tech),
+        "ReGAN": regan_table1(batch=batch, tech=tech),
+    }

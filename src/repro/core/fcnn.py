@@ -1,0 +1,168 @@
+"""Fractional-strided convolution mapping (Sec. III-B-1, Fig. 7).
+
+The ReGAN insight that makes the generator run on the same crossbar
+hardware as the discriminator:
+
+* **Forward** (Fig. 7a): a fractional-strided convolution "can be taken
+  the same way as a traditional convolution by first adding zeros
+  between each input in the feature maps with zero padding and then
+  computing the convolution between the extended input feature maps and
+  the kernel."
+* **Backward** (Fig. 7b): "the error propagation backwards in FCNN ...
+  indeed is a typical convolution with strides."
+
+This module implements the zero-insertion formulation explicitly and
+provides the conversion between a transposed-convolution kernel and the
+equivalent ordinary-convolution kernel (spatial flip + channel swap).
+Tests and the Fig. 7 benchmark verify it against the adjoint
+implementation in
+:class:`repro.nn.layers.conv_transpose.FractionalStridedConv2D`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.im2col import im2col, insert_zeros, pad_nchw
+from repro.utils.validation import check_non_negative, check_positive
+
+
+def equivalent_conv_kernel(weight: np.ndarray) -> np.ndarray:
+    """Ordinary-conv kernel equivalent to a transposed-conv kernel.
+
+    A transposed convolution with weight ``(Cin, Cout, k, k)`` equals a
+    stride-1 convolution (over the zero-inserted, zero-padded input)
+    with the spatially flipped kernel viewed as ``(Cout, Cin, k, k)``.
+    """
+    if weight.ndim != 4:
+        raise ValueError(f"weight must be 4-D, got shape {weight.shape}")
+    return weight[:, :, ::-1, ::-1].transpose(1, 0, 2, 3)
+
+
+def zero_insertion_padding(kernel: int, pad: int) -> int:
+    """Outer zero padding of the extended map: ``k - 1 - pad``."""
+    check_positive("kernel", kernel)
+    check_non_negative("pad", pad)
+    out = kernel - 1 - pad
+    if out < 0:
+        raise ValueError(
+            f"pad ({pad}) exceeds kernel - 1 ({kernel - 1}); such a "
+            "transposed convolution crops more than the kernel covers"
+        )
+    return out
+
+
+def fcnn_forward_zero_insertion(
+    inputs: np.ndarray,
+    weight: np.ndarray,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Fig. 7(a): transposed conv as zero-inserted ordinary conv.
+
+    Parameters
+    ----------
+    inputs:
+        NCHW input feature maps.
+    weight:
+        Transposed-convolution kernel ``(Cin, Cout, k, k)``.
+    stride, pad:
+        Transposed-convolution (output-side) stride and padding.
+
+    Returns the same result as
+    :class:`~repro.nn.layers.conv_transpose.FractionalStridedConv2D`
+    (without bias): output extent ``(H - 1) * stride - 2 * pad + k``.
+    """
+    inputs = np.asarray(inputs, dtype=np.float64)
+    if inputs.ndim != 4:
+        raise ValueError(f"inputs must be NCHW, got shape {inputs.shape}")
+    in_channels, out_channels, kernel, kernel_w = weight.shape
+    if kernel != kernel_w:
+        raise ValueError("only square kernels are supported")
+    if inputs.shape[1] != in_channels:
+        raise ValueError(
+            f"inputs have {inputs.shape[1]} channels, weight expects "
+            f"{in_channels}"
+        )
+    check_positive("stride", stride)
+
+    # Step 1: insert (stride - 1) zeros between input pixels.
+    extended = insert_zeros(inputs, stride)
+    # Step 2: outer zero padding of k - 1 - pad.
+    outer = zero_insertion_padding(kernel, pad)
+    extended = pad_nchw(extended, outer)
+    # Step 3: ordinary stride-1 convolution with the flipped kernel.
+    conv_kernel = equivalent_conv_kernel(weight)
+    cols = im2col(extended, kernel, kernel, stride=1, pad=0)
+    weight_matrix = conv_kernel.reshape(out_channels, -1).T
+    out = cols @ weight_matrix
+
+    batch = inputs.shape[0]
+    out_h = (inputs.shape[2] - 1) * stride - 2 * pad + kernel
+    out_w = (inputs.shape[3] - 1) * stride - 2 * pad + kernel
+    out = out.reshape(batch, out_h, out_w, out_channels)
+    return out.transpose(0, 3, 1, 2)
+
+
+def fcnn_backward_strided_conv(
+    grad_output: np.ndarray,
+    weight: np.ndarray,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Fig. 7(b): FCNN error back-propagation as a strided convolution.
+
+    Given the gradient at the (large) output of a transposed
+    convolution, the gradient at its (small) input is an ordinary
+    convolution of ``grad_output`` with the *unflipped* kernel at the
+    transposed convolution's stride and padding.
+    """
+    grad_output = np.asarray(grad_output, dtype=np.float64)
+    in_channels, out_channels, kernel, _ = weight.shape
+    if grad_output.shape[1] != out_channels:
+        raise ValueError(
+            f"grad_output has {grad_output.shape[1]} channels, weight "
+            f"produces {out_channels}"
+        )
+    cols = im2col(grad_output, kernel, kernel, stride=stride, pad=pad)
+    # (Cin, Cout*k*k) weight view: same layout as the adjoint layer.
+    weight_matrix = weight.reshape(in_channels, -1)
+    rows = cols @ weight_matrix.T
+
+    batch = grad_output.shape[0]
+    in_h = (grad_output.shape[2] + 2 * pad - kernel) // stride + 1
+    in_w = (grad_output.shape[3] + 2 * pad - kernel) // stride + 1
+    grad_input = rows.reshape(batch, in_h, in_w, in_channels)
+    return grad_input.transpose(0, 3, 1, 2)
+
+
+def extended_input_shape(
+    input_shape: Tuple[int, int], kernel: int, stride: int, pad: int
+) -> Tuple[int, int]:
+    """Spatial shape of the zero-inserted, zero-padded map.
+
+    Useful for sizing the crossbar input buffers: the FCNN layer's
+    arrays see the extended map, not the raw one.
+    """
+    height, width = input_shape
+    check_positive("height", height)
+    check_positive("width", width)
+    outer = zero_insertion_padding(kernel, pad)
+    return (
+        (height - 1) * stride + 1 + 2 * outer,
+        (width - 1) * stride + 1 + 2 * outer,
+    )
+
+
+def zero_fraction(input_shape: Tuple[int, int], kernel: int, stride: int, pad: int) -> float:
+    """Fraction of zeros in the extended map (wasted crossbar drive).
+
+    The zero-insertion trick is computationally clean but drives the
+    arrays with mostly-zero vectors at stride 2 (~75 % zeros); this
+    metric feeds the ablation benchmark on FCNN mapping efficiency.
+    """
+    height, width = input_shape
+    ext_h, ext_w = extended_input_shape(input_shape, kernel, stride, pad)
+    return 1.0 - (height * width) / (ext_h * ext_w)

@@ -1,0 +1,199 @@
+"""GAN training pipeline cycle models (Sec. III-B-2/3, Figs. 8-9).
+
+One GAN training iteration comprises three dataflows (Fig. 8):
+
+1. **Train D on real samples** — sweep length ``2L_D + 1`` stages
+   (L_D forward, loss, L_D backward).
+2. **Train D on generated samples** — G prepended: ``L_G + 2L_D + 1``
+   stages.  G is used but not updated.
+3. **Train G** — error returns through D into G:
+   ``2L_G + 2L_D + 1`` stages.
+
+With the ReGAN pipeline a new input enters each cycle, so a phase with
+sweep ``S`` over a batch ``B`` costs ``S + B - 1`` cycles, plus one
+cycle per weight update.  The paper's counts follow:
+
+* train D on real: ``2L_D + 1 + B - 1``
+* train D on fake: ``L_G + 2L_D + 1 + B - 1``; then 1 cycle updates D
+* train G: ``2L_G + 2L_D + B + 1`` (update included)
+
+Without the pipeline the three phases cost ``(4L_D + L_G + 2)B`` and
+``(2L_G + 2L_D + 1)B`` cycles (D resp. G), plus updates.
+
+Two further optimizations (Sec. III-B-3):
+
+* **Spatial parallelism (SP)**: D is duplicated, so phases 1 and 2 run
+  concurrently; phase 1's latency hides under phase 2's.
+* **Computation sharing (CS)** (Fig. 9): phases 2 and 3 share the
+  forward path; the two backward branches run in parallel; D updates at
+  T11, G at T14.  Costs double intermediate storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.utils.validation import check_choice, check_positive
+
+#: Pipeline schemes in increasing sophistication.
+SCHEMES = ("unpipelined", "pipelined", "sp", "cs", "sp_cs")
+
+
+def _check(l_d: int, l_g: int, batch: int) -> None:
+    check_positive("l_d", l_d)
+    check_positive("l_g", l_g)
+    check_positive("batch", batch)
+
+
+# -- sweep lengths (stages per input) ---------------------------------------
+
+def sweep_d_real(l_d: int) -> int:
+    """Stages for one real sample through dataflow (1)."""
+    check_positive("l_d", l_d)
+    return 2 * l_d + 1
+
+
+def sweep_d_fake(l_d: int, l_g: int) -> int:
+    """Stages for one noise vector through dataflow (2)."""
+    check_positive("l_d", l_d)
+    check_positive("l_g", l_g)
+    return l_g + 2 * l_d + 1
+
+
+def sweep_g(l_d: int, l_g: int) -> int:
+    """Stages for one noise vector through dataflow (3)."""
+    check_positive("l_d", l_d)
+    check_positive("l_g", l_g)
+    return 2 * l_g + 2 * l_d + 1
+
+
+# -- per-iteration cycle counts ----------------------------------------------
+
+def d_training_cycles_pipelined(l_d: int, l_g: int, batch: int) -> int:
+    """Pipelined D update: phases (1) + (2) sequential + 1 update.
+
+    ``(2L_D + B) + (L_G + 2L_D + B) + 1``.
+    """
+    _check(l_d, l_g, batch)
+    phase1 = sweep_d_real(l_d) + batch - 1
+    phase2 = sweep_d_fake(l_d, l_g) + batch - 1
+    return phase1 + phase2 + 1
+
+
+def g_training_cycles_pipelined(l_d: int, l_g: int, batch: int) -> int:
+    """Pipelined G update: ``2L_G + 2L_D + B + 1`` (paper's count)."""
+    _check(l_d, l_g, batch)
+    return sweep_g(l_d, l_g) + batch - 1 + 1
+
+
+def d_training_cycles_unpipelined(l_d: int, l_g: int, batch: int) -> int:
+    """Unpipelined D training: ``(4L_D + L_G + 2)B`` plus one update.
+
+    Each input fully drains dataflow (1) then (2) before the next
+    enters; the paper quotes the per-batch sweep total
+    ``(4L_D + L_G + 2)B``; we add the single update cycle.
+    """
+    _check(l_d, l_g, batch)
+    return (sweep_d_real(l_d) + sweep_d_fake(l_d, l_g)) * batch + 1
+
+
+def g_training_cycles_unpipelined(l_d: int, l_g: int, batch: int) -> int:
+    """Unpipelined G training: ``(2L_G + 2L_D + 1)B`` plus one update."""
+    _check(l_d, l_g, batch)
+    return sweep_g(l_d, l_g) * batch + 1
+
+
+def iteration_cycles(l_d: int, l_g: int, batch: int, scheme: str) -> int:
+    """Cycles of one full GAN iteration (update D then update G).
+
+    Schemes:
+
+    * ``unpipelined`` — everything sequential, input by input.
+    * ``pipelined``   — Fig. 8 intra-phase pipelining.
+    * ``sp``          — + duplicated D: phase (1) hides under (2).
+    * ``cs``          — + shared forward: phases (2), (3) merge into a
+      single pass whose length is the longer G branch.
+    * ``sp_cs``       — both: phase (1) also hides under the merged
+      pass, leaving just the G-branch latency.
+    """
+    _check(l_d, l_g, batch)
+    check_choice("scheme", scheme, SCHEMES)
+    if scheme == "unpipelined":
+        return d_training_cycles_unpipelined(
+            l_d, l_g, batch
+        ) + g_training_cycles_unpipelined(l_d, l_g, batch)
+    if scheme == "pipelined":
+        return d_training_cycles_pipelined(
+            l_d, l_g, batch
+        ) + g_training_cycles_pipelined(l_d, l_g, batch)
+    phase1 = sweep_d_real(l_d) + batch - 1
+    merged = g_training_cycles_pipelined(l_d, l_g, batch)  # G branch + update
+    if scheme == "sp":
+        # Phases (1) and (2) concurrent on two copies of D, then the D
+        # update, then phase (3).
+        phase2 = sweep_d_fake(l_d, l_g) + batch - 1
+        return max(phase1, phase2) + 1 + merged
+    if scheme == "cs":
+        # Phases (2) and (3) share the forward pass; the merged pass
+        # lasts the G branch (D's shorter branch and its update, T11,
+        # complete inside it).  Phase (1) still runs first.
+        return phase1 + merged
+    # sp_cs: phase (1) on the duplicate of D runs under the merged pass.
+    return max(phase1 + 1, merged)
+
+
+def iteration_speedup(l_d: int, l_g: int, batch: int, scheme: str) -> float:
+    """Cycle-count speedup of ``scheme`` over the unpipelined schedule."""
+    return iteration_cycles(l_d, l_g, batch, "unpipelined") / iteration_cycles(
+        l_d, l_g, batch, scheme
+    )
+
+
+@dataclass(frozen=True)
+class SchemeCost:
+    """Hardware price of a pipeline scheme (relative units)."""
+
+    scheme: str
+    d_copies: int
+    g_copies: int
+    intermediate_storage_factor: float
+
+    @property
+    def description(self) -> str:
+        return (
+            f"{self.scheme}: {self.d_copies}x D arrays, "
+            f"{self.g_copies}x G arrays, "
+            f"{self.intermediate_storage_factor:g}x intermediate storage"
+        )
+
+
+#: Hardware cost of each scheme: SP duplicates D ("we proposed to
+#: duplicate D into two copies"); CS doubles the storage for errors and
+#: partial derivatives.
+SCHEME_COSTS: Dict[str, SchemeCost] = {
+    "unpipelined": SchemeCost("unpipelined", 1, 1, 1.0),
+    "pipelined": SchemeCost("pipelined", 1, 1, 1.0),
+    "sp": SchemeCost("sp", 2, 1, 1.0),
+    "cs": SchemeCost("cs", 1, 1, 2.0),
+    "sp_cs": SchemeCost("sp_cs", 2, 1, 2.0),
+}
+
+
+def scheme_table(l_d: int, l_g: int, batch: int) -> List[dict]:
+    """Cycles, speedup and hardware cost for every scheme (Fig. 9 data)."""
+    rows = []
+    for scheme in SCHEMES:
+        cycles = iteration_cycles(l_d, l_g, batch, scheme)
+        rows.append(
+            {
+                "scheme": scheme,
+                "cycles": cycles,
+                "speedup": iteration_speedup(l_d, l_g, batch, scheme),
+                "d_copies": SCHEME_COSTS[scheme].d_copies,
+                "storage_factor": SCHEME_COSTS[
+                    scheme
+                ].intermediate_storage_factor,
+            }
+        )
+    return rows

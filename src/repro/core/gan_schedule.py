@@ -1,0 +1,307 @@
+"""Event-driven execution of the GAN training schedules (Figs. 8-9).
+
+:mod:`repro.core.gan_pipeline` gives closed-form cycle counts for one
+GAN training iteration under each scheme.  This module *executes* those
+schedules — every batch element advances through every pipeline stage
+of every dataflow, on explicit hardware resources (G's stage chain, one
+or two copies of D's stage chain) — and returns an event table whose
+makespan the tests compare against the formulas.
+
+Resources are modelled at stage granularity: stage ``s`` of a network
+copy can hold one batch element per cycle (the same structural-hazard
+rule as :mod:`repro.core.schedule`).  The schemes differ in how the
+three dataflows share those resources:
+
+* ``pipelined`` — dataflows run back-to-back on a single D copy.
+* ``sp`` — dataflow (1) uses D copy B while dataflow (2) uses copy A,
+  concurrently.
+* ``cs`` — dataflows (2) and (3) merge: one forward pass through G+D,
+  then two backward branches; the D branch ends (and D updates) while
+  the G branch continues.
+* ``sp_cs`` — both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.core.gan_pipeline import (
+    SCHEMES,
+    iteration_cycles,
+    sweep_d_fake,
+    sweep_d_real,
+    sweep_g,
+)
+from repro.utils.validation import check_choice, check_positive
+
+
+@dataclass(frozen=True)
+class GanEvent:
+    """One occupancy record: (cycle, resource, stage, element, dataflow).
+
+    ``resource`` names the hardware chain (``"G"``, ``"D0"``, ``"D1"``);
+    update events use resource ``"ctrl"`` and stage ``-1``.
+    """
+
+    cycle: int
+    resource: str
+    stage: int
+    element: int
+    dataflow: str
+
+
+@dataclass
+class GanScheduleResult:
+    """Event table of one executed GAN iteration."""
+
+    events: List[GanEvent]
+    scheme: str
+    l_d: int
+    l_g: int
+    batch: int
+
+    @property
+    def makespan(self) -> int:
+        if not self.events:
+            return 0
+        return max(event.cycle for event in self.events) + 1
+
+    def updates(self) -> List[GanEvent]:
+        """The weight-update events (D and G), in cycle order."""
+        return sorted(
+            (e for e in self.events if e.dataflow.endswith("update")),
+            key=lambda e: e.cycle,
+        )
+
+    def check_structural_hazards(self) -> None:
+        """No (resource, stage) may hold two elements in one cycle."""
+        seen: Set[Tuple[int, str, int]] = set()
+        for event in self.events:
+            if event.stage < 0:
+                continue
+            key = (event.cycle, event.resource, event.stage)
+            if key in seen:
+                raise AssertionError(
+                    f"hazard: {event.resource} stage {event.stage} "
+                    f"double-booked at cycle {event.cycle}"
+                )
+            seen.add(key)
+
+    def check_update_ordering(self) -> None:
+        """D updates after dataflows (1)+(2) drain; G updates after (3).
+
+        In CS schemes the D update (T11) must precede the G update
+        (T14), both inside the merged pass.
+        """
+        updates = {e.dataflow: e.cycle for e in self.updates()}
+        if "D update" not in updates or "G update" not in updates:
+            raise AssertionError(f"missing updates: {sorted(updates)}")
+        d_inputs = [
+            e.cycle
+            for e in self.events
+            if e.dataflow in ("d_real", "d_fake", "merged_d_branch")
+            and e.stage >= 0
+        ]
+        if updates["D update"] <= max(d_inputs):
+            raise AssertionError("D updated before its derivatives drained")
+        g_inputs = [
+            e.cycle
+            for e in self.events
+            if e.dataflow in ("g_train", "merged_g_branch") and e.stage >= 0
+        ]
+        if updates["G update"] <= max(g_inputs):
+            raise AssertionError("G updated before its derivatives drained")
+        if self.scheme in ("cs", "sp_cs"):
+            if not updates["D update"] < updates["G update"]:
+                raise AssertionError(
+                    "computation sharing must update D (T11) before G (T14)"
+                )
+
+    def validate(self) -> None:
+        """All structural checks."""
+        self.check_structural_hazards()
+        self.check_update_ordering()
+
+
+def _run_phase(
+    events: List[GanEvent],
+    start: int,
+    batch: int,
+    stages: List[Tuple[str, int]],
+    dataflow: str,
+) -> int:
+    """Pipeline a batch through a stage chain; returns drain cycle + 1.
+
+    ``stages`` maps pipeline position to (resource, stage-in-resource).
+    Element ``b`` enters at ``start + b``; the return value is the first
+    cycle after the last element leaves the last stage.
+    """
+    for element in range(batch):
+        entry = start + element
+        for position, (resource, stage) in enumerate(stages):
+            events.append(
+                GanEvent(
+                    cycle=entry + position,
+                    resource=resource,
+                    stage=stage,
+                    element=element,
+                    dataflow=dataflow,
+                )
+            )
+    return start + batch - 1 + len(stages)
+
+
+def _d_chain(l_d: int, copy: str) -> List[Tuple[str, int]]:
+    """D forward + loss + backward stage chain on one copy."""
+    forward = [(copy, s) for s in range(l_d)]
+    loss = [(copy, l_d)]
+    backward = [(copy, l_d + 1 + s) for s in range(l_d)]
+    return forward + loss + backward
+
+
+def _g_forward(l_g: int) -> List[Tuple[str, int]]:
+    return [("G", s) for s in range(l_g)]
+
+
+def _g_backward(l_g: int) -> List[Tuple[str, int]]:
+    return [("G", l_g + s) for s in range(l_g)]
+
+
+def _d_forward(l_d: int, copy: str) -> List[Tuple[str, int]]:
+    return [(copy, s) for s in range(l_d)]
+
+
+def _d_backward(l_d: int, copy: str) -> List[Tuple[str, int]]:
+    return [(copy, l_d + 1 + s) for s in range(l_d)]
+
+
+def simulate_gan_iteration(
+    l_d: int, l_g: int, batch: int, scheme: str
+) -> GanScheduleResult:
+    """Execute one GAN training iteration under ``scheme``.
+
+    Returns the full event table; ``makespan`` equals
+    :func:`repro.core.gan_pipeline.iteration_cycles` for every scheme
+    (asserted by the test suite).
+    """
+    check_positive("l_d", l_d)
+    check_positive("l_g", l_g)
+    check_positive("batch", batch)
+    check_choice("scheme", scheme, SCHEMES)
+    events: List[GanEvent] = []
+
+    d_real_chain = _d_chain(l_d, "D0")
+    d_real_chain_copy1 = _d_chain(l_d, "D1")
+    d_fake_chain = (
+        _g_forward(l_g) + _d_chain(l_d, "D0")
+    )
+    g_chain = (
+        _g_forward(l_g)
+        + _d_forward(l_d, "D0")
+        + [("D0", l_d)]            # loss stage
+        + _d_backward(l_d, "D0")
+        + _g_backward(l_g)
+    )
+
+    if scheme == "unpipelined":
+        cycle = 0
+        for element in range(batch):
+            for position, (resource, stage) in enumerate(d_real_chain):
+                events.append(GanEvent(cycle + position, resource, stage,
+                                       element, "d_real"))
+            cycle += len(d_real_chain)
+            for position, (resource, stage) in enumerate(d_fake_chain):
+                events.append(GanEvent(cycle + position, resource, stage,
+                                       element, "d_fake"))
+            cycle += len(d_fake_chain)
+        events.append(GanEvent(cycle, "ctrl", -1, 0, "D update"))
+        cycle += 1
+        for element in range(batch):
+            for position, (resource, stage) in enumerate(g_chain):
+                events.append(GanEvent(cycle + position, resource, stage,
+                                       element, "g_train"))
+            cycle += len(g_chain)
+        events.append(GanEvent(cycle, "ctrl", -1, 0, "G update"))
+        return GanScheduleResult(events, scheme, l_d, l_g, batch)
+
+    if scheme == "pipelined":
+        end1 = _run_phase(events, 0, batch, d_real_chain, "d_real")
+        end2 = _run_phase(events, end1, batch, d_fake_chain, "d_fake")
+        events.append(GanEvent(end2, "ctrl", -1, 0, "D update"))
+        end3 = _run_phase(events, end2 + 1, batch, g_chain, "g_train")
+        events.append(GanEvent(end3, "ctrl", -1, 0, "G update"))
+        return GanScheduleResult(events, scheme, l_d, l_g, batch)
+
+    if scheme == "sp":
+        # Phase (1) on D copy 1, phase (2) on D copy 0, concurrently.
+        end1 = _run_phase(events, 0, batch, d_real_chain_copy1, "d_real")
+        end2 = _run_phase(events, 0, batch, d_fake_chain, "d_fake")
+        d_update = max(end1, end2)
+        events.append(GanEvent(d_update, "ctrl", -1, 0, "D update"))
+        end3 = _run_phase(events, d_update + 1, batch, g_chain, "g_train")
+        events.append(GanEvent(end3, "ctrl", -1, 0, "G update"))
+        return GanScheduleResult(events, scheme, l_d, l_g, batch)
+
+    # cs / sp_cs: merged pass.  One shared forward (G then D) feeds two
+    # backward branches; the D branch drains sweep_d_fake stages after
+    # entry, the G branch sweep_g stages.  The branch stages after the
+    # shared prefix occupy different hardware (stored derivatives vs
+    # G's backward chain), so only the shared prefix is hazard-relevant.
+    shared_prefix = _g_forward(l_g) + _d_forward(l_d, "D0") + [("D0", l_d)]
+    d_branch_tail = _d_backward(l_d, "D0")
+    g_branch_tail = [("Dbwd2", s) for s in range(l_d)] + _g_backward(l_g)
+
+    phase1_chain = d_real_chain_copy1 if scheme == "sp_cs" else d_real_chain
+    phase1_start = 0 if scheme == "sp_cs" else None
+
+    if scheme == "cs":
+        # Phase (1) first, then the merged pass, on the single D copy.
+        merged_start = _run_phase(events, 0, batch, phase1_chain, "d_real")
+    else:
+        _run_phase(events, 0, batch, phase1_chain, "d_real")
+        merged_start = 0
+
+    d_branch_end = _run_phase(
+        events, merged_start, batch, shared_prefix + d_branch_tail,
+        "merged_d_branch",
+    )
+    # Re-run bookkeeping for the G branch without double-booking the
+    # shared prefix: only the tail stages are emitted as G-branch events.
+    for element in range(batch):
+        entry = merged_start + element + len(shared_prefix)
+        for position, (resource, stage) in enumerate(g_branch_tail):
+            events.append(
+                GanEvent(entry + position, resource, stage, element,
+                         "merged_g_branch")
+            )
+    g_branch_end = (
+        merged_start + batch - 1 + len(shared_prefix) + len(g_branch_tail)
+    )
+
+    # T11: D updates right after its branch (and, for sp_cs, after
+    # phase (1), which always drains earlier or at the same cycle since
+    # its sweep is the shortest).
+    phase1_end = (0 if scheme == "cs" else batch - 1 + len(phase1_chain))
+    d_update_cycle = max(d_branch_end, phase1_end)
+    events.append(GanEvent(d_update_cycle, "ctrl", -1, 0, "D update"))
+    # T14: G updates after its branch drains.
+    events.append(GanEvent(g_branch_end, "ctrl", -1, 0, "G update"))
+    return GanScheduleResult(events, scheme, l_d, l_g, batch)
+
+
+def verify_scheme(l_d: int, l_g: int, batch: int, scheme: str) -> Dict:
+    """Run one scheme and compare against the closed form.
+
+    Returns a record with both cycle counts; raises on any structural
+    violation.  Used by tests and the Fig. 8/9 benchmarks.
+    """
+    result = simulate_gan_iteration(l_d, l_g, batch, scheme)
+    result.validate()
+    formula = iteration_cycles(l_d, l_g, batch, scheme)
+    return {
+        "scheme": scheme,
+        "simulated": result.makespan,
+        "formula": formula,
+        "match": result.makespan == formula,
+    }

@@ -1,0 +1,252 @@
+"""Functional execution of PipeLayer's training pipeline on real data.
+
+:mod:`repro.core.schedule` executes Fig. 5(b) *structurally*; this
+module executes it *numerically*: a real :class:`~repro.nn.network.
+Sequential` is trained with several inputs genuinely in flight, one
+pipeline stage per cycle, exactly as the architecture would run it —
+
+* the network's layers are grouped into ``L`` pipeline stages, one per
+  weighted layer (peripheral layers — activation, pooling, flatten —
+  ride in the same stage, as PipeLayer folds them into the morphable
+  subarray's periphery);
+* within a batch, a new input enters every cycle; each input's
+  intermediate results are stashed per (input, stage) after its forward
+  pass and restored before its backward pass (the role of the memory
+  subarrays in Fig. 6);
+* weights are *frozen* for the whole batch ("the inputs in the same
+  batch are all processed based on the same weights at the start of the
+  batch"); per-input gradients accumulate and the update applies in the
+  single cycle after the last input drains.
+
+Because no dependency exists among inputs of a batch, this pipelined
+execution must produce *bit-identical* weights to conventional batched
+training — the correctness property behind the paper's entire speedup,
+and the property the test suite asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.pipeline import training_cycles_per_batch_pipelined
+from repro.nn.layers import Conv2D, Dense, FractionalStridedConv2D
+from repro.nn.layers.base import Layer
+from repro.nn.losses import Loss
+from repro.nn.network import Sequential
+from repro.nn.optim import Optimizer
+from repro.nn.parameter import ParameterSnapshot
+from repro.utils.validation import check_positive
+
+#: Layer types that anchor a pipeline stage.
+_STAGE_ANCHORS = (Dense, Conv2D, FractionalStridedConv2D)
+
+
+def group_into_stages(network: Sequential) -> List[List[Layer]]:
+    """Partition a network's layers into pipeline stages.
+
+    Each weighted layer starts a new stage; stateless layers attach to
+    the stage of the preceding weighted layer (layers before the first
+    weighted layer join the first stage).
+    """
+    stages: List[List[Layer]] = []
+    pending: List[Layer] = []
+    for layer in network.layers:
+        if isinstance(layer, _STAGE_ANCHORS):
+            stages.append(pending + [layer])
+            pending = []
+        elif stages:
+            stages[-1].append(layer)
+        else:
+            pending.append(layer)
+    if pending:
+        if not stages:
+            raise ValueError("network has no weighted layers to pipeline")
+        stages[-1].extend(pending)
+    return stages
+
+
+@dataclass
+class PipelineTickLog:
+    """What happened in one cycle (for inspection and tests)."""
+
+    cycle: int
+    forward: List[Tuple[int, int]] = field(default_factory=list)
+    loss: List[int] = field(default_factory=list)
+    backward: List[Tuple[int, int]] = field(default_factory=list)
+    update: bool = False
+
+
+class PipelinedTrainer:
+    """Executes Fig. 5(b) batch training cycle by cycle.
+
+    Parameters
+    ----------
+    network, optimizer, loss:
+        The model, its optimizer, and the training loss.
+    """
+
+    def __init__(
+        self, network: Sequential, optimizer: Optimizer, loss: Loss
+    ) -> None:
+        self.network = network
+        self.optimizer = optimizer
+        self.loss = loss
+        self.stages = group_into_stages(network)
+        self.ticks: List[PipelineTickLog] = []
+        self.total_cycles = 0
+
+    @property
+    def depth(self) -> int:
+        """Pipeline depth L (weighted layers)."""
+        return len(self.stages)
+
+    # -- per-stage operations -----------------------------------------------
+    def _stage_forward(
+        self,
+        stage_index: int,
+        value: np.ndarray,
+        caches: Dict[Tuple[int, int], List[dict]],
+        input_id: int,
+    ) -> np.ndarray:
+        """Run one input through one stage; stash the layer caches."""
+        stage = self.stages[stage_index]
+        for layer in stage:
+            value = layer.forward(value, training=True)
+        caches[(input_id, stage_index)] = [
+            layer.save_cache() for layer in stage
+        ]
+        return value
+
+    def _stage_backward(
+        self,
+        stage_index: int,
+        grad: np.ndarray,
+        caches: Dict[Tuple[int, int], List[dict]],
+        input_id: int,
+    ) -> np.ndarray:
+        """Back-propagate one input through one stage from its caches."""
+        stage = self.stages[stage_index]
+        stashed = caches.pop((input_id, stage_index))
+        for layer, cache in zip(stage, stashed):
+            layer.load_cache(cache)
+        for layer in reversed(stage):
+            grad = layer.backward(grad)
+        return grad
+
+    # -- the batch schedule ------------------------------------------------------
+    def train_batch(
+        self, inputs: np.ndarray, targets: np.ndarray
+    ) -> Tuple[float, int]:
+        """Train one batch through the pipeline.
+
+        Returns ``(mean loss, cycles)``; cycles always equals the
+        paper's ``2L + B + 1``.  Raises if the weights move before the
+        update cycle (they must stay frozen within the batch).
+        """
+        batch = inputs.shape[0]
+        check_positive("batch", batch)
+        if targets.shape[0] != batch:
+            raise ValueError(
+                f"targets ({targets.shape[0]}) do not match batch ({batch})"
+            )
+        depth = self.depth
+        caches: Dict[Tuple[int, int], List[dict]] = {}
+        values: Dict[int, np.ndarray] = {}
+        grads: Dict[int, np.ndarray] = {}
+        losses: List[Optional[float]] = [None] * batch
+        frozen = ParameterSnapshot(self.network.parameters())
+        self.network.zero_grad()
+
+        total_cycles = training_cycles_per_batch_pipelined(depth, batch)
+        for relative in range(total_cycles):
+            tick = PipelineTickLog(cycle=self.total_cycles + relative)
+            for input_id in range(batch):
+                position = relative - input_id
+                if position < 0 or position > 2 * depth:
+                    continue
+                if position < depth:
+                    source = (
+                        inputs[input_id : input_id + 1]
+                        if position == 0
+                        else values[input_id]
+                    )
+                    values[input_id] = self._stage_forward(
+                        position, source, caches, input_id
+                    )
+                    tick.forward.append((input_id, position))
+                elif position == depth:
+                    losses[input_id] = self.loss.forward(
+                        values.pop(input_id),
+                        targets[input_id : input_id + 1],
+                    )
+                    # Mean-over-batch semantics: scale each per-input
+                    # gradient so the accumulated total equals one
+                    # batched backward pass.
+                    grads[input_id] = self.loss.backward() / batch
+                    tick.loss.append(input_id)
+                else:
+                    stage_index = 2 * depth - position
+                    grads[input_id] = self._stage_backward(
+                        stage_index, grads[input_id], caches, input_id
+                    )
+                    if stage_index == 0:
+                        grads.pop(input_id)
+                    tick.backward.append((input_id, position))
+            if relative == total_cycles - 1:
+                # The single update cycle at the end of the batch.
+                if frozen.max_abs_delta() != 0.0:
+                    raise AssertionError(
+                        "weights changed before the batch update cycle"
+                    )
+                self.optimizer.step()
+                tick.update = True
+            self.ticks.append(tick)
+        self.total_cycles += total_cycles
+        if caches:
+            raise AssertionError(
+                f"{len(caches)} stage caches left in flight after the batch"
+            )
+        return float(np.mean([value for value in losses])), total_cycles
+
+    def train(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        batch_size: int,
+        epochs: int = 1,
+    ) -> List[float]:
+        """Train over a dataset; returns per-batch mean losses.
+
+        ``len(images)`` must divide into whole batches (the pipeline
+        formula assumes it; pad upstream otherwise).
+        """
+        check_positive("batch_size", batch_size)
+        if images.shape[0] % batch_size:
+            raise ValueError(
+                f"{images.shape[0]} inputs do not divide into batches of "
+                f"{batch_size}"
+            )
+        losses: List[float] = []
+        for _ in range(epochs):
+            for start in range(0, images.shape[0], batch_size):
+                value, _ = self.train_batch(
+                    images[start : start + batch_size],
+                    labels[start : start + batch_size],
+                )
+                self.network.zero_grad()
+                losses.append(value)
+        return losses
+
+    # -- inspection ----------------------------------------------------------------
+    def max_inputs_in_flight(self) -> int:
+        """Peak number of concurrent inputs across recorded cycles."""
+        peak = 0
+        for tick in self.ticks:
+            active = {i for i, _ in tick.forward}
+            active |= set(tick.loss)
+            active |= {i for i, _ in tick.backward}
+            peak = max(peak, len(active))
+        return peak

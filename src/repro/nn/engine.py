@@ -1,0 +1,66 @@
+"""Pluggable matrix-multiplication engines.
+
+The dense and convolution layers funnel their heavy lifting through an
+``MatmulEngine`` so the same network can run either with exact float
+arithmetic or through the ReRAM crossbar functional simulator
+(:class:`repro.xbar.engine.CrossbarEngine`).  This is the software
+analogue of the paper's morphable subarrays: the layer does not care
+whether its matrix lives in SRAM or as conductances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MatmulEngine:
+    """Protocol: compute ``activations @ weights``.
+
+    ``activations`` is ``(rows, k)`` and ``weights`` is ``(k, cols)``.
+    Implementations may be stateful (e.g. the crossbar engine programs
+    weights once and reuses them), so ``prepare`` is called whenever the
+    weight matrix changes and ``matmul`` on every evaluation.
+    """
+
+    def prepare(self, weights: np.ndarray) -> None:
+        """Accept a (possibly new) weight matrix."""
+        raise NotImplementedError
+
+    def matmul(self, activations: np.ndarray) -> np.ndarray:
+        """Return ``activations @ weights`` for the prepared weights."""
+        raise NotImplementedError
+
+
+class ExactEngine(MatmulEngine):
+    """Reference engine: plain float matmul via numpy."""
+
+    def __init__(self) -> None:
+        self._weights: np.ndarray | None = None
+
+    def prepare(self, weights: np.ndarray) -> None:
+        self._weights = np.asarray(weights, dtype=np.float64)
+
+    def matmul(self, activations: np.ndarray) -> np.ndarray:
+        if self._weights is None:
+            raise RuntimeError("prepare() must be called before matmul()")
+        return np.asarray(activations, dtype=np.float64) @ self._weights
+
+
+def run_engine(
+    engine: "MatmulEngine | None",
+    activations: np.ndarray,
+    weights: np.ndarray,
+) -> np.ndarray:
+    """Evaluate ``activations @ weights`` via ``engine`` (or exactly).
+
+    Convenience for layers: a ``None`` engine means exact numpy matmul
+    with no object churn.  When an engine is given it is re-prepared on
+    every call; engines are expected to detect unchanged weights and
+    skip reprogramming if that matters for their cost model.
+    """
+    if engine is None:
+        return np.asarray(activations, dtype=np.float64) @ np.asarray(
+            weights, dtype=np.float64
+        )
+    engine.prepare(weights)
+    return engine.matmul(activations)

@@ -1,0 +1,70 @@
+"""Weight initializers for the numpy DNN substrate."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, new_rng
+from repro.utils.validation import check_choice
+
+
+def fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Compute (fan_in, fan_out) for a weight tensor.
+
+    Dense weights are ``(in, out)``; convolution weights are
+    ``(out_channels, in_channels, kh, kw)``.
+    """
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    if len(shape) == 4:
+        out_channels, in_channels, kernel_h, kernel_w = shape
+        receptive = kernel_h * kernel_w
+        return in_channels * receptive, out_channels * receptive
+    raise ValueError(f"unsupported weight shape {shape}")
+
+
+def glorot_uniform(shape: Tuple[int, ...], rng: RngLike = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+    rng = new_rng(rng)
+    fan_in, fan_out = fan_in_out(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape: Tuple[int, ...], rng: RngLike = None) -> np.ndarray:
+    """He/Kaiming normal initialization (suits ReLU networks)."""
+    rng = new_rng(rng)
+    fan_in, _ = fan_in_out(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def normal(shape: Tuple[int, ...], std: float = 0.02, rng: RngLike = None) -> np.ndarray:
+    """Plain normal initialization (DCGAN uses std=0.02)."""
+    rng = new_rng(rng)
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zero initialization (biases)."""
+    return np.zeros(shape)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-one initialization (batch-norm scale)."""
+    return np.ones(shape)
+
+
+_INITIALIZERS = {
+    "glorot_uniform": glorot_uniform,
+    "he_normal": he_normal,
+    "normal": normal,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initializer function by name."""
+    check_choice("initializer", name, list(_INITIALIZERS))
+    return _INITIALIZERS[name]

@@ -1,0 +1,41 @@
+"""Layer zoo for the numpy DNN substrate."""
+
+from repro.nn.layers.base import Layer, StatelessLayer
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.conv_transpose import (
+    FractionalStridedConv2D,
+    conv_transpose_output_size,
+)
+from repro.nn.layers.pooling import AvgPool2D, MaxPool2D
+from repro.nn.layers.activations import (
+    LeakyReLU,
+    LUTActivation,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.layers.batchnorm import BatchNorm, VirtualBatchNorm
+from repro.nn.layers.shape import Flatten, Reshape
+from repro.nn.layers.dropout import Dropout
+
+__all__ = [
+    "Layer",
+    "StatelessLayer",
+    "Dense",
+    "Conv2D",
+    "FractionalStridedConv2D",
+    "conv_transpose_output_size",
+    "AvgPool2D",
+    "MaxPool2D",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "LUTActivation",
+    "BatchNorm",
+    "VirtualBatchNorm",
+    "Flatten",
+    "Reshape",
+    "Dropout",
+]

@@ -1,0 +1,152 @@
+"""Element-wise activation layers.
+
+PipeLayer implements the activation function in peripheral circuitry
+after the integrate-and-fire ADC (Sec. III-A-3(c)); ReGAN realises it
+with a subtractor plus a configurable look-up table (Fig. 10 B).  The
+:class:`LUTActivation` layer models that configurable-LUT realisation
+so the accuracy benchmarks can quantify LUT-resolution effects.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers.base import StatelessLayer
+from repro.utils.validation import check_positive
+
+
+class _ElementwiseLayer(StatelessLayer):
+    """Shared plumbing for stateless element-wise activations."""
+
+    CACHE_ATTRS = ("_cache",)
+
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(name=name)
+        self._cache: Optional[np.ndarray] = None
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return tuple(input_shape)
+
+    def _require_cache(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        return self._cache
+
+
+class ReLU(_ElementwiseLayer):
+    """Rectified linear unit, the paper's default nonlinearity."""
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        self._cache = inputs > 0
+        return np.where(self._cache, inputs, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        mask = self._require_cache()
+        return np.where(mask, np.asarray(grad_output, dtype=np.float64), 0.0)
+
+
+class LeakyReLU(_ElementwiseLayer):
+    """Leaky ReLU (DCGAN discriminators use slope 0.2)."""
+
+    def __init__(self, slope: float = 0.2, name: Optional[str] = None) -> None:
+        super().__init__(name=name)
+        if not 0.0 <= slope < 1.0:
+            raise ValueError(f"slope must be in [0, 1), got {slope}")
+        self.slope = slope
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        self._cache = inputs > 0
+        return np.where(self._cache, inputs, self.slope * inputs)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        mask = self._require_cache()
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        return np.where(mask, grad_output, self.slope * grad_output)
+
+
+class Sigmoid(_ElementwiseLayer):
+    """Logistic sigmoid (GAN discriminator output)."""
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        out = np.empty_like(inputs)
+        positive = inputs >= 0
+        out[positive] = 1.0 / (1.0 + np.exp(-inputs[positive]))
+        exp_x = np.exp(inputs[~positive])
+        out[~positive] = exp_x / (1.0 + exp_x)
+        self._cache = out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        out = self._require_cache()
+        return np.asarray(grad_output, dtype=np.float64) * out * (1.0 - out)
+
+
+class Tanh(_ElementwiseLayer):
+    """Hyperbolic tangent (DCGAN generator output)."""
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        out = np.tanh(np.asarray(inputs, dtype=np.float64))
+        self._cache = out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        out = self._require_cache()
+        return np.asarray(grad_output, dtype=np.float64) * (1.0 - out * out)
+
+
+class LUTActivation(_ElementwiseLayer):
+    """Activation realised by a configurable look-up table (Fig. 10 B).
+
+    The input range ``[low, high]`` is divided into ``entries`` bins;
+    the LUT stores ``fn`` evaluated at bin centres.  Inputs outside the
+    range are clamped, mirroring a saturating analog front end.  The
+    backward pass uses the true derivative of ``fn`` computed
+    numerically at the *unquantized* input, i.e. a straight-through
+    estimate: the digital training path (host-side in the paper) is not
+    limited by the inference LUT.
+    """
+
+    CACHE_ATTRS = ("_cache", "_inputs")
+
+
+    def __init__(
+        self,
+        fn: Callable[[np.ndarray], np.ndarray],
+        low: float = -8.0,
+        high: float = 8.0,
+        entries: int = 256,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name=name)
+        check_positive("entries", entries)
+        if not high > low:
+            raise ValueError(f"high ({high}) must be > low ({low})")
+        self.fn = fn
+        self.low = low
+        self.high = high
+        self.entries = entries
+        centres = low + (np.arange(entries) + 0.5) * (high - low) / entries
+        self.table = np.asarray(fn(centres), dtype=np.float64)
+        self._inputs: Optional[np.ndarray] = None
+
+    def _bin_index(self, inputs: np.ndarray) -> np.ndarray:
+        scaled = (inputs - self.low) / (self.high - self.low) * self.entries
+        return np.clip(scaled.astype(np.int64), 0, self.entries - 1)
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        self._inputs = inputs
+        self._cache = inputs  # mark forward-done for _require_cache
+        return self.table[self._bin_index(inputs)]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        inputs = self._require_cache()
+        eps = 1e-4
+        derivative = (self.fn(inputs + eps) - self.fn(inputs - eps)) / (2 * eps)
+        return np.asarray(grad_output, dtype=np.float64) * derivative

@@ -1,0 +1,214 @@
+"""Batch normalization and virtual batch normalization.
+
+DCGAN training "operates the batch normalization before the activation
+layer to improve its stability" (Sec. II-A-3).  ReGAN implements
+*virtual* batch normalization in the word-line drivers: "each example
+is normalized based on the statistics collected on a reference batch
+... chosen once and fixed at the start of training", with the divisor
+restricted to a power of two so the hardware needs only a subtractor
+and a shifter (Sec. III-B-4, Fig. 10 A).  Both variants are provided;
+:class:`VirtualBatchNorm` optionally rounds its divisor to ``2**n`` to
+model the shift-only hardware.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+from repro.nn.parameter import Parameter
+from repro.utils.validation import check_positive
+
+
+def _channel_axes(ndim: int) -> Tuple[int, ...]:
+    """Reduction axes for per-channel statistics (NCHW or NC)."""
+    if ndim == 2:
+        return (0,)
+    if ndim == 4:
+        return (0, 2, 3)
+    raise ValueError(f"batch norm supports 2-D or 4-D inputs, got {ndim}-D")
+
+
+def _broadcast(values: np.ndarray, ndim: int) -> np.ndarray:
+    """Reshape per-channel values for broadcasting over NCHW/NC."""
+    if ndim == 2:
+        return values[None, :]
+    return values[None, :, None, None]
+
+
+class BatchNorm(Layer):
+    """Standard batch normalization with running statistics.
+
+    Normalizes per channel over the batch (and spatial axes for NCHW),
+    then applies a learned affine transform ``gamma * x_hat + beta``.
+    Inference uses exponential running averages of the statistics.
+    """
+
+    CACHE_ATTRS = ("_cache",)
+
+
+    def __init__(
+        self,
+        channels: int,
+        momentum: float = 0.9,
+        eps: float = 1e-5,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name=name)
+        check_positive("channels", channels)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        check_positive("eps", eps)
+        self.channels = channels
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(channels), name=f"{self.name}.gamma")
+        self.beta = Parameter(np.zeros(channels), name=f"{self.name}.beta")
+        self.running_mean = np.zeros(channels)
+        self.running_var = np.ones(channels)
+        self._cache = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.shape[1] != self.channels:
+            raise ValueError(
+                f"{self.name}: expected {self.channels} channels, "
+                f"got shape {inputs.shape}"
+            )
+        axes = _channel_axes(inputs.ndim)
+        if training:
+            mean = inputs.mean(axis=axes)
+            var = inputs.var(axis=axes)
+            self.running_mean = (
+                self.momentum * self.running_mean + (1 - self.momentum) * mean
+            )
+            self.running_var = (
+                self.momentum * self.running_var + (1 - self.momentum) * var
+            )
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (inputs - _broadcast(mean, inputs.ndim)) * _broadcast(
+            inv_std, inputs.ndim
+        )
+        self._cache = (x_hat, inv_std, axes, inputs.ndim, inputs.shape)
+        return _broadcast(self.gamma.value, inputs.ndim) * x_hat + _broadcast(
+            self.beta.value, inputs.ndim
+        )
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        x_hat, inv_std, axes, ndim, shape = self._cache
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+
+        self.gamma.grad += (grad_output * x_hat).sum(axis=axes)
+        self.beta.grad += grad_output.sum(axis=axes)
+
+        count = np.prod([shape[a] for a in axes])
+        grad_x_hat = grad_output * _broadcast(self.gamma.value, ndim)
+        term_mean = grad_x_hat.mean(axis=axes)
+        term_cov = (grad_x_hat * x_hat).mean(axis=axes)
+        grad_input = (
+            grad_x_hat
+            - _broadcast(term_mean, ndim)
+            - x_hat * _broadcast(term_cov, ndim)
+        ) * _broadcast(inv_std, ndim)
+        # count participates implicitly through the means above.
+        del count
+        return grad_input
+
+    def parameters(self) -> List[Parameter]:
+        return [self.gamma, self.beta]
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return tuple(input_shape)
+
+
+class VirtualBatchNorm(Layer):
+    """Virtual batch normalization with fixed reference statistics.
+
+    Statistics come from a reference batch captured once via
+    :meth:`set_reference`; afterwards every example is normalized with
+    those constants, so the layer is element-wise affine and — as ReGAN
+    exploits — implementable in the word-line driver with a subtractor
+    and a shifter.  With ``shift_only=True`` the divisor is rounded to
+    the nearest power of two (the ``2**n`` divisor of Fig. 10 A).
+    """
+
+    CACHE_ATTRS = ("_cache",)
+
+
+    def __init__(
+        self,
+        channels: int,
+        eps: float = 1e-5,
+        shift_only: bool = False,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name=name)
+        check_positive("channels", channels)
+        check_positive("eps", eps)
+        self.channels = channels
+        self.eps = eps
+        self.shift_only = shift_only
+        self.gamma = Parameter(np.ones(channels), name=f"{self.name}.gamma")
+        self.beta = Parameter(np.zeros(channels), name=f"{self.name}.beta")
+        self.ref_mean: Optional[np.ndarray] = None
+        self.ref_inv_std: Optional[np.ndarray] = None
+        self._cache = None
+
+    def set_reference(self, reference_batch: np.ndarray) -> None:
+        """Capture normalization statistics from a reference batch."""
+        reference_batch = np.asarray(reference_batch, dtype=np.float64)
+        if reference_batch.shape[1] != self.channels:
+            raise ValueError(
+                f"{self.name}: reference batch has shape "
+                f"{reference_batch.shape}, expected {self.channels} channels"
+            )
+        axes = _channel_axes(reference_batch.ndim)
+        self.ref_mean = reference_batch.mean(axis=axes)
+        std = np.sqrt(reference_batch.var(axis=axes) + self.eps)
+        if self.shift_only:
+            # Round the divisor up to the nearest power of two so the
+            # division is a right shift: divisor = 2**ceil(log2(std)).
+            std = 2.0 ** np.ceil(np.log2(std))
+        self.ref_inv_std = 1.0 / std
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if self.ref_mean is None or self.ref_inv_std is None:
+            # First batch seen becomes the reference ("chosen once and
+            # fixed at the start of training").
+            self.set_reference(inputs)
+        x_hat = (inputs - _broadcast(self.ref_mean, inputs.ndim)) * _broadcast(
+            self.ref_inv_std, inputs.ndim
+        )
+        self._cache = (x_hat, inputs.ndim, _channel_axes(inputs.ndim))
+        return _broadcast(self.gamma.value, inputs.ndim) * x_hat + _broadcast(
+            self.beta.value, inputs.ndim
+        )
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        x_hat, ndim, axes = self._cache
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        self.gamma.grad += (grad_output * x_hat).sum(axis=axes)
+        self.beta.grad += grad_output.sum(axis=axes)
+        # Reference statistics are constants, so the input gradient is
+        # a plain affine scaling (no batch-coupling terms).
+        return (
+            grad_output
+            * _broadcast(self.gamma.value, ndim)
+            * _broadcast(self.ref_inv_std, ndim)
+        )
+
+    def parameters(self) -> List[Parameter]:
+        return [self.gamma, self.beta]
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return tuple(input_shape)

@@ -1,0 +1,226 @@
+"""Fractional-strided (transposed) convolution — the FCNN of Fig. 7.
+
+The generator of a DCGAN "up-samples" with fractional-strided
+convolutions.  Mathematically the layer is the adjoint of an ordinary
+convolution, which is how it is implemented here (via ``col2im``).  The
+paper's Fig. 7(a) observes that the same forward result is obtained by
+inserting zeros between input pixels and running a normal convolution —
+that equivalent formulation lives in :mod:`repro.core.fcnn` and the two
+are cross-checked by tests and by the Fig. 7 benchmark.  Fig. 7(b)'s
+observation — the backward pass is a plain strided convolution — is
+literal in :meth:`FractionalStridedConv2D.backward`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.engine import MatmulEngine, run_engine
+from repro.nn.init import get_initializer, zeros
+from repro.nn.layers.base import Layer
+from repro.nn.parameter import Parameter
+from repro.utils.im2col import col2im, im2col, insert_zeros, pad_nchw
+from repro.utils.rng import RngLike, new_rng
+from repro.utils.validation import check_non_negative, check_positive
+
+
+def conv_transpose_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output extent of a transposed convolution along one axis."""
+    check_positive("size", size)
+    out = (size - 1) * stride - 2 * pad + kernel
+    if out <= 0:
+        raise ValueError(
+            f"non-positive output extent {out} for size={size}, "
+            f"kernel={kernel}, stride={stride}, pad={pad}"
+        )
+    return out
+
+
+class FractionalStridedConv2D(Layer):
+    """Transposed convolution over NCHW tensors (weight ``(Cin, Cout, k, k)``).
+
+    Output spatial extent is ``(H - 1) * stride - 2 * pad + kernel``.
+
+    Forward: the adjoint of a stride-``stride`` convolution (scatter-add
+    via ``col2im``).  Backward w.r.t. the input: an ordinary strided
+    convolution of the output gradient — exactly Fig. 7(b).
+    """
+
+    CACHE_ATTRS = ("_rows", "_input_shape", "_output_shape")
+
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        pad: int = 0,
+        use_bias: bool = True,
+        initializer: str = "normal",
+        engine: Optional[MatmulEngine] = None,
+        rng: RngLike = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name=name)
+        check_positive("in_channels", in_channels)
+        check_positive("out_channels", out_channels)
+        check_positive("kernel_size", kernel_size)
+        check_positive("stride", stride)
+        check_non_negative("pad", pad)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.pad = pad
+        self.use_bias = use_bias
+        self.engine = engine
+
+        init = get_initializer(initializer)
+        rng = new_rng(rng)
+        # he_normal/glorot expect conv-layout shapes; sample with the
+        # equivalent conv layout then transpose into (Cin, Cout, k, k).
+        sampled = init(
+            (in_channels, out_channels, kernel_size, kernel_size), rng=rng
+        ) if initializer == "normal" else init(
+            (out_channels, in_channels, kernel_size, kernel_size), rng=rng
+        ).transpose(1, 0, 2, 3)
+        self.weight = Parameter(sampled, name=f"{self.name}.weight")
+        self.bias = (
+            Parameter(zeros((out_channels,)), name=f"{self.name}.bias")
+            if use_bias
+            else None
+        )
+        self._rows: Optional[np.ndarray] = None
+        self._input_shape: Optional[Tuple[int, int, int, int]] = None
+        self._output_shape: Optional[Tuple[int, int, int, int]] = None
+
+    # -- helpers ---------------------------------------------------------
+    def _weight_matrix(self) -> np.ndarray:
+        """``(Cin, Cout*k*k)`` view used by the adjoint formulation."""
+        return self.weight.value.reshape(self.in_channels, -1)
+
+    def _equivalent_conv_matrix(self) -> np.ndarray:
+        """Lowered ``(Cin*k*k, Cout)`` matrix of the Fig. 7(a) mapping.
+
+        The spatially flipped kernel, channel roles swapped — the
+        matrix ReGAN programs into the crossbars so the FCNN layer runs
+        as an ordinary convolution over the zero-inserted input.
+        """
+        flipped = self.weight.value[:, :, ::-1, ::-1].transpose(1, 0, 2, 3)
+        return flipped.reshape(self.out_channels, -1).T
+
+    def _forward_via_crossbar(self, inputs: np.ndarray) -> np.ndarray:
+        """Fig. 7(a) evaluation: zero-insert, pad, conv on the engine."""
+        batch = inputs.shape[0]
+        _, _, out_h, out_w = self._output_shape
+        extended = pad_nchw(
+            insert_zeros(inputs, self.stride),
+            self.kernel_size - 1 - self.pad,
+        )
+        cols = im2col(extended, self.kernel_size, self.kernel_size)
+        out = run_engine(self.engine, cols, self._equivalent_conv_matrix())
+        out = out.reshape(batch, out_h, out_w, self.out_channels)
+        return out.transpose(0, 3, 1, 2)
+
+    # -- interface --------------------------------------------------------
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 4 or inputs.shape[1] != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected (batch, {self.in_channels}, H, W), "
+                f"got {inputs.shape}"
+            )
+        batch, _, height, width = inputs.shape
+        out_h = conv_transpose_output_size(
+            height, self.kernel_size, self.stride, self.pad
+        )
+        out_w = conv_transpose_output_size(
+            width, self.kernel_size, self.stride, self.pad
+        )
+        rows = inputs.transpose(0, 2, 3, 1).reshape(-1, self.in_channels)
+        self._rows = rows
+        self._input_shape = inputs.shape
+        self._output_shape = (batch, self.out_channels, out_h, out_w)
+
+        if self.engine is not None:
+            if self.pad > self.kernel_size - 1:
+                raise ValueError(
+                    f"{self.name}: crossbar (zero-insertion) mapping "
+                    f"requires pad <= kernel - 1"
+                )
+            out = self._forward_via_crossbar(inputs)
+        else:
+            cols = rows @ self._weight_matrix()
+            out = col2im(
+                cols,
+                self._output_shape,
+                self.kernel_size,
+                self.kernel_size,
+                self.stride,
+                self.pad,
+            )
+        if self.bias is not None:
+            out = out + self.bias.value[None, :, None, None]
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._rows is None or self._input_shape is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        if grad_output.shape != self._output_shape:
+            raise ValueError(
+                f"{self.name}: grad shape {grad_output.shape} != "
+                f"forward output shape {self._output_shape}"
+            )
+        batch, _, height, width = self._input_shape
+
+        # Fig. 7(b): error back-propagation is a strided convolution of
+        # the output gradient with the (shared) kernel.
+        grad_cols = im2col(
+            grad_output,
+            self.kernel_size,
+            self.kernel_size,
+            self.stride,
+            self.pad,
+        )
+        grad_rows = grad_cols @ self._weight_matrix().T
+        grad_input = grad_rows.reshape(batch, height, width, self.in_channels)
+        grad_input = grad_input.transpose(0, 3, 1, 2)
+
+        self.weight.grad += (self._rows.T @ grad_cols).reshape(
+            self.weight.value.shape
+        )
+        if self.bias is not None:
+            self.bias.grad += grad_output.sum(axis=(0, 2, 3))
+        return grad_input
+
+    def parameters(self) -> List[Parameter]:
+        params = [self.weight]
+        if self.bias is not None:
+            params.append(self.bias)
+        return params
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        if len(input_shape) != 3 or input_shape[0] != self.in_channels:
+            raise ValueError(
+                f"{self.name}: input shape {input_shape} incompatible with "
+                f"{self.in_channels} input channels"
+            )
+        _, height, width = input_shape
+        out_h = conv_transpose_output_size(
+            height, self.kernel_size, self.stride, self.pad
+        )
+        out_w = conv_transpose_output_size(
+            width, self.kernel_size, self.stride, self.pad
+        )
+        return (self.out_channels, out_h, out_w)
+
+    def __repr__(self) -> str:
+        return (
+            f"FractionalStridedConv2D({self.in_channels}->"
+            f"{self.out_channels}, k={self.kernel_size}, s={self.stride}, "
+            f"p={self.pad})"
+        )

@@ -1,0 +1,51 @@
+"""Inverted dropout layer (training-time regularisation)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers.base import StatelessLayer
+from repro.utils.rng import RngLike, new_rng
+
+
+class Dropout(StatelessLayer):
+    """Inverted dropout: zero a fraction ``rate`` of activations.
+
+    Scaling by ``1 / (1 - rate)`` at training time keeps the expected
+    activation unchanged, so inference is a no-op.
+    """
+
+    CACHE_ATTRS = ("_mask",)
+
+
+    def __init__(
+        self, rate: float, rng: RngLike = None, name: Optional[str] = None
+    ) -> None:
+        super().__init__(name=name)
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = new_rng(rng)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return inputs
+        keep = 1.0 - self.rate
+        self._mask = (
+            self._rng.random(inputs.shape) < keep
+        ).astype(np.float64) / keep
+        return inputs * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return tuple(input_shape)

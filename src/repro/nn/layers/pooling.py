@@ -1,0 +1,155 @@
+"""Pooling layers (Sec. II-A: max POOL and average POOL).
+
+PipeLayer realises max pooling with a register that keeps the running
+maximum of a value sequence (Sec. III-A-3(c)); functionally that is the
+windowed maximum implemented here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers.base import StatelessLayer
+from repro.utils.validation import check_positive
+
+
+def _pool_windows(images: np.ndarray, window: int, stride: int) -> np.ndarray:
+    """View an NCHW tensor as ``(N, C, oh, ow, window, window)`` blocks."""
+    batch, channels, height, width = images.shape
+    out_h = (height - window) // stride + 1
+    out_w = (width - window) // stride + 1
+    s0, s1, s2, s3 = images.strides
+    return np.lib.stride_tricks.as_strided(
+        images,
+        shape=(batch, channels, out_h, out_w, window, window),
+        strides=(s0, s1, s2 * stride, s3 * stride, s2, s3),
+        writeable=False,
+    )
+
+
+class MaxPool2D(StatelessLayer):
+    """Max pooling over non-overlapping or strided square windows."""
+
+    CACHE_ATTRS = ("_mask", "_input_shape")
+
+
+    def __init__(
+        self,
+        window: int,
+        stride: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name=name)
+        check_positive("window", window)
+        self.window = window
+        self.stride = stride if stride is not None else window
+        check_positive("stride", self.stride)
+        self._mask: Optional[np.ndarray] = None
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = np.ascontiguousarray(np.asarray(inputs, dtype=np.float64))
+        if inputs.ndim != 4:
+            raise ValueError(f"{self.name}: expected NCHW, got {inputs.shape}")
+        blocks = _pool_windows(inputs, self.window, self.stride)
+        out = blocks.max(axis=(4, 5))
+        # Mask of arg-max positions for routing gradients back.
+        flat = blocks.reshape(*blocks.shape[:4], -1)
+        argmax = flat.argmax(axis=-1)
+        mask = np.zeros_like(flat)
+        np.put_along_axis(mask, argmax[..., None], 1.0, axis=-1)
+        self._mask = mask.reshape(blocks.shape)
+        self._input_shape = inputs.shape
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None or self._input_shape is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad_input = np.zeros(self._input_shape)
+        batch, channels, out_h, out_w = grad_output.shape
+        contributions = self._mask * grad_output[..., None, None]
+        for ky in range(self.window):
+            for kx in range(self.window):
+                grad_input[
+                    :,
+                    :,
+                    ky : ky + self.stride * out_h : self.stride,
+                    kx : kx + self.stride * out_w : self.stride,
+                ] += contributions[:, :, :, :, ky, kx]
+        return grad_input
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        channels, height, width = input_shape
+        out_h = (height - self.window) // self.stride + 1
+        out_w = (width - self.window) // self.stride + 1
+        if out_h <= 0 or out_w <= 0:
+            raise ValueError(
+                f"{self.name}: window {self.window} too large for "
+                f"input {input_shape}"
+            )
+        return (channels, out_h, out_w)
+
+    def __repr__(self) -> str:
+        return f"MaxPool2D(window={self.window}, stride={self.stride})"
+
+
+class AvgPool2D(StatelessLayer):
+    """Average pooling over strided square windows."""
+
+    CACHE_ATTRS = ("_input_shape",)
+
+
+    def __init__(
+        self,
+        window: int,
+        stride: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name=name)
+        check_positive("window", window)
+        self.window = window
+        self.stride = stride if stride is not None else window
+        check_positive("stride", self.stride)
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = np.ascontiguousarray(np.asarray(inputs, dtype=np.float64))
+        if inputs.ndim != 4:
+            raise ValueError(f"{self.name}: expected NCHW, got {inputs.shape}")
+        blocks = _pool_windows(inputs, self.window, self.stride)
+        self._input_shape = inputs.shape
+        return blocks.mean(axis=(4, 5))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad_input = np.zeros(self._input_shape)
+        batch, channels, out_h, out_w = grad_output.shape
+        share = grad_output / (self.window * self.window)
+        for ky in range(self.window):
+            for kx in range(self.window):
+                grad_input[
+                    :,
+                    :,
+                    ky : ky + self.stride * out_h : self.stride,
+                    kx : kx + self.stride * out_w : self.stride,
+                ] += share
+        return grad_input
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        channels, height, width = input_shape
+        out_h = (height - self.window) // self.stride + 1
+        out_w = (width - self.window) // self.stride + 1
+        if out_h <= 0 or out_w <= 0:
+            raise ValueError(
+                f"{self.name}: window {self.window} too large for "
+                f"input {input_shape}"
+            )
+        return (channels, out_h, out_w)
+
+    def __repr__(self) -> str:
+        return f"AvgPool2D(window={self.window}, stride={self.stride})"

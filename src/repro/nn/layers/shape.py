@@ -1,0 +1,88 @@
+"""Shape-manipulation layers: flatten and reshape.
+
+The last discriminator layer of DCGAN "is the flattened version of the
+previous CNN layer and does not require extra computation"
+(Sec. III-B-4); the generator's first FC layer reshapes its output into
+a spatial tensor.  Both are pure data-movement layers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers.base import StatelessLayer
+
+
+class Flatten(StatelessLayer):
+    """Flatten all non-batch axes into one vector."""
+
+    CACHE_ATTRS = ("_input_shape",)
+
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        super().__init__(name=name)
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        self._input_shape = inputs.shape
+        return inputs.reshape(inputs.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        return np.asarray(grad_output, dtype=np.float64).reshape(
+            self._input_shape
+        )
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return (int(np.prod(input_shape)),)
+
+
+class Reshape(StatelessLayer):
+    """Reshape the non-batch axes to a fixed target shape."""
+
+    CACHE_ATTRS = ("_input_shape",)
+
+
+    def __init__(
+        self, target_shape: Tuple[int, ...], name: Optional[str] = None
+    ) -> None:
+        super().__init__(name=name)
+        if any(extent <= 0 for extent in target_shape):
+            raise ValueError(
+                f"target_shape must be positive extents, got {target_shape}"
+            )
+        self.target_shape = tuple(int(extent) for extent in target_shape)
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        expected = int(np.prod(self.target_shape))
+        actual = int(np.prod(inputs.shape[1:]))
+        if expected != actual:
+            raise ValueError(
+                f"{self.name}: cannot reshape {inputs.shape[1:]} "
+                f"({actual} values) to {self.target_shape} ({expected})"
+            )
+        self._input_shape = inputs.shape
+        return inputs.reshape(inputs.shape[0], *self.target_shape)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError(f"{self.name}: backward before forward")
+        return np.asarray(grad_output, dtype=np.float64).reshape(
+            self._input_shape
+        )
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        expected = int(np.prod(self.target_shape))
+        actual = int(np.prod(input_shape))
+        if expected != actual:
+            raise ValueError(
+                f"{self.name}: cannot reshape {input_shape} to "
+                f"{self.target_shape}"
+            )
+        return self.target_shape

@@ -1,0 +1,100 @@
+"""Learning-rate schedules for the optimizers.
+
+Long numpy training runs (and the DCGAN recipes) benefit from decaying
+learning rates; these helpers mutate an optimizer's ``lr`` in place,
+called once per epoch or step by the training loop.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.nn.optim import Optimizer
+from repro.utils.validation import check_positive
+
+
+class LRSchedule:
+    """Base class: maps a step index to a learning rate."""
+
+    def __init__(self, optimizer: Optimizer, base_lr: Optional[float] = None):
+        self.optimizer = optimizer
+        self.base_lr = base_lr if base_lr is not None else optimizer.lr
+        check_positive("base_lr", self.base_lr)
+        self.last_step = -1
+
+    def lr_at(self, step: int) -> float:
+        """Learning rate for ``step`` (subclasses implement)."""
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one step; writes and returns the new rate."""
+        self.last_step += 1
+        rate = self.lr_at(self.last_step)
+        self.optimizer.lr = rate
+        return rate
+
+
+class StepLR(LRSchedule):
+    """Multiply the rate by ``gamma`` every ``period`` steps."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        period: int,
+        gamma: float = 0.1,
+        base_lr: Optional[float] = None,
+    ) -> None:
+        super().__init__(optimizer, base_lr)
+        check_positive("period", period)
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.period = period
+        self.gamma = gamma
+
+    def lr_at(self, step: int) -> float:
+        return self.base_lr * self.gamma ** (step // self.period)
+
+
+class CosineLR(LRSchedule):
+    """Cosine annealing from ``base_lr`` to ``min_lr`` over ``total``."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        total: int,
+        min_lr: float = 0.0,
+        base_lr: Optional[float] = None,
+    ) -> None:
+        super().__init__(optimizer, base_lr)
+        check_positive("total", total)
+        if min_lr < 0:
+            raise ValueError(f"min_lr must be >= 0, got {min_lr}")
+        if min_lr > self.base_lr:
+            raise ValueError("min_lr must not exceed base_lr")
+        self.total = total
+        self.min_lr = min_lr
+
+    def lr_at(self, step: int) -> float:
+        progress = min(step, self.total) / self.total
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+
+class WarmupLR(LRSchedule):
+    """Linear warm-up to ``base_lr`` over ``warmup`` steps, then flat."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        warmup: int,
+        base_lr: Optional[float] = None,
+    ) -> None:
+        super().__init__(optimizer, base_lr)
+        check_positive("warmup", warmup)
+        self.warmup = warmup
+
+    def lr_at(self, step: int) -> float:
+        if step >= self.warmup:
+            return self.base_lr
+        return self.base_lr * (step + 1) / self.warmup

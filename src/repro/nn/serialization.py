@@ -1,0 +1,92 @@
+"""Saving and loading network weights (.npz checkpoints).
+
+Training in pure numpy is slow enough that users will want to persist
+trained weights — e.g. train once, then sweep crossbar configurations
+over the checkpoint (the accuracy benchmarks' workflow).  Checkpoints
+store one array per parameter keyed by parameter name, plus the batch-
+norm running statistics that are state but not parameters.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.nn.layers.batchnorm import BatchNorm, VirtualBatchNorm
+from repro.nn.network import Sequential
+
+PathLike = Union[str, Path]
+
+
+def network_state(network: Sequential) -> Dict[str, np.ndarray]:
+    """All persistable arrays of a network, keyed by name."""
+    state: Dict[str, np.ndarray] = {}
+    for parameter in network.parameters():
+        if parameter.name in state:
+            raise ValueError(
+                f"duplicate parameter name {parameter.name!r}; give layers "
+                "unique names before saving"
+            )
+        state[parameter.name] = parameter.value
+    for layer in network.layers:
+        if isinstance(layer, BatchNorm):
+            state[f"{layer.name}.running_mean"] = layer.running_mean
+            state[f"{layer.name}.running_var"] = layer.running_var
+        elif isinstance(layer, VirtualBatchNorm):
+            if layer.ref_mean is not None:
+                state[f"{layer.name}.ref_mean"] = layer.ref_mean
+                state[f"{layer.name}.ref_inv_std"] = layer.ref_inv_std
+    return state
+
+
+def save_network(network: Sequential, path: PathLike) -> None:
+    """Write a network checkpoint to ``path`` (.npz)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **network_state(network))
+
+
+def load_network(network: Sequential, path: PathLike) -> None:
+    """Load a checkpoint into an architecture-matching network.
+
+    The network must have the same layer names and parameter shapes as
+    the one that was saved; mismatches raise with the offending key.
+    """
+    path = Path(path)
+    with np.load(path) as archive:
+        stored = {key: archive[key] for key in archive.files}
+
+    for parameter in network.parameters():
+        if parameter.name not in stored:
+            raise KeyError(
+                f"checkpoint is missing parameter {parameter.name!r}"
+            )
+        value = stored.pop(parameter.name)
+        if value.shape != parameter.value.shape:
+            raise ValueError(
+                f"{parameter.name}: checkpoint shape {value.shape} != "
+                f"model shape {parameter.value.shape}"
+            )
+        np.copyto(parameter.value, value)
+
+    for layer in network.layers:
+        if isinstance(layer, BatchNorm):
+            mean_key = f"{layer.name}.running_mean"
+            var_key = f"{layer.name}.running_var"
+            if mean_key in stored:
+                layer.running_mean = stored.pop(mean_key)
+                layer.running_var = stored.pop(var_key)
+        elif isinstance(layer, VirtualBatchNorm):
+            mean_key = f"{layer.name}.ref_mean"
+            std_key = f"{layer.name}.ref_inv_std"
+            if mean_key in stored:
+                layer.ref_mean = stored.pop(mean_key)
+                layer.ref_inv_std = stored.pop(std_key)
+
+    if stored:
+        raise ValueError(
+            f"checkpoint has {len(stored)} unused entries, e.g. "
+            f"{sorted(stored)[:3]}; architecture mismatch?"
+        )

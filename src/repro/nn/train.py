@@ -1,0 +1,134 @@
+"""Supervised training loop with the paper's batch-update semantics.
+
+Weight updates are applied once per batch — gradients from the whole
+batch accumulate first (Sec. III-A-2: "The weight updates due to each
+input are stored and only applied at the end of a batch").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.losses import Loss, SoftmaxCrossEntropy, accuracy
+from repro.nn.network import Sequential
+from repro.nn.optim import Optimizer
+
+
+@dataclass
+class TrainHistory:
+    """Per-batch loss trace plus per-epoch evaluation results."""
+
+    batch_losses: List[float] = field(default_factory=list)
+    epoch_train_accuracy: List[float] = field(default_factory=list)
+    epoch_eval_accuracy: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        if not self.batch_losses:
+            raise ValueError("no batches recorded")
+        return self.batch_losses[-1]
+
+    def mean_loss(self, last: int = 10) -> float:
+        """Mean loss over the last ``last`` batches."""
+        if not self.batch_losses:
+            raise ValueError("no batches recorded")
+        return float(np.mean(self.batch_losses[-last:]))
+
+
+def iterate_batches(
+    images: np.ndarray,
+    labels: np.ndarray,
+    batch_size: int,
+    rng: Optional[np.random.Generator] = None,
+) -> Iterable[Tuple[np.ndarray, np.ndarray]]:
+    """Yield (inputs, labels) batches, optionally shuffled.
+
+    The final short batch is kept (the pipeline model accounts for
+    partial batches separately).
+    """
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be > 0, got {batch_size}")
+    count = images.shape[0]
+    if labels.shape[0] != count:
+        raise ValueError(
+            f"images ({count}) and labels ({labels.shape[0]}) disagree"
+        )
+    order = np.arange(count)
+    if rng is not None:
+        rng.shuffle(order)
+    for start in range(0, count, batch_size):
+        index = order[start : start + batch_size]
+        yield images[index], labels[index]
+
+
+def train_classifier(
+    network: Sequential,
+    optimizer: Optimizer,
+    images: np.ndarray,
+    labels: np.ndarray,
+    epochs: int = 1,
+    batch_size: int = 32,
+    loss: Optional[Loss] = None,
+    eval_data: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    rng: Optional[np.random.Generator] = None,
+    on_batch: Optional[Callable[[int, float], None]] = None,
+) -> TrainHistory:
+    """Train a classifier with batch-synchronous updates.
+
+    Parameters
+    ----------
+    network, optimizer:
+        The model and its optimizer (which must manage the model's
+        parameters).
+    images, labels:
+        Full training set, NCHW (or flat) images with integer labels.
+    eval_data:
+        Optional held-out ``(images, labels)`` evaluated per epoch.
+    on_batch:
+        Optional callback ``(batch_index, loss)`` for progress hooks.
+    """
+    loss = loss or SoftmaxCrossEntropy()
+    history = TrainHistory()
+    batch_index = 0
+    for _ in range(epochs):
+        for batch_images, batch_labels in iterate_batches(
+            images, labels, batch_size, rng=rng
+        ):
+            network.zero_grad()
+            value = network.train_step(batch_images, batch_labels, loss)
+            optimizer.step()
+            history.batch_losses.append(value)
+            if on_batch is not None:
+                on_batch(batch_index, value)
+            batch_index += 1
+        history.epoch_train_accuracy.append(
+            evaluate_classifier(network, images, labels, batch_size)
+        )
+        if eval_data is not None:
+            history.epoch_eval_accuracy.append(
+                evaluate_classifier(network, *eval_data, batch_size)
+            )
+    return history
+
+
+def evaluate_classifier(
+    network: Sequential,
+    images: np.ndarray,
+    labels: np.ndarray,
+    batch_size: int = 256,
+) -> float:
+    """Top-1 accuracy of ``network`` on a labelled set (inference mode)."""
+    if images.shape[0] == 0:
+        raise ValueError("cannot evaluate on an empty set")
+    correct = 0
+    for batch_images, batch_labels in iterate_batches(
+        images, labels, batch_size
+    ):
+        logits = network.forward(batch_images, training=False)
+        correct += int(
+            round(accuracy(logits, batch_labels) * batch_labels.shape[0])
+        )
+    return correct / images.shape[0]

@@ -1,0 +1,42 @@
+"""Shared utilities: RNG management, quantization, im2col, validation."""
+
+from repro.utils.rng import new_rng, spawn_rngs
+from repro.utils.quant import (
+    QuantSpec,
+    quantize_uniform,
+    dequantize_uniform,
+    quantize_symmetric,
+    clip_to_range,
+)
+from repro.utils.im2col import (
+    im2col,
+    col2im,
+    conv_output_size,
+    insert_zeros,
+    pad_nchw,
+)
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_shape,
+)
+
+__all__ = [
+    "new_rng",
+    "spawn_rngs",
+    "QuantSpec",
+    "quantize_uniform",
+    "dequantize_uniform",
+    "quantize_symmetric",
+    "clip_to_range",
+    "im2col",
+    "col2im",
+    "conv_output_size",
+    "insert_zeros",
+    "pad_nchw",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_shape",
+]

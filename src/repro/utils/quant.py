@@ -1,0 +1,111 @@
+"""Fixed-point quantization helpers.
+
+The ReRAM crossbar stores weights as a small number of conductance
+levels and digitises bit-line currents with a bounded-resolution ADC
+(the paper's integrate-and-fire counter).  Both reduce to uniform
+quantization over a clipped range, which this module implements once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class QuantSpec:
+    """A uniform quantizer over ``[low, high]`` with ``levels`` steps.
+
+    Parameters
+    ----------
+    low, high:
+        Inclusive representable range.  Values outside are clipped.
+    levels:
+        Number of distinct representable values (>= 2).  A ``bits``-bit
+        quantizer has ``2**bits`` levels.
+    """
+
+    low: float
+    high: float
+    levels: int
+
+    def __post_init__(self) -> None:
+        if self.levels < 2:
+            raise ValueError(f"levels must be >= 2, got {self.levels}")
+        if not self.high > self.low:
+            raise ValueError(
+                f"high ({self.high}) must be > low ({self.low})"
+            )
+
+    @classmethod
+    def from_bits(cls, low: float, high: float, bits: int) -> "QuantSpec":
+        """Build a spec with ``2**bits`` levels."""
+        check_positive("bits", bits)
+        return cls(low=low, high=high, levels=2**bits)
+
+    @classmethod
+    def symmetric(cls, amplitude: float, bits: int) -> "QuantSpec":
+        """Build a symmetric spec over ``[-amplitude, amplitude]``."""
+        check_positive("amplitude", amplitude)
+        return cls.from_bits(-amplitude, amplitude, bits)
+
+    @property
+    def step(self) -> float:
+        """Width of one quantization step."""
+        return (self.high - self.low) / (self.levels - 1)
+
+    def indices(self, values: np.ndarray) -> np.ndarray:
+        """Map ``values`` to integer level indices in ``[0, levels-1]``."""
+        values = np.asarray(values, dtype=np.float64)
+        clipped = np.clip(values, self.low, self.high)
+        return np.rint((clipped - self.low) / self.step).astype(np.int64)
+
+    def from_indices(self, indices: np.ndarray) -> np.ndarray:
+        """Map integer level indices back to real values."""
+        indices = np.asarray(indices)
+        if np.any((indices < 0) | (indices >= self.levels)):
+            raise ValueError(
+                f"indices must be in [0, {self.levels - 1}]"
+            )
+        return self.low + indices.astype(np.float64) * self.step
+
+    def apply(self, values: np.ndarray) -> np.ndarray:
+        """Quantize ``values`` (clip, snap to the nearest level)."""
+        return self.from_indices(self.indices(values))
+
+
+def clip_to_range(values: np.ndarray, low: float, high: float) -> np.ndarray:
+    """Clip ``values`` to ``[low, high]``; validates the range ordering."""
+    if not high > low:
+        raise ValueError(f"high ({high}) must be > low ({low})")
+    return np.clip(values, low, high)
+
+
+def quantize_uniform(
+    values: np.ndarray, low: float, high: float, levels: int
+) -> np.ndarray:
+    """One-shot uniform quantization (see :class:`QuantSpec`)."""
+    return QuantSpec(low=low, high=high, levels=levels).apply(values)
+
+
+def dequantize_uniform(
+    indices: np.ndarray, low: float, high: float, levels: int
+) -> np.ndarray:
+    """One-shot uniform de-quantization of level indices."""
+    return QuantSpec(low=low, high=high, levels=levels).from_indices(indices)
+
+
+def quantize_symmetric(values: np.ndarray, bits: int) -> np.ndarray:
+    """Quantize to ``bits`` bits over the array's own symmetric range.
+
+    The amplitude is ``max(|values|)``; an all-zero array is returned
+    unchanged.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    amplitude = float(np.max(np.abs(values))) if values.size else 0.0
+    if amplitude == 0.0:
+        return values.copy()
+    return QuantSpec.symmetric(amplitude, bits).apply(values)

@@ -1,0 +1,37 @@
+"""Evaluation workloads: layer specs and the paper's network suite."""
+
+from repro.workloads.specs import (
+    FIG4_EXAMPLE,
+    LayerSpec,
+    MATRIX_KINDS,
+    conv,
+    fc,
+    fcnn,
+    pool,
+)
+from repro.workloads.suite import (
+    NetworkSpec,
+    alexnet_spec,
+    dcgan_spec,
+    mnist_cnn_spec,
+    pipelayer_suite,
+    regan_suite,
+    vggnet_spec,
+)
+
+__all__ = [
+    "LayerSpec",
+    "MATRIX_KINDS",
+    "FIG4_EXAMPLE",
+    "conv",
+    "fc",
+    "fcnn",
+    "pool",
+    "NetworkSpec",
+    "mnist_cnn_spec",
+    "alexnet_spec",
+    "vggnet_spec",
+    "pipelayer_suite",
+    "dcgan_spec",
+    "regan_suite",
+]

@@ -1,0 +1,145 @@
+"""A single ReRAM crossbar array performing analog MVM (Fig. 3a-b).
+
+The matrix is programmed into cell conductances; input signals drive
+the word lines; the current at the end of each bit line is the result
+of the matrix-vector multiplication (Sec. II-B).  The model works in
+*level units* (one unit = the current of one conductance step under
+unit word-line drive), with explicit conversion through the physical
+conductance domain so that programming noise, stuck cells, read noise,
+and ADC quantization all act where they do in the circuit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, new_rng
+from repro.utils.validation import check_positive
+from repro.xbar.adc import ADCConfig, IntegrateFireADC
+from repro.xbar.device import DeviceConfig, DeviceModel
+
+
+class CrossbarArray:
+    """One physical ``rows x cols`` array of programmable cells.
+
+    Parameters
+    ----------
+    rows, cols:
+        Physical word-line / bit-line counts.
+    device:
+        Cell electrical model.
+    adc:
+        Converter applied to every column read.  ``None`` selects a
+        lossless converter for binary drive (sized for
+        ``rows * (levels - 1)``).
+    rng:
+        Seed or generator for programming and read noise.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        device: DeviceConfig,
+        adc: Optional[ADCConfig] = None,
+        rng: RngLike = None,
+    ) -> None:
+        check_positive("rows", rows)
+        check_positive("cols", cols)
+        self.rows = rows
+        self.cols = cols
+        self.device = device
+        self._model = DeviceModel(device, rng=new_rng(rng))
+        if adc is None:
+            adc = ADCConfig.lossless_for(rows, device.levels)
+        self.adc = IntegrateFireADC(adc)
+        self._conductance: Optional[np.ndarray] = None
+        self.programs = 0
+        self.reads = 0
+
+    # -- programming -------------------------------------------------------
+    def program(self, levels: np.ndarray) -> None:
+        """Write a level matrix into the array (with device noise).
+
+        ``levels`` must be ``(rows, cols)`` integers in the cell's
+        level range; smaller matrices may be passed and are placed in
+        the top-left corner with the rest of the array at level 0.
+        """
+        levels = np.asarray(levels)
+        if levels.ndim != 2:
+            raise ValueError(f"levels must be 2-D, got shape {levels.shape}")
+        if levels.shape[0] > self.rows or levels.shape[1] > self.cols:
+            raise ValueError(
+                f"levels {levels.shape} exceed array ({self.rows}, {self.cols})"
+            )
+        full = np.zeros((self.rows, self.cols), dtype=np.int64)
+        full[: levels.shape[0], : levels.shape[1]] = levels
+        self._conductance = self._model.program(full)
+        self.programs += 1
+
+    @property
+    def is_programmed(self) -> bool:
+        """Whether the array holds a programmed matrix."""
+        return self._conductance is not None
+
+    def effective_levels(self) -> np.ndarray:
+        """Stored matrix in level units, including programming error."""
+        if self._conductance is None:
+            raise RuntimeError("array has not been programmed")
+        return (self._conductance - self.device.g_min) / self.device.g_step
+
+    # -- evaluation -----------------------------------------------------------
+    def mvm(self, drive: np.ndarray) -> np.ndarray:
+        """Analog multiply-accumulate for a batch of word-line drives.
+
+        ``drive`` is ``(batch, rows)`` non-negative amplitudes (binary
+        for spike coding, multi-level for an analog DAC).  Returns the
+        digitised column outputs ``(batch, cols)`` in level units: the
+        bit-line currents, baseline-corrected for the off-state leakage
+        ``g_min``, read-noise-corrupted, then quantized by the ADC.
+        """
+        if self._conductance is None:
+            raise RuntimeError("array has not been programmed")
+        drive = np.asarray(drive, dtype=np.float64)
+        if drive.ndim == 1:
+            drive = drive[None, :]
+        if drive.shape[1] != self.rows:
+            raise ValueError(
+                f"drive has {drive.shape[1]} lanes, array has {self.rows} rows"
+            )
+        if np.any(drive < 0):
+            raise ValueError("word-line drive must be non-negative")
+        self.reads += int(drive.shape[0])
+
+        currents = drive @ self._conductance  # amperes per volt of drive
+        baseline = self.device.g_min * drive.sum(axis=1, keepdims=True)
+        level_values = (currents - baseline) / self.device.g_step
+        if self.device.read_noise > 0.0:
+            level_values = level_values + self._model.read_noise_levels(
+                level_values.shape
+            )
+        return self.adc.convert(level_values)
+
+    def exact_mvm(self, drive: np.ndarray) -> np.ndarray:
+        """Reference result ignoring read noise and the ADC.
+
+        Still includes programming error and stuck cells (whatever got
+        written is what multiplies), so tests can isolate read-path
+        effects.
+        """
+        drive = np.asarray(drive, dtype=np.float64)
+        if drive.ndim == 1:
+            drive = drive[None, :]
+        return drive @ self.effective_levels()
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.rows, self.cols)
+
+    def __repr__(self) -> str:
+        return (
+            f"CrossbarArray({self.rows}x{self.cols}, "
+            f"levels={self.device.levels}, programmed={self.is_programmed})"
+        )

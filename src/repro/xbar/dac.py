@@ -1,0 +1,186 @@
+"""Input drivers: weighted spike coding and analog DAC (Sec. III-A-3(a)).
+
+PipeLayer's *spike driver* "converts the input to a sequence of
+spikes" and uses a *weighted spike coding* scheme: an ``a``-bit input
+integer is presented bit-serially over ``a`` sub-cycles, the bit of
+significance ``j`` driving the word line during sub-cycle ``j``; the
+digitised column outputs are shifted by ``j`` and accumulated.  This
+replaces a power-hungry multi-level DAC with binary drive — the paper
+credits it with reduced area and energy (after ISAAC [9]).
+
+:class:`SpikeCoder` performs the decomposition and the matching
+shift-accumulate; :class:`AnalogDAC` models the alternative multi-level
+driver, which applies the (quantized) value in a single sub-cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class InputEncoding:
+    """How activations are quantized before driving word lines.
+
+    Parameters
+    ----------
+    bits:
+        Activation resolution; values map to integers in
+        ``[0, 2**bits - 1]`` over the calibrated range.
+    """
+
+    bits: int = 8
+
+    def __post_init__(self) -> None:
+        check_positive("bits", self.bits)
+
+    @property
+    def max_int(self) -> int:
+        """Largest representable activation integer."""
+        return 2**self.bits - 1
+
+
+class SpikeCoder:
+    """Weighted spike (bit-serial) input coding.
+
+    Operates on *non-negative integer* activation matrices; the caller
+    (the crossbar engine) handles sign by splitting into positive and
+    negative streams, exactly as differential input drive would.
+    """
+
+    def __init__(self, encoding: InputEncoding) -> None:
+        self.encoding = encoding
+
+    def decompose(self, integers: np.ndarray) -> List[np.ndarray]:
+        """Split integers into per-bit binary planes, LSB first.
+
+        Each returned array has the input's shape with values in
+        ``{0.0, 1.0}`` — the word-line drive pattern of one sub-cycle.
+        """
+        integers = np.asarray(integers)
+        if np.any(integers < 0):
+            raise ValueError("spike coding requires non-negative integers")
+        if np.any(integers > self.encoding.max_int):
+            raise ValueError(
+                f"integers exceed {self.encoding.bits}-bit range"
+            )
+        work = integers.astype(np.int64)
+        planes = []
+        for _ in range(self.encoding.bits):
+            planes.append((work & 1).astype(np.float64))
+            work >>= 1
+        return planes
+
+    def accumulate(self, partials: List[np.ndarray]) -> np.ndarray:
+        """Shift-accumulate per-bit results: ``sum(partials[j] << j)``."""
+        if len(partials) != self.encoding.bits:
+            raise ValueError(
+                f"expected {self.encoding.bits} partials, got {len(partials)}"
+            )
+        total = np.zeros_like(np.asarray(partials[0], dtype=np.float64))
+        for significance, partial in enumerate(partials):
+            total = total + np.asarray(partial, dtype=np.float64) * (
+                2.0**significance
+            )
+        return total
+
+    @property
+    def subcycles(self) -> int:
+        """Sub-cycles per MVM (one per input bit)."""
+        return self.encoding.bits
+
+
+class RateCoder:
+    """Unary (rate) spike coding: the baseline weighted coding beats.
+
+    The integer activation is presented as that many unit spikes over
+    ``2**bits - 1`` sub-cycles, all of weight 1.  Functionally
+    equivalent to the weighted scheme, but a ``b``-bit input costs
+    ``2**b - 1`` sub-cycles instead of ``b`` — the exponential-vs-
+    linear gap that motivates PipeLayer's "weighted spike coding scheme
+    to further reduce the area and energy overhead" (Sec. III-A-3(a)).
+    """
+
+    def __init__(self, encoding: InputEncoding) -> None:
+        self.encoding = encoding
+
+    def decompose(self, integers: np.ndarray) -> List[np.ndarray]:
+        """Unary planes: plane ``j`` drives where ``value > j``."""
+        integers = np.asarray(integers)
+        if np.any(integers < 0):
+            raise ValueError("rate coding requires non-negative integers")
+        if np.any(integers > self.encoding.max_int):
+            raise ValueError(
+                f"integers exceed {self.encoding.bits}-bit range"
+            )
+        work = integers.astype(np.int64)
+        return [
+            (work > threshold).astype(np.float64)
+            for threshold in range(self.encoding.max_int)
+        ]
+
+    def accumulate(self, partials: List[np.ndarray]) -> np.ndarray:
+        """Plain sum: every spike carries weight one."""
+        if len(partials) != self.subcycles:
+            raise ValueError(
+                f"expected {self.subcycles} partials, got {len(partials)}"
+            )
+        total = np.zeros_like(np.asarray(partials[0], dtype=np.float64))
+        for partial in partials:
+            total = total + np.asarray(partial, dtype=np.float64)
+        return total
+
+    @property
+    def subcycles(self) -> int:
+        """Sub-cycles per MVM: one per representable level."""
+        return self.encoding.max_int
+
+
+class AnalogDAC:
+    """Multi-level voltage driver: one sub-cycle, quantized amplitude.
+
+    The integer activation drives the word line as an analog voltage
+    proportional to its value; the full MVM completes in one sub-cycle
+    at the cost of a ``bits``-bit DAC per word line.
+    """
+
+    def __init__(self, encoding: InputEncoding) -> None:
+        self.encoding = encoding
+
+    def drive(self, integers: np.ndarray) -> np.ndarray:
+        """Word-line amplitudes (in integer units) for one sub-cycle."""
+        integers = np.asarray(integers)
+        if np.any(integers < 0) or np.any(integers > self.encoding.max_int):
+            raise ValueError(
+                f"integers must be in [0, {self.encoding.max_int}]"
+            )
+        return integers.astype(np.float64)
+
+    @property
+    def subcycles(self) -> int:
+        """Sub-cycles per MVM (always one)."""
+        return 1
+
+
+def quantize_activations(
+    values: np.ndarray, encoding: InputEncoding, max_abs: float
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Split signed activations into integer positive/negative streams.
+
+    Returns ``(pos_int, neg_int, scale)`` where the original values are
+    approximated by ``(pos_int - neg_int) * scale``.  ``max_abs`` is the
+    calibration amplitude; values beyond it clip (driver saturation).
+    """
+    if max_abs <= 0:
+        raise ValueError(f"max_abs must be > 0, got {max_abs}")
+    values = np.asarray(values, dtype=np.float64)
+    scale = max_abs / encoding.max_int
+    quantized = np.rint(np.clip(values, -max_abs, max_abs) / scale)
+    positive = np.maximum(quantized, 0.0).astype(np.int64)
+    negative = np.maximum(-quantized, 0.0).astype(np.int64)
+    return positive, negative, scale

@@ -1,0 +1,238 @@
+"""ReRAM device model: conductance states, programming/read noise, faults.
+
+A ReRAM cell stores information as a resistance state (Sec. II-B).  The
+model quantifies what the architecture papers assume: a cell holds one
+of ``2**cell_bits`` conductance levels between ``g_min = 1/r_off`` and
+``g_max = 1/r_on``; programming hits the target level with log-normal
+multiplicative error; a small fraction of cells are stuck at the lowest
+or highest state (fabrication defects).
+
+Default constants follow the metal-oxide RRAM literature the paper
+cites (Wong et al., Proc. IEEE 2012): ``R_on = 10 kΩ``,
+``R_off = 1 MΩ``, 4-bit multi-level cells (PipeLayer's choice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import RngLike, new_rng
+from repro.utils.validation import check_in_range, check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Electrical and statistical parameters of one ReRAM cell.
+
+    Parameters
+    ----------
+    r_on, r_off:
+        Low / high resistance states in ohms; conductance range is
+        ``[1/r_off, 1/r_on]``.
+    cell_bits:
+        Bits stored per cell; the cell exposes ``2**cell_bits`` evenly
+        spaced conductance levels.
+    program_noise:
+        Log-normal sigma of multiplicative programming error on the
+        *level-conductance span* (0 disables noise).
+    read_noise:
+        Gaussian sigma of per-read output noise, expressed in units of
+        one conductance level per column (0 disables).
+    stuck_off_rate, stuck_on_rate:
+        Fraction of cells stuck at the lowest / highest level.
+    wire_resistance:
+        Word/bit-line wire resistance per cell segment (ohms).  A
+        first-order static IR-drop model: the effective conductance of
+        the cell at (row i, column j) is degraded by the series wire
+        resistance of its current path, ``g / (1 + g * r_wire *
+        (i + j))``.  0 disables the effect.
+    endurance:
+        Write cycles a cell survives before wear-out (used by the
+        lifetime analysis in :mod:`repro.arch.endurance`; it does not
+        alter functional behaviour here).
+    """
+
+    r_on: float = 1e4
+    r_off: float = 1e6
+    cell_bits: int = 4
+    program_noise: float = 0.0
+    read_noise: float = 0.0
+    stuck_off_rate: float = 0.0
+    stuck_on_rate: float = 0.0
+    wire_resistance: float = 0.0
+    endurance: float = 1e9
+
+    def __post_init__(self) -> None:
+        check_positive("r_on", self.r_on)
+        check_positive("r_off", self.r_off)
+        if self.r_off <= self.r_on:
+            raise ValueError(
+                f"r_off ({self.r_off}) must exceed r_on ({self.r_on})"
+            )
+        check_positive("cell_bits", self.cell_bits)
+        check_non_negative("program_noise", self.program_noise)
+        check_non_negative("read_noise", self.read_noise)
+        check_in_range("stuck_off_rate", self.stuck_off_rate, 0.0, 1.0)
+        check_in_range("stuck_on_rate", self.stuck_on_rate, 0.0, 1.0)
+        if self.stuck_off_rate + self.stuck_on_rate > 1.0:
+            raise ValueError("stuck rates sum to more than 1")
+        check_non_negative("wire_resistance", self.wire_resistance)
+        check_positive("endurance", self.endurance)
+
+    @property
+    def g_min(self) -> float:
+        """Conductance of the fully-off state (siemens)."""
+        return 1.0 / self.r_off
+
+    @property
+    def g_max(self) -> float:
+        """Conductance of the fully-on state (siemens)."""
+        return 1.0 / self.r_on
+
+    @property
+    def levels(self) -> int:
+        """Number of programmable conductance levels."""
+        return 2**self.cell_bits
+
+    @property
+    def g_step(self) -> float:
+        """Conductance difference between adjacent levels."""
+        return (self.g_max - self.g_min) / (self.levels - 1)
+
+    @property
+    def on_off_ratio(self) -> float:
+        """Resistance window ``r_off / r_on``."""
+        return self.r_off / self.r_on
+
+    def with_noise(
+        self,
+        program_noise: Optional[float] = None,
+        read_noise: Optional[float] = None,
+    ) -> "DeviceConfig":
+        """Copy of this config with different noise settings."""
+        return replace(
+            self,
+            program_noise=(
+                self.program_noise if program_noise is None else program_noise
+            ),
+            read_noise=self.read_noise if read_noise is None else read_noise,
+        )
+
+    def ideal(self) -> "DeviceConfig":
+        """Copy with all non-idealities disabled."""
+        return replace(
+            self,
+            program_noise=0.0,
+            read_noise=0.0,
+            stuck_off_rate=0.0,
+            stuck_on_rate=0.0,
+            wire_resistance=0.0,
+        )
+
+
+def apply_ir_drop(conductance: np.ndarray, wire_resistance: float) -> np.ndarray:
+    """First-order static IR-drop degradation of a conductance matrix.
+
+    The cell at (row ``i``, column ``j``) sees a series wire resistance
+    proportional to its Manhattan distance from the word-line driver
+    (row axis) and the bit-line sense amplifier (column axis):
+    ``r_series = wire_resistance * (i + j)``.  The effective
+    conductance of the cell-plus-wires path is
+    ``g / (1 + g * r_series)`` — always a *reduction*, growing with
+    distance, the characteristic accuracy-eating gradient of large
+    crossbars.
+    """
+    if wire_resistance < 0:
+        raise ValueError(
+            f"wire_resistance must be >= 0, got {wire_resistance}"
+        )
+    if wire_resistance == 0.0:
+        return conductance
+    rows, cols = conductance.shape
+    distance = np.arange(rows)[:, None] + np.arange(cols)[None, :]
+    series = wire_resistance * distance
+    return conductance / (1.0 + conductance * series)
+
+
+class DeviceModel:
+    """Programs level matrices into (noisy) conductance matrices."""
+
+    def __init__(self, config: DeviceConfig, rng: RngLike = None) -> None:
+        self.config = config
+        self._rng = new_rng(rng)
+        self._fault_draw: Optional[np.ndarray] = None
+
+    def apply_stuck_faults(self, levels: np.ndarray) -> np.ndarray:
+        """Force stuck-at cells to their defect level.
+
+        Fault *placement* is a property of the physical array, not of a
+        write operation: the mask is drawn once (at the first program)
+        and reused for every subsequent reprogram, so training loops
+        that rewrite weights each batch face the same broken cells
+        throughout — the situation noise-aware training adapts to.
+        """
+        config = self.config
+        if config.stuck_off_rate == 0.0 and config.stuck_on_rate == 0.0:
+            return levels
+        if self._fault_draw is None or self._fault_draw.shape != levels.shape:
+            self._fault_draw = self._rng.random(levels.shape)
+        draw = self._fault_draw
+        out = levels.copy()
+        out[draw < config.stuck_off_rate] = 0
+        out[draw > 1.0 - config.stuck_on_rate] = config.levels - 1
+        return out
+
+    def program(self, levels: np.ndarray) -> np.ndarray:
+        """Convert integer levels to conductances with programming error.
+
+        ``levels`` must be integers in ``[0, levels - 1]``.  The
+        returned conductances are clipped to the physical window.
+        """
+        levels = np.asarray(levels)
+        config = self.config
+        if np.any((levels < 0) | (levels >= config.levels)):
+            raise ValueError(
+                f"levels must be in [0, {config.levels - 1}]"
+            )
+        levels = self.apply_stuck_faults(levels)
+        span = levels.astype(np.float64) * config.g_step
+        if config.program_noise > 0.0:
+            factor = self._rng.lognormal(
+                mean=0.0, sigma=config.program_noise, size=span.shape
+            )
+            span = span * factor
+        conductance = np.clip(
+            config.g_min + span, config.g_min, config.g_max
+        )
+        return apply_ir_drop(conductance, config.wire_resistance)
+
+    def read_noise_levels(self, shape, reads: int = 1) -> np.ndarray:
+        """Additive per-read output noise, in conductance-level units.
+
+        The sigma is ``read_noise`` level units per column output (the
+        domain the crossbar works in after baseline correction);
+        ``reads`` independent reads accumulate as ``sqrt(reads)``.
+        """
+        config = self.config
+        if config.read_noise == 0.0:
+            return np.zeros(shape)
+        sigma = config.read_noise * np.sqrt(reads)
+        return self._rng.normal(0.0, sigma, size=shape)
+
+
+#: Device used by PipeLayer-style experiments (4-bit MLC, ideal).
+PIPELAYER_DEVICE = DeviceConfig(r_on=1e4, r_off=1e6, cell_bits=4)
+
+#: A pessimistic realistic device for noise-sensitivity studies.
+NOISY_DEVICE = DeviceConfig(
+    r_on=1e4,
+    r_off=1e6,
+    cell_bits=4,
+    program_noise=0.05,
+    read_noise=0.2,
+    stuck_off_rate=0.001,
+    stuck_on_rate=0.001,
+)

@@ -1,0 +1,373 @@
+"""Crossbar matmul engine: the full input-to-output PIM datapath.
+
+:class:`CrossbarEngine` is a drop-in
+:class:`~repro.nn.engine.MatmulEngine`: any :class:`~repro.nn.layers.Dense`
+or :class:`~repro.nn.layers.Conv2D` layer given this engine computes its
+forward matmul through the complete simulated pipeline —
+
+1. weights are quantized, sign-split (differential pairs) or offset,
+   bit-sliced into multi-level cells (:mod:`repro.xbar.mapping`);
+2. each slice plane is partitioned over 128x128 physical arrays
+   (Fig. 3c, :mod:`repro.xbar.tile`) and *programmed*, which applies
+   device noise and stuck faults (:mod:`repro.xbar.device`);
+3. activations are quantized and driven either with weighted spike
+   coding — one binary sub-cycle per input bit, PipeLayer's scheme — or
+   by an analog DAC (:mod:`repro.xbar.dac`);
+4. every array read is digitised by the integrate-and-fire ADC before
+   partial sums merge (:mod:`repro.xbar.adc`);
+5. digital shift-and-add recombines input bits, weight slices, and
+   signs.
+
+With an ideal device and a lossless ADC the pipeline is exactly integer
+matmul; ``fast_ideal`` exploits that identity to skip the bit-serial
+loop (the equivalence is covered by tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.engine import MatmulEngine
+from repro.utils.rng import RngLike, derive_seed, new_rng
+from repro.utils.validation import check_choice, check_positive
+from repro.xbar.adc import ADCConfig
+from repro.xbar.dac import (
+    AnalogDAC,
+    InputEncoding,
+    RateCoder,
+    SpikeCoder,
+    quantize_activations,
+)
+from repro.xbar.device import PIPELAYER_DEVICE, DeviceConfig
+from repro.xbar.mapping import SlicedWeights, WeightMapping, map_weights
+from repro.xbar.tile import TiledCrossbar
+
+
+@dataclass(frozen=True)
+class CrossbarEngineConfig:
+    """Everything that defines one crossbar compute pipeline."""
+
+    device: DeviceConfig = PIPELAYER_DEVICE
+    mapping: WeightMapping = WeightMapping()
+    encoding: InputEncoding = InputEncoding(bits=8)
+    array_rows: int = 128
+    array_cols: int = 128
+    input_mode: str = "spike"
+    adc_bits: Optional[int] = None
+    activation_range: Optional[float] = None
+    fast_ideal: bool = True
+    fast_linear: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive("array_rows", self.array_rows)
+        check_positive("array_cols", self.array_cols)
+        check_choice("input_mode", self.input_mode, ("spike", "rate", "analog"))
+        if self.adc_bits is not None:
+            check_positive("adc_bits", self.adc_bits)
+        if self.activation_range is not None:
+            check_positive("activation_range", self.activation_range)
+
+    def adc_config(self) -> Optional[ADCConfig]:
+        """ADC for one physical array under this drive mode.
+
+        ``None`` means "use the array's lossless default" (only valid
+        for binary drive; analog drive always gets an explicit config
+        because its full scale grows with the DAC amplitude).
+        """
+        binary_full_scale = self.array_rows * (self.device.levels - 1)
+        if self.input_mode in ("spike", "rate"):
+            if self.adc_bits is None:
+                return None
+            return ADCConfig(
+                bits=self.adc_bits,
+                full_scale_levels=float(binary_full_scale),
+            )
+        full_scale = float(binary_full_scale * self.encoding.max_int)
+        if self.adc_bits is None:
+            bits = max(1, int(np.ceil(np.log2(full_scale + 1))))
+            # One count per level unit so integer drives convert exactly.
+            return ADCConfig(bits=bits, full_scale_levels=float(2**bits - 1))
+        return ADCConfig(bits=self.adc_bits, full_scale_levels=full_scale)
+
+    @property
+    def is_linear(self) -> bool:
+        """True when the read path is exact (noise only in programming).
+
+        With no read noise and a lossless unit-grid ADC, the bit-serial
+        pipeline is a linear function of the word-line drive, so the
+        whole evaluation collapses to one matmul with the *effective*
+        programmed matrix — up to the ADC's half-count rounding of
+        non-integer (noisy-cell) partial sums, which the fast path
+        approximates away (bounded by half an output LSB).
+        """
+        if self.device.read_noise != 0.0:
+            return False
+        adc = self.adc_config()
+        if adc is None:
+            return True
+        needed = self.array_rows * (self.device.levels - 1)
+        if self.input_mode == "analog":
+            needed *= self.encoding.max_int
+        return (
+            adc.max_count >= needed
+            and adc.full_scale_levels >= needed
+            and adc.levels_per_count == 1.0
+        )
+
+    @property
+    def is_ideal(self) -> bool:
+        """True when the pipeline equals exact integer matmul."""
+        device = self.device
+        clean_device = (
+            device.program_noise == 0.0
+            and device.read_noise == 0.0
+            and device.stuck_off_rate == 0.0
+            and device.stuck_on_rate == 0.0
+            and device.wire_resistance == 0.0
+        )
+        if not clean_device:
+            return False
+        adc = self.adc_config()
+        if adc is None:
+            return True
+        if self.input_mode in ("spike", "rate"):
+            needed = self.array_rows * (device.levels - 1)
+        else:
+            needed = (
+                self.array_rows * (device.levels - 1) * self.encoding.max_int
+            )
+        # Exactness needs range AND a one-count-per-level grid.
+        return (
+            adc.max_count >= needed
+            and adc.full_scale_levels >= needed
+            and adc.levels_per_count == 1.0
+        )
+
+
+@dataclass
+class XbarStats:
+    """Operation counters consumed by the energy/latency models."""
+
+    mvm_calls: int = 0
+    subcycles: int = 0
+    array_reads: int = 0
+    array_programs: int = 0
+    adc_conversions: int = 0
+    weights_programmed: int = 0
+    fast_ideal_calls: int = 0
+    per_call_subcycles: list = field(default_factory=list)
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.mvm_calls = 0
+        self.subcycles = 0
+        self.array_reads = 0
+        self.array_programs = 0
+        self.adc_conversions = 0
+        self.weights_programmed = 0
+        self.fast_ideal_calls = 0
+        self.per_call_subcycles = []
+
+
+class CrossbarEngine(MatmulEngine):
+    """Simulated ReRAM PIM matmul engine (see module docstring)."""
+
+    def __init__(
+        self, config: Optional[CrossbarEngineConfig] = None, rng: RngLike = None
+    ) -> None:
+        self.config = config or CrossbarEngineConfig()
+        self._rng = new_rng(rng)
+        self.stats = XbarStats()
+        self._sliced: Optional[SlicedWeights] = None
+        self._tiles: Dict[Tuple[str, int], TiledCrossbar] = {}
+        self._cached_weights: Optional[np.ndarray] = None
+        self._quantized: Optional[np.ndarray] = None
+        self._coder = SpikeCoder(self.config.encoding)
+        self._rate_coder = RateCoder(self.config.encoding)
+        self._dac = AnalogDAC(self.config.encoding)
+        self._effective: Optional[np.ndarray] = None
+
+    # -- weight programming -------------------------------------------------
+    def prepare(self, weights: np.ndarray) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 2:
+            raise ValueError(f"weights must be 2-D, got {weights.shape}")
+        if self._cached_weights is not None and np.array_equal(
+            self._cached_weights, weights
+        ):
+            return
+        reuse_tiles = (
+            self._cached_weights is not None
+            and self._cached_weights.shape == weights.shape
+        )
+        self._cached_weights = weights.copy()
+        sliced = map_weights(weights, self.config.mapping)
+        self._sliced = sliced
+        radix = 2**sliced.mapping.cell_bits
+        quantized = np.zeros(weights.shape)
+        for index, plane in enumerate(sliced.pos_slices):
+            quantized += plane.astype(np.float64) * float(radix) ** index
+        negative = np.zeros(weights.shape)
+        for index, plane in enumerate(sliced.neg_slices):
+            negative += plane.astype(np.float64) * float(radix) ** index
+        self._quantized = quantized - negative - sliced.offset_int
+
+        adc = self.config.adc_config()
+        planes = [("pos", sliced.pos_slices)]
+        if sliced.mapping.scheme == "differential":
+            planes.append(("neg", sliced.neg_slices))
+        rows, cols = weights.shape
+        if not reuse_tiles:
+            # First deployment (or a reshape): build the physical
+            # arrays.  Subsequent prepares *reprogram the same arrays*
+            # — the cells, and in particular their stuck-fault masks,
+            # persist across weight updates like real hardware.
+            self._tiles = {}
+            for plane_name, slices in planes:
+                for slice_index in range(len(slices)):
+                    self._tiles[(plane_name, slice_index)] = TiledCrossbar(
+                        rows,
+                        cols,
+                        self.config.device,
+                        array_rows=self.config.array_rows,
+                        array_cols=self.config.array_cols,
+                        adc=adc,
+                        rng=derive_seed(
+                            self._rng, f"{plane_name}:{slice_index}"
+                        ),
+                    )
+        for plane_name, slices in planes:
+            for slice_index, level_plane in enumerate(slices):
+                tile = self._tiles[(plane_name, slice_index)]
+                tile.program(level_plane)
+                self.stats.array_programs += tile.array_count
+        self.stats.weights_programmed += int(weights.size)
+        self._effective = None
+
+    @property
+    def array_count(self) -> int:
+        """Physical arrays holding the prepared matrix (all planes)."""
+        return sum(tile.array_count for tile in self._tiles.values())
+
+    def quantized_weights(self) -> np.ndarray:
+        """The integer weight matrix the crossbars represent (scaled)."""
+        if self._sliced is None or self._quantized is None:
+            raise RuntimeError("prepare() must be called first")
+        return self._quantized * self._sliced.scale
+
+    def effective_weights(self) -> np.ndarray:
+        """The matrix the arrays physically hold (scaled, with noise).
+
+        Assembles the per-slice effective levels from every programmed
+        array — the matrix an ideal read path would apply.  Equals
+        :meth:`quantized_weights` for an ideal device; differs under
+        programming noise or stuck faults.
+        """
+        if self._sliced is None:
+            raise RuntimeError("prepare() must be called first")
+        if self._effective is None:
+            radix = float(2**self._sliced.mapping.cell_bits)
+            effective = np.zeros(self._cached_weights.shape)
+            for (plane_name, slice_index), tile in self._tiles.items():
+                sign = -1.0 if plane_name == "neg" else 1.0
+                effective += (
+                    sign * radix**slice_index * tile.effective_logical()
+                )
+            effective -= self._sliced.offset_int
+            self._effective = effective
+        return self._effective * self._sliced.scale
+
+    # -- evaluation ------------------------------------------------------------
+    def matmul(self, activations: np.ndarray) -> np.ndarray:
+        if self._sliced is None or self._quantized is None:
+            raise RuntimeError("prepare() must be called before matmul()")
+        activations = np.asarray(activations, dtype=np.float64)
+        if activations.ndim != 2:
+            raise ValueError(
+                f"activations must be 2-D, got {activations.shape}"
+            )
+        if activations.shape[1] != self._cached_weights.shape[0]:
+            raise ValueError(
+                f"activations width {activations.shape[1]} != weight rows "
+                f"{self._cached_weights.shape[0]}"
+            )
+        self.stats.mvm_calls += 1
+
+        max_abs = self.config.activation_range
+        if max_abs is None:
+            observed = float(np.max(np.abs(activations))) if activations.size else 0.0
+            if observed == 0.0:
+                return np.zeros(
+                    (activations.shape[0], self._cached_weights.shape[1])
+                )
+            max_abs = observed
+        pos_int, neg_int, a_scale = quantize_activations(
+            activations, self.config.encoding, max_abs
+        )
+
+        if self.config.fast_ideal and self.config.is_ideal:
+            self.stats.fast_ideal_calls += 1
+            signed = (pos_int - neg_int).astype(np.float64)
+            return signed @ self._quantized * (a_scale * self._sliced.scale)
+        if self.config.fast_linear and self.config.is_linear:
+            # Opt-in idealisation: with noise only in programming and a
+            # clean read path, apply the effective programmed matrix in
+            # one matmul.  This drops the ADC's per-read integer
+            # rounding of noisy (fractional) partial sums — a real
+            # physical effect the full path keeps — so it is an
+            # *approximation* (typically a few percent under 5%
+            # programming noise), intended for fast crossbar-in-the-
+            # loop training studies.
+            self.stats.fast_ideal_calls += 1
+            signed = (pos_int - neg_int).astype(np.float64)
+            return signed @ self.effective_weights() * a_scale
+        return self._full_path(pos_int, neg_int, a_scale)
+
+    def _full_path(
+        self, pos_int: np.ndarray, neg_int: np.ndarray, a_scale: float
+    ) -> np.ndarray:
+        """Bit-serial, slice-by-slice evaluation through the arrays."""
+        sliced = self._sliced
+        radix = float(2**sliced.mapping.cell_bits)
+        batch = pos_int.shape[0]
+        cols = self._cached_weights.shape[1]
+        accumulator = np.zeros((batch, cols))
+        call_subcycles = 0
+
+        for input_sign, integers in ((1.0, pos_int), (-1.0, neg_int)):
+            if not np.any(integers):
+                continue
+            if self.config.input_mode == "spike":
+                planes = self._coder.decompose(integers)
+                weights_per_plane = [2.0**j for j in range(len(planes))]
+            elif self.config.input_mode == "rate":
+                planes = self._rate_coder.decompose(integers)
+                weights_per_plane = [1.0] * len(planes)
+            else:
+                planes = [self._dac.drive(integers)]
+                weights_per_plane = [1.0]
+            for plane, plane_weight in zip(planes, weights_per_plane):
+                call_subcycles += 1
+                for (plane_name, slice_index), tile in self._tiles.items():
+                    partial = tile.mvm(plane)
+                    weight_sign = -1.0 if plane_name == "neg" else 1.0
+                    accumulator += (
+                        input_sign
+                        * weight_sign
+                        * plane_weight
+                        * radix**slice_index
+                        * partial
+                    )
+                    self.stats.array_reads += tile.array_count * batch
+                    self.stats.adc_conversions += batch * tile.logical_cols
+            if sliced.mapping.scheme == "offset":
+                # Remove the stored offset: offset * sum_i(x_i), digital.
+                row_sums = integers.sum(axis=1, keepdims=True).astype(np.float64)
+                accumulator -= input_sign * sliced.offset_int * row_sums
+
+        self.stats.subcycles += call_subcycles
+        self.stats.per_call_subcycles.append(call_subcycles)
+        return accumulator * (a_scale * sliced.scale)

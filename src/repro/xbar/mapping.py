@@ -1,0 +1,190 @@
+"""Weight-to-conductance mapping: sign handling and bit slicing.
+
+A crossbar cell holds a small non-negative conductance, but DNN weights
+are signed and need more precision than one cell provides.  Following
+the PRIME/ISAAC/PipeLayer designs the paper builds on:
+
+* **Sign** — either a *differential* pair of arrays (positive weights
+  in one, negative magnitudes in the other, outputs subtracted; this
+  is ReGAN's "positive subarray and negative subarray ... merged by the
+  subtractor", Fig. 10 B) or an *offset* scheme (store ``w + W_max``
+  unsigned and subtract ``W_max * sum(inputs)`` digitally).
+* **Precision** — an integer weight is sliced into base-``2**cell_bits``
+  digits spread across ``n_slices`` cell columns whose digitised
+  outputs are shift-added (PipeLayer stores 16-bit weights in four
+  4-bit cells).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_choice, check_positive
+
+
+@dataclass(frozen=True)
+class WeightMapping:
+    """How float weights become cell levels.
+
+    Parameters
+    ----------
+    weight_bits:
+        Total signed weight resolution (sign + magnitude).
+    cell_bits:
+        Bits per ReRAM cell (must divide the magnitude into whole
+        slices; the number of slices is ``ceil((weight_bits - 1) /
+        cell_bits)``).
+    scheme:
+        ``"differential"`` or ``"offset"`` sign handling.
+    """
+
+    weight_bits: int = 16
+    cell_bits: int = 4
+    scheme: str = "differential"
+
+    def __post_init__(self) -> None:
+        check_positive("weight_bits", self.weight_bits)
+        check_positive("cell_bits", self.cell_bits)
+        if self.weight_bits < 2:
+            raise ValueError("weight_bits must be >= 2 (sign + magnitude)")
+        check_choice("scheme", self.scheme, ("differential", "offset"))
+
+    @property
+    def magnitude_bits(self) -> int:
+        """Bits devoted to |w| (sign handled by the scheme)."""
+        return self.weight_bits - 1
+
+    @property
+    def max_int(self) -> int:
+        """Largest representable weight magnitude integer."""
+        return 2**self.magnitude_bits - 1
+
+    @property
+    def n_slices(self) -> int:
+        """Cells per weight (bit slices of the magnitude)."""
+        return -(-self.magnitude_bits // self.cell_bits)  # ceil division
+
+    @property
+    def cells_per_weight(self) -> int:
+        """Physical cells one signed weight occupies."""
+        factor = 2 if self.scheme == "differential" else 1
+        return factor * self.n_slices
+
+
+@dataclass
+class SlicedWeights:
+    """Result of mapping a float matrix into cell-level planes.
+
+    ``slices`` is a list (LSB slice first) of integer level matrices of
+    the original weight-matrix shape; reconstruction is::
+
+        q = sum(slices[s] * (2**cell_bits)**s)     # per sign plane
+        W ~= (q_pos - q_neg) * scale               # differential
+        W ~= (q - offset_int) * scale              # offset
+    """
+
+    mapping: WeightMapping
+    scale: float
+    pos_slices: List[np.ndarray]
+    neg_slices: List[np.ndarray]
+    offset_int: int
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.pos_slices[0].shape
+
+    def reconstruct(self) -> np.ndarray:
+        """Exact float matrix the mapping represents (noise-free)."""
+        radix = float(2**self.mapping.cell_bits)
+        positive = np.zeros(self.shape)
+        negative = np.zeros(self.shape)
+        for index, plane in enumerate(self.pos_slices):
+            positive += plane.astype(np.float64) * radix**index
+        for index, plane in enumerate(self.neg_slices):
+            negative += plane.astype(np.float64) * radix**index
+        if self.mapping.scheme == "differential":
+            return (positive - negative) * self.scale
+        return (positive - self.offset_int) * self.scale
+
+
+def quantize_weights(
+    weights: np.ndarray, mapping: WeightMapping
+) -> Tuple[np.ndarray, float]:
+    """Symmetric quantization of a float matrix to signed integers.
+
+    Returns ``(q, scale)`` with ``q`` in ``[-max_int, max_int]`` and
+    ``weights ~= q * scale``.  An all-zero matrix maps to scale 1.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    amplitude = float(np.max(np.abs(weights))) if weights.size else 0.0
+    scale = amplitude / mapping.max_int
+    if scale == 0.0:
+        # All-zero matrix, or an amplitude so small the scale
+        # underflows float64 — either way, nothing representable.
+        return np.zeros(weights.shape, dtype=np.int64), 1.0
+    quantized = np.rint(weights / scale).astype(np.int64)
+    return np.clip(quantized, -mapping.max_int, mapping.max_int), scale
+
+
+def slice_magnitudes(
+    magnitudes: np.ndarray, mapping: WeightMapping
+) -> List[np.ndarray]:
+    """Split non-negative integers into base-``2**cell_bits`` digits.
+
+    LSB digit first; every digit is a valid cell level.
+    """
+    magnitudes = np.asarray(magnitudes)
+    if np.any(magnitudes < 0):
+        raise ValueError("magnitudes must be non-negative")
+    radix = 2**mapping.cell_bits
+    work = magnitudes.astype(np.int64)
+    slices = []
+    for _ in range(mapping.n_slices):
+        slices.append(work % radix)
+        work //= radix
+    if np.any(work != 0):
+        raise ValueError(
+            f"magnitudes exceed {mapping.n_slices} slices of "
+            f"{mapping.cell_bits} bits"
+        )
+    return slices
+
+
+def map_weights(weights: np.ndarray, mapping: WeightMapping) -> SlicedWeights:
+    """Full mapping: float matrix -> per-slice cell-level planes."""
+    quantized, scale = quantize_weights(weights, mapping)
+    if mapping.scheme == "differential":
+        positive = np.maximum(quantized, 0)
+        negative = np.maximum(-quantized, 0)
+        return SlicedWeights(
+            mapping=mapping,
+            scale=scale,
+            pos_slices=slice_magnitudes(positive, mapping),
+            neg_slices=slice_magnitudes(negative, mapping),
+            offset_int=0,
+        )
+    # Offset scheme: store q + max_int as an unsigned value.  The
+    # shifted range is [0, 2*max_int], one bit wider than the magnitude;
+    # grow the slice count if needed.
+    shifted = quantized + mapping.max_int
+    wide = WeightMapping(
+        weight_bits=mapping.weight_bits + 1,
+        cell_bits=mapping.cell_bits,
+        scheme="offset",
+    )
+    slices = slice_magnitudes(shifted, wide)
+    zero_plane = [np.zeros_like(plane) for plane in slices]
+    return SlicedWeights(
+        mapping=WeightMapping(
+            weight_bits=wide.weight_bits,
+            cell_bits=mapping.cell_bits,
+            scheme="offset",
+        ),
+        scale=scale,
+        pos_slices=slices,
+        neg_slices=zero_plane,
+        offset_int=mapping.max_int,
+    )

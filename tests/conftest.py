@@ -1,0 +1,63 @@
+"""Shared fixtures and numerical-gradient helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for test data."""
+    return np.random.default_rng(0xBEEF)
+
+
+def numerical_gradient(function, array: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar ``function`` w.r.t. ``array``.
+
+    ``function`` takes no arguments and reads ``array`` by reference;
+    the array is perturbed in place and restored.
+    """
+    gradient = np.zeros_like(array)
+    iterator = np.nditer(array, flags=["multi_index"])
+    while not iterator.finished:
+        index = iterator.multi_index
+        original = array[index]
+        array[index] = original + eps
+        plus = function()
+        array[index] = original - eps
+        minus = function()
+        array[index] = original
+        gradient[index] = (plus - minus) / (2.0 * eps)
+        iterator.iternext()
+    return gradient
+
+
+def assert_layer_gradients(layer, input_shape, rng, tol: float = 1e-5,
+                           training: bool = False) -> None:
+    """Check a layer's analytic gradients against central differences.
+
+    Uses ``sum(sin(output))`` as the scalar loss so every output element
+    receives a distinct, nonzero gradient.
+    """
+    inputs = rng.normal(size=input_shape)
+
+    def loss() -> float:
+        return float(np.sum(np.sin(layer.forward(inputs, training=training))))
+
+    outputs = layer.forward(inputs, training=training)
+    layer.zero_grad()
+    grad_inputs = layer.backward(np.cos(outputs))
+    numeric = numerical_gradient(loss, inputs)
+    np.testing.assert_allclose(grad_inputs, numeric, atol=tol, rtol=0)
+
+    for parameter in layer.parameters():
+        layer.zero_grad()
+        outputs = layer.forward(inputs, training=training)
+        layer.backward(np.cos(outputs))
+        analytic = parameter.grad.copy()
+        numeric = numerical_gradient(loss, parameter.value)
+        np.testing.assert_allclose(
+            analytic, numeric, atol=tol, rtol=0,
+            err_msg=f"parameter {parameter.name}",
+        )

@@ -1,0 +1,109 @@
+"""Tests for the network compiler: spec derivation and deployment."""
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import deploy_network, spec_from_network
+from repro.nn import (
+    Dense,
+    ReLU,
+    Sequential,
+    build_dcgan_generator,
+    build_mnist_cnn,
+)
+from repro.workloads import mnist_cnn_spec
+from repro.xbar import CrossbarEngineConfig, NOISY_DEVICE
+
+
+class TestSpecFromNetwork:
+    def test_matches_hand_written_spec(self):
+        derived = spec_from_network(build_mnist_cnn(), (1, 28, 28))
+        reference = mnist_cnn_spec()
+        assert derived.depth == reference.depth
+        assert derived.total_macs == reference.total_macs
+        assert derived.total_weights == reference.total_weights
+        for mine, theirs in zip(derived.matrix_layers, reference.matrix_layers):
+            assert mine.matrix_rows == theirs.matrix_rows
+            assert mine.matrix_cols == theirs.matrix_cols
+            assert mine.output_vectors == theirs.output_vectors
+
+    def test_generator_fcnn_layers_detected(self):
+        generator = build_dcgan_generator(
+            noise_dim=16, base_channels=8, image_size=16
+        )
+        spec = spec_from_network(generator, (16,))
+        kinds = [layer.kind for layer in spec.layers]
+        assert kinds.count("fcnn") == 2
+        assert kinds.count("fc") == 1
+
+    def test_flat_input_shape_promoted(self):
+        network = Sequential([Dense(10, 4), ReLU()])
+        spec = spec_from_network(network, (10,))
+        assert spec.input_shape == (10, 1, 1)
+
+    def test_rejects_costless_network(self):
+        with pytest.raises(ValueError):
+            spec_from_network(Sequential([ReLU()]), (4,))
+
+
+class TestDeployNetwork:
+    def test_engines_attached_to_weight_layers(self):
+        network = build_mnist_cnn(rng=1)
+        deployment = deploy_network(
+            network, CrossbarEngineConfig(array_rows=32, array_cols=32), rng=2
+        )
+        assert len(deployment.engines) == 4  # 2 conv + 2 fc
+
+    def test_ideal_deployment_preserves_outputs(self, rng):
+        network = build_mnist_cnn(rng=1)
+        inputs = rng.normal(size=(2, 1, 28, 28))
+        reference = network.forward(inputs)
+        deploy_network(network, CrossbarEngineConfig(), rng=2)
+        deployed = network.forward(inputs)
+        # 16-bit weights / 8-bit activations: small relative error.
+        scale = np.max(np.abs(reference))
+        assert np.max(np.abs(deployed - reference)) / scale < 0.05
+
+    def test_noisy_deployment_perturbs_outputs(self, rng):
+        network = build_mnist_cnn(rng=1)
+        inputs = rng.normal(size=(1, 1, 28, 28))
+        reference = network.forward(inputs)
+        deploy_network(
+            network,
+            CrossbarEngineConfig(device=NOISY_DEVICE, fast_ideal=False),
+            rng=2,
+        )
+        deployed = network.forward(inputs)
+        assert not np.allclose(deployed, reference, atol=1e-6)
+
+    def test_undeploy_restores_exact(self, rng):
+        network = build_mnist_cnn(rng=1)
+        inputs = rng.normal(size=(1, 1, 28, 28))
+        reference = network.forward(inputs)
+        deployment = deploy_network(network, CrossbarEngineConfig(), rng=2)
+        deployment.undeploy()
+        np.testing.assert_array_equal(network.forward(inputs), reference)
+        assert all(
+            layer.engine is None
+            for layer in network.layers
+            if hasattr(layer, "engine")
+        )
+
+    def test_stats_accumulate(self, rng):
+        network = build_mnist_cnn(rng=1)
+        deployment = deploy_network(network, CrossbarEngineConfig(), rng=2)
+        network.forward(rng.normal(size=(1, 1, 28, 28)))
+        stats = deployment.total_stats()
+        assert stats["mvm_calls"] == 4
+        assert stats["array_programs"] > 0
+
+    def test_array_count_after_first_forward(self, rng):
+        network = build_mnist_cnn(rng=1)
+        deployment = deploy_network(network, CrossbarEngineConfig(), rng=2)
+        assert deployment.array_count == 0  # lazy until first forward
+        network.forward(rng.normal(size=(1, 1, 28, 28)))
+        assert deployment.array_count > 0
+
+    def test_rejects_network_without_weight_layers(self):
+        with pytest.raises(ValueError):
+            deploy_network(Sequential([ReLU()]))

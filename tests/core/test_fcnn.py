@@ -1,0 +1,123 @@
+"""Tests for Fig. 7: zero-insertion FCNN mapping vs the adjoint layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.fcnn import (
+    equivalent_conv_kernel,
+    extended_input_shape,
+    fcnn_backward_strided_conv,
+    fcnn_forward_zero_insertion,
+    zero_fraction,
+    zero_insertion_padding,
+)
+from repro.nn.layers import FractionalStridedConv2D
+
+
+CASES = [
+    # (cin, cout, kernel, stride, pad, input hw)
+    (3, 2, 4, 2, 1, 5),   # DCGAN stage
+    (2, 3, 3, 1, 0, 4),   # stride 1
+    (4, 1, 5, 3, 2, 3),   # stride 3, heavy pad
+    (1, 2, 2, 2, 0, 6),   # even kernel, no pad
+    (2, 2, 4, 4, 0, 2),   # stride == kernel
+]
+
+
+class TestForwardEquivalence:
+    """Fig. 7(a): zero-inserted ordinary conv == transposed conv."""
+
+    @pytest.mark.parametrize("cin,cout,kernel,stride,pad,hw", CASES)
+    def test_matches_adjoint_layer(self, cin, cout, kernel, stride, pad, hw, rng):
+        layer = FractionalStridedConv2D(
+            cin, cout, kernel, stride=stride, pad=pad, use_bias=False, rng=1
+        )
+        inputs = rng.normal(size=(2, cin, hw, hw))
+        reference = layer.forward(inputs)
+        via_zeros = fcnn_forward_zero_insertion(
+            inputs, layer.weight.value, stride, pad
+        )
+        np.testing.assert_allclose(via_zeros, reference, atol=1e-10)
+
+    def test_rejects_wrong_channels(self, rng):
+        weight = rng.normal(size=(3, 2, 4, 4))
+        with pytest.raises(ValueError):
+            fcnn_forward_zero_insertion(
+                rng.normal(size=(1, 2, 4, 4)), weight, 2, 1
+            )
+
+    def test_rejects_rectangular_kernel(self, rng):
+        weight = rng.normal(size=(2, 2, 3, 4))
+        with pytest.raises(ValueError):
+            fcnn_forward_zero_insertion(
+                rng.normal(size=(1, 2, 4, 4)), weight, 2, 1
+            )
+
+
+class TestBackwardEquivalence:
+    """Fig. 7(b): FCNN error backprop == strided convolution."""
+
+    @pytest.mark.parametrize("cin,cout,kernel,stride,pad,hw", CASES)
+    def test_matches_adjoint_layer(self, cin, cout, kernel, stride, pad, hw, rng):
+        layer = FractionalStridedConv2D(
+            cin, cout, kernel, stride=stride, pad=pad, use_bias=False, rng=1
+        )
+        inputs = rng.normal(size=(2, cin, hw, hw))
+        outputs = layer.forward(inputs)
+        grad_output = rng.normal(size=outputs.shape)
+        layer.zero_grad()
+        reference = layer.backward(grad_output)
+        via_conv = fcnn_backward_strided_conv(
+            grad_output, layer.weight.value, stride, pad
+        )
+        np.testing.assert_allclose(via_conv, reference, atol=1e-10)
+
+    def test_rejects_wrong_channels(self, rng):
+        weight = rng.normal(size=(3, 2, 4, 4))
+        with pytest.raises(ValueError):
+            fcnn_backward_strided_conv(
+                rng.normal(size=(1, 3, 8, 8)), weight, 2, 1
+            )
+
+
+class TestGeometry:
+    def test_equivalent_kernel_shape(self, rng):
+        weight = rng.normal(size=(3, 5, 4, 4))
+        conv_kernel = equivalent_conv_kernel(weight)
+        assert conv_kernel.shape == (5, 3, 4, 4)
+
+    def test_equivalent_kernel_flips_spatially(self):
+        weight = np.zeros((1, 1, 2, 2))
+        weight[0, 0, 0, 0] = 1.0
+        flipped = equivalent_conv_kernel(weight)
+        assert flipped[0, 0, 1, 1] == 1.0
+
+    def test_zero_insertion_padding(self):
+        assert zero_insertion_padding(4, 1) == 2
+        assert zero_insertion_padding(3, 0) == 2
+
+    def test_padding_rejects_overcrop(self):
+        with pytest.raises(ValueError):
+            zero_insertion_padding(3, 3)
+
+    def test_extended_shape_dcgan_stage(self):
+        # 4x4 input, k=4, s=2, p=1: insert zeros -> 7, outer pad 2 -> 11.
+        assert extended_input_shape((4, 4), 4, 2, 1) == (11, 11)
+
+    def test_extended_shape_consistent_with_conv(self):
+        """Running a stride-1 conv over the extended map must yield the
+        transposed conv's output size."""
+        for (cin, cout, kernel, stride, pad, hw) in CASES:
+            ext_h, _ = extended_input_shape((hw, hw), kernel, stride, pad)
+            out = ext_h - kernel + 1
+            expected = (hw - 1) * stride - 2 * pad + kernel
+            assert out == expected
+
+    def test_zero_fraction_stride2(self):
+        """Stride-2 zero insertion drives mostly zeros (the ablation's
+        wasted-work metric)."""
+        fraction = zero_fraction((8, 8), 4, 2, 1)
+        assert 0.6 < fraction < 0.9
+
+    def test_zero_fraction_stride1_small(self):
+        assert zero_fraction((8, 8), 3, 1, 1) < 0.4

@@ -1,0 +1,132 @@
+"""Tests for the GAN training pipeline cycle models (Figs. 8-9)."""
+
+import pytest
+
+from repro.core.gan_pipeline import (
+    SCHEME_COSTS,
+    SCHEMES,
+    d_training_cycles_pipelined,
+    d_training_cycles_unpipelined,
+    g_training_cycles_pipelined,
+    g_training_cycles_unpipelined,
+    iteration_cycles,
+    iteration_speedup,
+    scheme_table,
+    sweep_d_fake,
+    sweep_d_real,
+    sweep_g,
+)
+
+
+class TestSweeps:
+    def test_paper_stage_counts(self):
+        l_d, l_g = 4, 5
+        assert sweep_d_real(l_d) == 2 * l_d + 1
+        assert sweep_d_fake(l_d, l_g) == l_g + 2 * l_d + 1
+        assert sweep_g(l_d, l_g) == 2 * l_g + 2 * l_d + 1
+
+
+class TestPaperFormulas:
+    """Each count matches the sentence in Sec. III-B-2 verbatim."""
+
+    def test_d_real_phase(self):
+        """'training D on real samples takes 2L_D + 1 + B - 1 cycles'."""
+        l_d, l_g, batch = 4, 5, 16
+        phase1 = sweep_d_real(l_d) + batch - 1
+        assert phase1 == 2 * l_d + 1 + batch - 1
+
+    def test_d_fake_phase(self):
+        """'then L_G + 2L_D + 1 + B - 1 cycles to train D on generated
+        samples'."""
+        l_d, l_g, batch = 4, 5, 16
+        phase2 = sweep_d_fake(l_d, l_g) + batch - 1
+        assert phase2 == l_g + 2 * l_d + 1 + batch - 1
+
+    def test_d_total_pipelined(self):
+        l_d, l_g, batch = 4, 5, 16
+        expected = (2 * l_d + batch) + (l_g + 2 * l_d + batch) + 1
+        assert d_training_cycles_pipelined(l_d, l_g, batch) == expected
+
+    def test_g_pipelined(self):
+        """'it takes 2L_G + 2L_D + B + 1 cycles to train G'."""
+        l_d, l_g, batch = 4, 5, 16
+        assert (
+            g_training_cycles_pipelined(l_d, l_g, batch)
+            == 2 * l_g + 2 * l_d + batch + 1
+        )
+
+    def test_d_unpipelined(self):
+        """'(4L_D + L_G + 2)B cycles' plus the single update."""
+        l_d, l_g, batch = 4, 5, 16
+        assert (
+            d_training_cycles_unpipelined(l_d, l_g, batch)
+            == (4 * l_d + l_g + 2) * batch + 1
+        )
+
+    def test_g_unpipelined(self):
+        """'(2L_G + 2L_D + 1)B cycles' plus the single update."""
+        l_d, l_g, batch = 4, 5, 16
+        assert (
+            g_training_cycles_unpipelined(l_d, l_g, batch)
+            == (2 * l_g + 2 * l_d + 1) * batch + 1
+        )
+
+
+class TestSchemeOrdering:
+    @pytest.mark.parametrize("l_d,l_g,batch", [(4, 4, 16), (5, 5, 32), (3, 6, 8)])
+    def test_each_optimization_helps(self, l_d, l_g, batch):
+        """unpipelined >= pipelined >= sp >= sp_cs and pipelined >= cs."""
+        cycles = {
+            scheme: iteration_cycles(l_d, l_g, batch, scheme)
+            for scheme in SCHEMES
+        }
+        assert cycles["unpipelined"] >= cycles["pipelined"]
+        assert cycles["pipelined"] >= cycles["sp"]
+        assert cycles["pipelined"] >= cycles["cs"]
+        assert cycles["sp"] >= cycles["sp_cs"]
+        assert cycles["cs"] >= cycles["sp_cs"]
+
+    def test_sp_hides_phase_one(self):
+        l_d, l_g, batch = 4, 5, 16
+        saved = iteration_cycles(l_d, l_g, batch, "pipelined") - (
+            iteration_cycles(l_d, l_g, batch, "sp")
+        )
+        # SP hides the shorter of phases (1)/(2): saves min(phase1, phase2).
+        phase1 = sweep_d_real(l_d) + batch - 1
+        phase2 = sweep_d_fake(l_d, l_g) + batch - 1
+        assert saved == min(phase1, phase2)
+
+    def test_sp_cs_is_g_branch_bound(self):
+        l_d, l_g, batch = 4, 5, 16
+        assert iteration_cycles(l_d, l_g, batch, "sp_cs") == (
+            g_training_cycles_pipelined(l_d, l_g, batch)
+        )
+
+    def test_speedup_reference_is_one(self):
+        assert iteration_speedup(4, 5, 16, "unpipelined") == 1.0
+
+    def test_speedup_grows_with_batch(self):
+        speedups = [
+            iteration_speedup(4, 5, batch, "sp_cs") for batch in (1, 8, 64)
+        ]
+        assert speedups == sorted(speedups)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            iteration_cycles(4, 5, 16, "magic")
+
+
+class TestSchemeCosts:
+    def test_sp_duplicates_d(self):
+        assert SCHEME_COSTS["sp"].d_copies == 2
+        assert SCHEME_COSTS["pipelined"].d_copies == 1
+
+    def test_cs_doubles_storage(self):
+        assert SCHEME_COSTS["cs"].intermediate_storage_factor == 2.0
+        assert SCHEME_COSTS["sp"].intermediate_storage_factor == 1.0
+
+    def test_table_has_all_schemes(self):
+        rows = scheme_table(4, 5, 16)
+        assert [row["scheme"] for row in rows] == list(SCHEMES)
+        assert all(row["cycles"] > 0 for row in rows)
+        assert rows[0]["speedup"] == 1.0

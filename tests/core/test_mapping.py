@@ -1,0 +1,139 @@
+"""Tests for the Fig. 4 data mapping: naive, balanced, budgeted."""
+
+import pytest
+
+from repro.core.mapping import (
+    LayerMapping,
+    MappingConfig,
+    balance_duplication,
+    balanced_mapping,
+    duplication_for_passes,
+    mapping_table,
+    naive_mapping,
+)
+from repro.workloads import FIG4_EXAMPLE, fc, mnist_cnn_spec, pool
+from repro.xbar.mapping import WeightMapping
+
+
+class TestFig4WorkedExample:
+    """Lock the paper's worked example (Sec. III-A-1) in numbers."""
+
+    def test_naive_takes_12544_cycles(self):
+        mapping = naive_mapping(FIG4_EXAMPLE)
+        assert mapping.passes_per_image == 12544
+
+    def test_grid_is_9_by_2(self):
+        mapping = naive_mapping(FIG4_EXAMPLE)
+        assert mapping.grid == (9, 2)
+
+    def test_group_of_18_arrays_per_slice_plane(self):
+        """'divided into a group of 18 (= 9 x 2) matrices'."""
+        config = MappingConfig(
+            weight_mapping=WeightMapping(weight_bits=16, cell_bits=4)
+        )
+        mapping = naive_mapping(FIG4_EXAMPLE, config)
+        rows, cols = mapping.grid
+        assert rows * cols == 18
+
+    def test_x256_gives_49_passes(self):
+        mapping = balanced_mapping(FIG4_EXAMPLE, duplication=256)
+        assert mapping.passes_per_image == 49  # ceil(12544 / 256)
+
+    def test_x12544_single_pass(self):
+        """'If X = 12544, the results ... in just one cycle but the
+        hardware cost is excessive.'"""
+        mapping = balanced_mapping(FIG4_EXAMPLE, duplication=12544)
+        assert mapping.passes_per_image == 1
+        assert mapping.total_arrays == 12544 * mapping.arrays_per_copy
+
+    def test_x1_equals_naive(self):
+        """'If X = 1, the design is equivalent to the naive scheme.'"""
+        naive = naive_mapping(FIG4_EXAMPLE)
+        balanced = balanced_mapping(FIG4_EXAMPLE, duplication=1)
+        assert naive.passes_per_image == balanced.passes_per_image
+        assert naive.total_arrays == balanced.total_arrays
+
+
+class TestLayerMapping:
+    def test_rejects_pool_layers(self):
+        with pytest.raises(ValueError):
+            LayerMapping(pool(8, 14, 2), MappingConfig(), 1)
+
+    def test_rejects_excess_duplication(self):
+        with pytest.raises(ValueError):
+            balanced_mapping(fc(100, 10), duplication=2)
+
+    def test_fc_layer_single_vector(self):
+        mapping = naive_mapping(fc(9216, 4096))
+        assert mapping.passes_per_image == 1
+        assert mapping.grid == (72, 32)
+
+    def test_array_activations_independent_of_x(self):
+        low = balanced_mapping(FIG4_EXAMPLE, duplication=1)
+        high = balanced_mapping(FIG4_EXAMPLE, duplication=256)
+        assert (
+            low.array_activations_per_image
+            == high.array_activations_per_image
+        )
+
+    def test_cells_scale_with_x(self):
+        base = balanced_mapping(FIG4_EXAMPLE, duplication=1).cells
+        assert balanced_mapping(FIG4_EXAMPLE, duplication=4).cells == 4 * base
+
+    def test_subcycles_use_activation_bits(self):
+        config = MappingConfig(activation_bits=4)
+        mapping = balanced_mapping(FIG4_EXAMPLE, 256, config)
+        assert mapping.subcycles_per_image == 49 * 4
+
+
+class TestDuplicationForPasses:
+    def test_one_pass_needs_all_vectors(self):
+        assert duplication_for_passes(FIG4_EXAMPLE, 1) == 12544
+
+    def test_exact_division(self):
+        assert duplication_for_passes(FIG4_EXAMPLE, 49) == 256
+
+    def test_never_below_one(self):
+        assert duplication_for_passes(fc(10, 10), 100) == 1
+
+
+class TestBalanceDuplication:
+    def test_fits_budget(self):
+        network = mnist_cnn_spec()
+        budget = 2000
+        mappings = balance_duplication(network, budget)
+        assert sum(m.total_arrays for m in mappings.values()) <= budget
+
+    def test_equalises_passes(self):
+        """All layers end within the same pass bound (the pipeline
+        cycle is set by the slowest layer, so balance matters)."""
+        mappings = balance_duplication(mnist_cnn_spec(), 4000)
+        passes = [m.passes_per_image for m in mappings.values()]
+        assert max(passes) <= 2 * min(max(passes), max(passes))
+        target = max(passes)
+        for mapping in mappings.values():
+            # No layer could have met a smaller uniform bound for free.
+            assert mapping.passes_per_image <= target
+
+    def test_bigger_budget_fewer_passes(self):
+        network = mnist_cnn_spec()
+        small = balance_duplication(network, 1500)
+        large = balance_duplication(network, 20000)
+        assert max(m.passes_per_image for m in large.values()) <= max(
+            m.passes_per_image for m in small.values()
+        )
+
+    def test_budget_too_small_raises(self):
+        with pytest.raises(ValueError):
+            balance_duplication(mnist_cnn_spec(), 10)
+
+    def test_covers_all_matrix_layers(self):
+        network = mnist_cnn_spec()
+        mappings = balance_duplication(network, 4000)
+        assert len(mappings) == network.depth
+
+    def test_mapping_table_renders(self):
+        mappings = balance_duplication(mnist_cnn_spec(), 4000)
+        text = mapping_table(list(mappings.values()))
+        assert "passes" in text
+        assert len(text.splitlines()) == len(mappings) + 1

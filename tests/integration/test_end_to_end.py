@@ -1,0 +1,151 @@
+"""Integration tests: training, crossbar inference, and the full flow.
+
+These exercise complete paths through multiple packages: synthetic data
+-> DNN training -> crossbar deployment -> accuracy, and network ->
+compiler -> accelerator model -> Table I numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PipeLayerModel,
+    deploy_network,
+    spec_from_network,
+)
+from repro.datasets import DatasetShape, make_gan_images, make_train_test
+from repro.nn import (
+    Adam,
+    GANTrainer,
+    build_dcgan_discriminator,
+    build_dcgan_generator,
+    build_mnist_cnn,
+    evaluate_classifier,
+    train_classifier,
+)
+from repro.xbar import CrossbarEngineConfig, DeviceConfig, WeightMapping
+
+
+@pytest.fixture(scope="module")
+def trained_mnist():
+    """A small CNN trained on synthetic MNIST to high accuracy."""
+    x_train, y_train, x_test, y_test = make_train_test(600, 200, rng=7)
+    network = build_mnist_cnn(rng=11)
+    optimizer = Adam(network.parameters(), lr=1e-3)
+    train_classifier(
+        network, optimizer, x_train, y_train, epochs=3, batch_size=32,
+        rng=np.random.default_rng(1),
+    )
+    return network, x_test, y_test
+
+
+class TestTrainingPipeline:
+    def test_reaches_high_accuracy(self, trained_mnist):
+        network, x_test, y_test = trained_mnist
+        assert evaluate_classifier(network, x_test, y_test) > 0.9
+
+
+class TestCrossbarInference:
+    def test_ideal_crossbar_preserves_accuracy(self, trained_mnist):
+        network, x_test, y_test = trained_mnist
+        float_accuracy = evaluate_classifier(network, x_test, y_test)
+        deployment = deploy_network(network, CrossbarEngineConfig(), rng=3)
+        xbar_accuracy = evaluate_classifier(network, x_test, y_test)
+        deployment.undeploy()
+        assert xbar_accuracy >= float_accuracy - 0.03
+
+    def test_aggressive_quantization_degrades(self, trained_mnist):
+        """4-bit weights + 2-bit activations must visibly hurt — the
+        knee the accuracy benchmark sweeps."""
+        network, x_test, y_test = trained_mnist
+        from repro.xbar import InputEncoding
+
+        config = CrossbarEngineConfig(
+            mapping=WeightMapping(weight_bits=3, cell_bits=2),
+            encoding=InputEncoding(bits=2),
+        )
+        float_accuracy = evaluate_classifier(network, x_test, y_test)
+        deployment = deploy_network(network, config, rng=3)
+        lossy_accuracy = evaluate_classifier(network, x_test, y_test)
+        deployment.undeploy()
+        assert lossy_accuracy < float_accuracy
+
+    def test_moderate_noise_small_drop(self, trained_mnist):
+        network, x_test, y_test = trained_mnist
+        config = CrossbarEngineConfig(
+            device=DeviceConfig(program_noise=0.02), fast_ideal=False
+        )
+        deployment = deploy_network(network, config, rng=3)
+        noisy_accuracy = evaluate_classifier(
+            network, x_test[:60], y_test[:60]
+        )
+        deployment.undeploy()
+        assert noisy_accuracy > 0.7
+
+
+class TestCompilerToAccelerator:
+    def test_live_network_to_table_numbers(self, trained_mnist):
+        """A live network flows through the compiler into the PipeLayer
+        model and produces a coherent report."""
+        network, _, _ = trained_mnist
+        spec = spec_from_network(network, (1, 28, 28))
+        model = PipeLayerModel(spec, array_budget=65536)
+        report = model.report(batch=32, training=True)
+        assert report.speedup > 1.0
+        assert report.energy_per_image.total > 0
+        assert report.total_arrays <= 65536
+
+
+class TestGanEndToEnd:
+    def test_gan_training_improves_discrimination_then_fools(self):
+        """A tiny GAN on blob images: D separates real from fake early;
+        G training reduces its own loss over time."""
+        shape = DatasetShape("blobs", 1, 16, 2)
+        real = make_gan_images(64, shape, rng=5)
+        generator = build_dcgan_generator(
+            noise_dim=16, base_channels=8, image_channels=1, image_size=16,
+            rng=1,
+        )
+        discriminator = build_dcgan_discriminator(
+            base_channels=8, image_channels=1, image_size=16, rng=2
+        )
+        trainer = GANTrainer(
+            generator,
+            discriminator,
+            Adam(generator.parameters(), lr=1e-3),
+            Adam(discriminator.parameters(), lr=1e-3),
+            noise_dim=16,
+            rng=3,
+        )
+        for _ in range(25):
+            trainer.train_step(real)
+        early_g = float(np.mean(trainer.history.g_losses[:5]))
+        late_g = float(np.mean(trainer.history.g_losses[-5:]))
+        real_score, fake_score = trainer.discriminator_scores(real)
+        # D should see real > fake, and G's loss should not explode.
+        assert real_score > fake_score
+        assert late_g < early_g * 3
+
+    def test_shared_training_converges_like_unshared(self):
+        """ReGAN's computation sharing trains stably too."""
+        shape = DatasetShape("blobs", 1, 16, 2)
+        real = make_gan_images(32, shape, rng=6)
+        generator = build_dcgan_generator(
+            noise_dim=8, base_channels=4, image_channels=1, image_size=16,
+            rng=4,
+        )
+        discriminator = build_dcgan_discriminator(
+            base_channels=4, image_channels=1, image_size=16, rng=5
+        )
+        trainer = GANTrainer(
+            generator,
+            discriminator,
+            Adam(generator.parameters(), lr=1e-3),
+            Adam(discriminator.parameters(), lr=1e-3),
+            noise_dim=8,
+            rng=6,
+        )
+        for _ in range(15):
+            d_loss, g_loss = trainer.train_step_shared(real)
+        assert np.isfinite(d_loss) and np.isfinite(g_loss)
+        assert trainer.history.steps == 15

@@ -1,0 +1,125 @@
+"""Tests for BatchNorm and VirtualBatchNorm (Fig. 10 A)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import BatchNorm, VirtualBatchNorm
+from tests.conftest import assert_layer_gradients, numerical_gradient
+
+
+class TestBatchNorm:
+    def test_training_output_is_normalized(self, rng):
+        layer = BatchNorm(3)
+        inputs = rng.normal(loc=5.0, scale=3.0, size=(16, 3, 4, 4))
+        out = layer.forward(inputs, training=True)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.var(axis=(0, 2, 3)), 1.0, atol=1e-3)
+
+    def test_2d_inputs(self, rng):
+        layer = BatchNorm(4)
+        out = layer.forward(rng.normal(size=(8, 4)), training=True)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-10)
+
+    def test_input_gradients_training(self, rng):
+        layer = BatchNorm(2)
+        inputs = rng.normal(size=(4, 2, 3, 3))
+
+        def loss():
+            return float(np.sum(np.sin(layer.forward(inputs, training=True))))
+
+        out = layer.forward(inputs, training=True)
+        layer.zero_grad()
+        grad = layer.backward(np.cos(out))
+        numeric = numerical_gradient(loss, inputs)
+        np.testing.assert_allclose(grad, numeric, atol=1e-6)
+
+    def test_parameter_gradients_training(self, rng):
+        layer = BatchNorm(2)
+        inputs = rng.normal(size=(4, 2, 3, 3))
+
+        def loss():
+            return float(np.sum(np.sin(layer.forward(inputs, training=True))))
+
+        for parameter in layer.parameters():
+            layer.zero_grad()
+            out = layer.forward(inputs, training=True)
+            layer.backward(np.cos(out))
+            numeric = numerical_gradient(loss, parameter.value)
+            np.testing.assert_allclose(parameter.grad, numeric, atol=1e-6)
+
+    def test_running_stats_converge(self, rng):
+        layer = BatchNorm(1, momentum=0.5)
+        for _ in range(30):
+            layer.forward(
+                rng.normal(loc=2.0, scale=1.0, size=(64, 1, 4, 4)),
+                training=True,
+            )
+        assert layer.running_mean[0] == pytest.approx(2.0, abs=0.15)
+        assert layer.running_var[0] == pytest.approx(1.0, abs=0.2)
+
+    def test_inference_uses_running_stats(self, rng):
+        layer = BatchNorm(1)
+        inputs = rng.normal(size=(8, 1, 2, 2))
+        # Without any training step, running stats are (0, 1): identity.
+        out = layer.forward(inputs, training=False)
+        np.testing.assert_allclose(out, inputs, atol=1e-3)
+
+    def test_rejects_wrong_channels(self, rng):
+        with pytest.raises(ValueError):
+            BatchNorm(3).forward(rng.normal(size=(2, 4, 3, 3)))
+
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(ValueError):
+            BatchNorm(3, momentum=1.0)
+
+
+class TestVirtualBatchNorm:
+    def test_first_batch_becomes_reference(self, rng):
+        layer = VirtualBatchNorm(2)
+        reference = rng.normal(loc=3.0, size=(32, 2, 4, 4))
+        out = layer.forward(reference, training=True)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-10)
+
+    def test_reference_is_fixed(self, rng):
+        """Later batches use the *reference* stats, not their own."""
+        layer = VirtualBatchNorm(1)
+        layer.set_reference(rng.normal(loc=0.0, scale=1.0, size=(64, 1, 4, 4)))
+        shifted = rng.normal(loc=10.0, scale=1.0, size=(16, 1, 4, 4))
+        out = layer.forward(shifted, training=True)
+        # Mean stays near +10 after normalising by reference stats.
+        assert out.mean() > 5.0
+
+    def test_gradients(self, rng):
+        layer = VirtualBatchNorm(3)
+        layer.set_reference(rng.normal(size=(16, 3, 4, 4)))
+        assert_layer_gradients(layer, (4, 3, 4, 4), rng)
+
+    def test_elementwise_affine(self, rng):
+        """With fixed reference stats the layer is affine per channel —
+        the property that lets ReGAN fold it into word-line drivers."""
+        layer = VirtualBatchNorm(2)
+        layer.set_reference(rng.normal(size=(8, 2, 3, 3)))
+        a = rng.normal(size=(1, 2, 3, 3))
+        b = rng.normal(size=(1, 2, 3, 3))
+        lhs = layer.forward(a + b) + layer.forward(np.zeros_like(a))
+        rhs = layer.forward(a) + layer.forward(b)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-10)
+
+    def test_shift_only_divisor_is_power_of_two(self, rng):
+        layer = VirtualBatchNorm(4, shift_only=True)
+        layer.set_reference(rng.normal(scale=3.0, size=(32, 4, 4, 4)))
+        divisors = 1.0 / layer.ref_inv_std
+        log2 = np.log2(divisors)
+        np.testing.assert_allclose(log2, np.round(log2), atol=1e-12)
+
+    def test_shift_only_still_roughly_normalizes(self, rng):
+        layer = VirtualBatchNorm(1, shift_only=True)
+        inputs = rng.normal(loc=0.0, scale=3.0, size=(64, 1, 8, 8))
+        out = layer.forward(inputs, training=True)
+        # Power-of-two divisor is within 2x of the true std, so the
+        # output variance lands in [0.25, 1].
+        assert 0.2 <= out.var() <= 1.1
+
+    def test_rejects_wrong_reference_channels(self, rng):
+        with pytest.raises(ValueError):
+            VirtualBatchNorm(3).set_reference(rng.normal(size=(4, 2, 2, 2)))

@@ -1,0 +1,102 @@
+"""Tests for FractionalStridedConv2D (the FCNN layer of Fig. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Conv2D, FractionalStridedConv2D
+from repro.nn.layers.conv_transpose import conv_transpose_output_size
+from tests.conftest import assert_layer_gradients
+
+
+class TestOutputSize:
+    @pytest.mark.parametrize(
+        "size,kernel,stride,pad,expected",
+        [
+            (4, 4, 2, 1, 8),    # DCGAN doubling stage
+            (8, 4, 2, 1, 16),
+            (3, 3, 1, 0, 5),
+            (2, 2, 2, 0, 4),
+        ],
+    )
+    def test_known(self, size, kernel, stride, pad, expected):
+        assert conv_transpose_output_size(size, kernel, stride, pad) == expected
+
+    def test_rejects_non_positive_output(self):
+        with pytest.raises(ValueError):
+            conv_transpose_output_size(1, 2, 1, 2)
+
+
+class TestFractionalStridedConv2D:
+    def test_doubles_spatial_extent(self, rng):
+        layer = FractionalStridedConv2D(4, 2, kernel_size=4, stride=2, pad=1)
+        out = layer.forward(rng.normal(size=(2, 4, 5, 5)))
+        assert out.shape == (2, 2, 10, 10)
+
+    def test_gradients(self, rng):
+        assert_layer_gradients(
+            FractionalStridedConv2D(3, 2, kernel_size=4, stride=2, pad=1, rng=2),
+            (2, 3, 3, 3),
+            rng,
+        )
+
+    def test_gradients_stride_one(self, rng):
+        assert_layer_gradients(
+            FractionalStridedConv2D(2, 2, kernel_size=3, rng=2),
+            (1, 2, 4, 4),
+            rng,
+        )
+
+    def test_adjoint_of_convolution(self, rng):
+        """<conv(x), y> == <x, tconv(y)> when kernels correspond.
+
+        A transposed conv with weight W (Cin,Cout,k,k) is the adjoint of
+        the conv with weight W viewed as (Cout->out ... ), i.e.
+        conv weight (Cin, Cout, k, k) interpreted with out_channels=Cin.
+        """
+        cin_t, cout_t, kernel, stride, pad = 3, 2, 4, 2, 1
+        tconv = FractionalStridedConv2D(
+            cin_t, cout_t, kernel, stride=stride, pad=pad, use_bias=False, rng=1
+        )
+        conv = Conv2D(
+            cout_t, cin_t, kernel, stride=stride, pad=pad, use_bias=False, rng=1
+        )
+        conv.weight.value[:] = tconv.weight.value  # (Cin_t,Cout_t,k,k)==(Cout_c,Cin_c,k,k)
+
+        small = rng.normal(size=(2, cin_t, 4, 4))       # tconv input
+        large = rng.normal(size=(2, cout_t, 8, 8))      # conv input
+        lhs = float(np.sum(conv.forward(large) * small))
+        rhs = float(np.sum(large * tconv.forward(small)))
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_backward_shape_check(self, rng):
+        layer = FractionalStridedConv2D(2, 2, kernel_size=4, stride=2, pad=1)
+        layer.forward(rng.normal(size=(1, 2, 4, 4)))
+        with pytest.raises(ValueError):
+            layer.backward(rng.normal(size=(1, 2, 7, 7)))
+
+    def test_backward_before_forward(self, rng):
+        layer = FractionalStridedConv2D(2, 2, kernel_size=2)
+        with pytest.raises(RuntimeError):
+            layer.backward(rng.normal(size=(1, 2, 3, 3)))
+
+    def test_output_shape(self):
+        layer = FractionalStridedConv2D(8, 4, kernel_size=4, stride=2, pad=1)
+        assert layer.output_shape((8, 7, 7)) == (4, 14, 14)
+
+    def test_rejects_wrong_channels(self, rng):
+        layer = FractionalStridedConv2D(3, 2, kernel_size=2)
+        with pytest.raises(ValueError):
+            layer.forward(rng.normal(size=(1, 2, 4, 4)))
+
+    def test_bias_adds_per_channel(self, rng):
+        layer = FractionalStridedConv2D(2, 3, kernel_size=2, rng=4)
+        inputs = rng.normal(size=(1, 2, 3, 3))
+        base = layer.forward(inputs)
+        layer.bias.value[:] = [1.0, 2.0, 3.0]
+        shifted = layer.forward(inputs)
+        np.testing.assert_allclose(
+            shifted - base,
+            np.broadcast_to(
+                np.array([1.0, 2.0, 3.0])[None, :, None, None], base.shape
+            ),
+        )

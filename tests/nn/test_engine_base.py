@@ -1,0 +1,131 @@
+"""Tests for the matmul-engine protocol and the layer cache API."""
+
+import numpy as np
+import pytest
+
+from repro.nn.engine import ExactEngine, MatmulEngine, run_engine
+from repro.nn.layers import Conv2D, Dense, MaxPool2D, ReLU
+from repro.nn.layers.base import Layer, StatelessLayer
+
+
+class TestExactEngine:
+    def test_matches_numpy(self, rng):
+        weights = rng.normal(size=(5, 3))
+        activations = rng.normal(size=(4, 5))
+        engine = ExactEngine()
+        engine.prepare(weights)
+        np.testing.assert_allclose(
+            engine.matmul(activations), activations @ weights
+        )
+
+    def test_matmul_before_prepare_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            ExactEngine().matmul(rng.normal(size=(2, 3)))
+
+    def test_reprepare_switches_weights(self, rng):
+        engine = ExactEngine()
+        first = rng.normal(size=(3, 3))
+        second = rng.normal(size=(3, 3))
+        activations = rng.normal(size=(2, 3))
+        engine.prepare(first)
+        out_first = engine.matmul(activations)
+        engine.prepare(second)
+        out_second = engine.matmul(activations)
+        assert not np.allclose(out_first, out_second)
+
+
+class TestRunEngine:
+    def test_none_engine_is_exact(self, rng):
+        weights = rng.normal(size=(5, 3))
+        activations = rng.normal(size=(4, 5))
+        np.testing.assert_allclose(
+            run_engine(None, activations, weights), activations @ weights
+        )
+
+    def test_engine_is_reprepared_each_call(self, rng):
+        calls = []
+
+        class SpyEngine(MatmulEngine):
+            def prepare(self, weights):
+                calls.append("prepare")
+                self._weights = weights
+
+            def matmul(self, activations):
+                calls.append("matmul")
+                return activations @ self._weights
+
+        engine = SpyEngine()
+        weights = rng.normal(size=(3, 2))
+        run_engine(engine, rng.normal(size=(1, 3)), weights)
+        run_engine(engine, rng.normal(size=(1, 3)), weights)
+        assert calls == ["prepare", "matmul", "prepare", "matmul"]
+
+    def test_base_engine_is_abstract(self, rng):
+        engine = MatmulEngine()
+        with pytest.raises(NotImplementedError):
+            engine.prepare(rng.normal(size=(2, 2)))
+        with pytest.raises(NotImplementedError):
+            engine.matmul(rng.normal(size=(1, 2)))
+
+
+class TestLayerCacheApi:
+    def test_every_cache_attr_exists(self):
+        """Each declared cache attribute must be a real attribute."""
+        layers = [
+            Dense(3, 2),
+            Conv2D(1, 2, 3),
+            MaxPool2D(2),
+            ReLU(),
+        ]
+        for layer in layers:
+            for attr in layer.CACHE_ATTRS:
+                assert hasattr(layer, attr), (layer, attr)
+
+    def test_save_restore_round_trip(self, rng):
+        layer = Dense(4, 3, rng=1)
+        first = rng.normal(size=(2, 4))
+        second = rng.normal(size=(2, 4))
+        out_first = layer.forward(first)
+        saved = layer.save_cache()
+        layer.forward(second)  # overwrite the cache
+        layer.load_cache(saved)
+        grad = layer.backward(np.ones_like(out_first))
+        # Restored cache means gradients flow for the *first* input.
+        layer.zero_grad()
+        layer.forward(first)
+        expected = layer.backward(np.ones_like(out_first))
+        np.testing.assert_allclose(grad, expected)
+
+    def test_interleaved_inputs_via_cache(self, rng):
+        """The pipelined-trainer pattern: two inputs in flight."""
+        layer = Conv2D(1, 2, 3, rng=1)
+        a = rng.normal(size=(1, 1, 5, 5))
+        b = rng.normal(size=(1, 1, 5, 5))
+        out_a = layer.forward(a)
+        cache_a = layer.save_cache()
+        out_b = layer.forward(b)
+        cache_b = layer.save_cache()
+
+        layer.zero_grad()
+        layer.load_cache(cache_a)
+        grad_a = layer.backward(np.ones_like(out_a))
+        layer.load_cache(cache_b)
+        grad_b = layer.backward(np.ones_like(out_b))
+
+        reference = Conv2D(1, 2, 3, rng=1)
+        reference.forward(a)
+        expected_a = reference.backward(np.ones_like(out_a))
+        reference.forward(b)
+        expected_b = reference.backward(np.ones_like(out_b))
+        np.testing.assert_allclose(grad_a, expected_a)
+        np.testing.assert_allclose(grad_b, expected_b)
+
+    def test_base_layer_abstract_methods(self, rng):
+        layer = Layer()
+        with pytest.raises(NotImplementedError):
+            layer.forward(rng.normal(size=(1, 2)))
+        with pytest.raises(NotImplementedError):
+            layer.backward(rng.normal(size=(1, 2)))
+        with pytest.raises(NotImplementedError):
+            layer.output_shape((2,))
+        assert StatelessLayer().parameters() == []

@@ -1,0 +1,165 @@
+"""Tests for pooling layers and activations."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    AvgPool2D,
+    LeakyReLU,
+    LUTActivation,
+    MaxPool2D,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from tests.conftest import assert_layer_gradients
+
+
+class TestMaxPool:
+    def test_known_values(self):
+        images = np.array(
+            [[[[1, 2, 5, 3], [4, 0, 1, 2], [7, 1, 0, 0], [2, 8, 1, 1]]]],
+            dtype=float,
+        )
+        out = MaxPool2D(2).forward(images)
+        np.testing.assert_array_equal(out, [[[[4, 5], [8, 1]]]])
+
+    def test_gradients(self, rng):
+        assert_layer_gradients(MaxPool2D(2), (2, 2, 6, 6), rng)
+
+    def test_gradient_routes_to_argmax(self):
+        images = np.array([[[[1.0, 3.0], [2.0, 0.0]]]])
+        layer = MaxPool2D(2)
+        layer.forward(images)
+        grad = layer.backward(np.array([[[[5.0]]]]))
+        np.testing.assert_array_equal(grad, [[[[0, 5], [0, 0]]]])
+
+    def test_overlapping_windows(self, rng):
+        """AlexNet-style 3x3 stride-2 pooling."""
+        out = MaxPool2D(3, stride=2).forward(rng.normal(size=(1, 1, 13, 13)))
+        assert out.shape == (1, 1, 6, 6)
+
+    def test_output_shape(self):
+        assert MaxPool2D(2).output_shape((8, 14, 14)) == (8, 7, 7)
+
+    def test_output_shape_too_small(self):
+        with pytest.raises(ValueError):
+            MaxPool2D(5).output_shape((1, 3, 3))
+
+    def test_rejects_non_nchw(self, rng):
+        with pytest.raises(ValueError):
+            MaxPool2D(2).forward(rng.normal(size=(4, 4)))
+
+    def test_running_max_semantics(self, rng):
+        """PipeLayer keeps a register with the max of a sequence; the
+        layer must equal that sequential max over each window."""
+        images = rng.normal(size=(1, 1, 4, 4))
+        out = MaxPool2D(2).forward(images)
+        for wy in range(2):
+            for wx in range(2):
+                window = images[0, 0, 2 * wy : 2 * wy + 2, 2 * wx : 2 * wx + 2]
+                running = -np.inf
+                for value in window.ravel():
+                    running = max(running, value)
+                assert out[0, 0, wy, wx] == running
+
+
+class TestAvgPool:
+    def test_known_values(self):
+        images = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = AvgPool2D(2).forward(images)
+        np.testing.assert_array_equal(out, [[[[2.5, 4.5], [10.5, 12.5]]]])
+
+    def test_gradients(self, rng):
+        assert_layer_gradients(AvgPool2D(2), (2, 2, 6, 6), rng)
+
+    def test_gradient_spreads_evenly(self):
+        layer = AvgPool2D(2)
+        layer.forward(np.zeros((1, 1, 2, 2)))
+        grad = layer.backward(np.array([[[[4.0]]]]))
+        np.testing.assert_array_equal(grad, np.full((1, 1, 2, 2), 1.0))
+
+    def test_mean_preserved(self, rng):
+        images = rng.normal(size=(2, 3, 8, 8))
+        out = AvgPool2D(2).forward(images)
+        assert np.mean(out) == pytest.approx(np.mean(images))
+
+
+class TestActivations:
+    @pytest.mark.parametrize(
+        "layer_cls", [ReLU, Sigmoid, Tanh, lambda: LeakyReLU(0.2)]
+    )
+    def test_gradients(self, layer_cls, rng):
+        assert_layer_gradients(layer_cls(), (3, 7), rng)
+
+    def test_relu_zeroes_negatives(self):
+        out = ReLU().forward(np.array([-1.0, 0.0, 2.0]))
+        np.testing.assert_array_equal(out, [0.0, 0.0, 2.0])
+
+    def test_leaky_relu_slope(self):
+        out = LeakyReLU(0.1).forward(np.array([-10.0, 10.0]))
+        np.testing.assert_allclose(out, [-1.0, 10.0])
+
+    def test_leaky_relu_rejects_bad_slope(self):
+        with pytest.raises(ValueError):
+            LeakyReLU(1.5)
+
+    def test_sigmoid_range_and_symmetry(self, rng):
+        values = rng.normal(size=100) * 10
+        out = Sigmoid().forward(values)
+        assert np.all((out > 0) & (out < 1))
+        np.testing.assert_allclose(
+            Sigmoid().forward(-values), 1.0 - out, atol=1e-12
+        )
+
+    def test_sigmoid_extreme_inputs_stable(self):
+        out = Sigmoid().forward(np.array([-1000.0, 1000.0]))
+        np.testing.assert_allclose(out, [0.0, 1.0], atol=1e-12)
+
+    def test_tanh_matches_numpy(self, rng):
+        values = rng.normal(size=50)
+        np.testing.assert_allclose(Tanh().forward(values), np.tanh(values))
+
+    def test_backward_before_forward(self, rng):
+        for layer in (ReLU(), Sigmoid(), Tanh(), LeakyReLU()):
+            with pytest.raises(RuntimeError):
+                layer.backward(rng.normal(size=(2, 2)))
+
+    def test_output_shape_identity(self):
+        assert ReLU().output_shape((3, 4, 5)) == (3, 4, 5)
+
+
+class TestLUTActivation:
+    def test_approximates_function(self, rng):
+        lut = LUTActivation(np.tanh, low=-4, high=4, entries=1024)
+        values = rng.uniform(-3, 3, size=200)
+        np.testing.assert_allclose(
+            lut.forward(values), np.tanh(values), atol=0.01
+        )
+
+    def test_more_entries_more_accurate(self, rng):
+        values = rng.uniform(-3, 3, size=500)
+        coarse = LUTActivation(np.tanh, entries=16).forward(values)
+        fine = LUTActivation(np.tanh, entries=4096).forward(values)
+        err_coarse = np.mean(np.abs(coarse - np.tanh(values)))
+        err_fine = np.mean(np.abs(fine - np.tanh(values)))
+        assert err_fine < err_coarse
+
+    def test_clamps_out_of_range(self):
+        lut = LUTActivation(np.tanh, low=-2, high=2, entries=64)
+        out = lut.forward(np.array([-100.0, 100.0]))
+        assert abs(out[0] - np.tanh(-2)) < 0.1
+        assert abs(out[1] - np.tanh(2)) < 0.1
+
+    def test_backward_uses_true_derivative(self, rng):
+        lut = LUTActivation(np.tanh, entries=256)
+        values = rng.uniform(-1, 1, size=20)
+        lut.forward(values)
+        grad = lut.backward(np.ones(20))
+        np.testing.assert_allclose(grad, 1 - np.tanh(values) ** 2, atol=1e-4)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            LUTActivation(np.tanh, entries=0)
+        with pytest.raises(ValueError):
+            LUTActivation(np.tanh, low=1.0, high=0.0)

@@ -1,0 +1,80 @@
+"""Tests for learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optim import SGD
+from repro.nn.parameter import Parameter
+from repro.nn.schedule import CosineLR, StepLR, WarmupLR
+
+
+def make_optimizer(lr=0.1):
+    return SGD([Parameter(np.zeros(2))], lr=lr)
+
+
+class TestStepLR:
+    def test_decays_at_period(self):
+        optimizer = make_optimizer(0.1)
+        schedule = StepLR(optimizer, period=3, gamma=0.5)
+        rates = [schedule.step() for _ in range(7)]
+        assert rates[:3] == [0.1, 0.1, 0.1]
+        assert rates[3:6] == pytest.approx([0.05, 0.05, 0.05])
+        assert rates[6] == pytest.approx(0.025)
+
+    def test_writes_to_optimizer(self):
+        optimizer = make_optimizer(0.1)
+        schedule = StepLR(optimizer, period=1, gamma=0.1)
+        schedule.step()
+        assert optimizer.lr == pytest.approx(0.1)
+        schedule.step()
+        assert optimizer.lr == pytest.approx(0.01)
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ValueError):
+            StepLR(make_optimizer(), period=1, gamma=0.0)
+        with pytest.raises(ValueError):
+            StepLR(make_optimizer(), period=1, gamma=1.5)
+
+
+class TestCosineLR:
+    def test_endpoints(self):
+        optimizer = make_optimizer(1.0)
+        schedule = CosineLR(optimizer, total=10, min_lr=0.1)
+        assert schedule.lr_at(0) == pytest.approx(1.0)
+        assert schedule.lr_at(10) == pytest.approx(0.1)
+
+    def test_monotone_decay(self):
+        schedule = CosineLR(make_optimizer(1.0), total=20)
+        rates = [schedule.lr_at(step) for step in range(21)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_clamped_after_total(self):
+        schedule = CosineLR(make_optimizer(1.0), total=5, min_lr=0.2)
+        assert schedule.lr_at(100) == pytest.approx(0.2)
+
+    def test_halfway_is_midpoint(self):
+        schedule = CosineLR(make_optimizer(1.0), total=10, min_lr=0.0)
+        assert schedule.lr_at(5) == pytest.approx(0.5)
+
+    def test_rejects_min_above_base(self):
+        with pytest.raises(ValueError):
+            CosineLR(make_optimizer(0.1), total=10, min_lr=0.2)
+
+
+class TestWarmupLR:
+    def test_linear_ramp(self):
+        schedule = WarmupLR(make_optimizer(0.4), warmup=4)
+        rates = [schedule.lr_at(step) for step in range(6)]
+        assert rates[:4] == pytest.approx([0.1, 0.2, 0.3, 0.4])
+        assert rates[4] == rates[5] == pytest.approx(0.4)
+
+    def test_training_with_schedule_converges(self):
+        parameter = Parameter(np.array([4.0]))
+        optimizer = SGD([parameter], lr=0.5)
+        schedule = CosineLR(optimizer, total=100, min_lr=0.01)
+        for _ in range(100):
+            optimizer.zero_grad()
+            parameter.grad[:] = 2 * parameter.value
+            schedule.step()
+            optimizer.step()
+        assert abs(parameter.value[0]) < 1e-3

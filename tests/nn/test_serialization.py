@@ -1,0 +1,99 @@
+"""Tests for network checkpointing (.npz save/load)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm,
+    Conv2D,
+    Dense,
+    ReLU,
+    Sequential,
+    VirtualBatchNorm,
+    build_mnist_cnn,
+)
+from repro.nn.serialization import load_network, network_state, save_network
+
+
+class TestNetworkState:
+    def test_contains_all_parameters(self):
+        network = build_mnist_cnn(rng=1)
+        state = network_state(network)
+        assert len(state) == len(network.parameters())
+
+    def test_batchnorm_running_stats_included(self, rng):
+        network = Sequential(
+            [Conv2D(1, 2, 3, name="c"), BatchNorm(2, name="bn")]
+        )
+        network.forward(rng.normal(size=(4, 1, 6, 6)), training=True)
+        state = network_state(network)
+        assert "bn.running_mean" in state
+        assert "bn.running_var" in state
+
+    def test_vbn_reference_included_after_set(self, rng):
+        vbn = VirtualBatchNorm(2, name="vbn")
+        network = Sequential([Conv2D(1, 2, 3, name="c"), vbn])
+        network.forward(rng.normal(size=(4, 1, 6, 6)), training=True)
+        state = network_state(network)
+        assert "vbn.ref_mean" in state
+
+    def test_duplicate_names_rejected(self):
+        network = Sequential([Dense(2, 2, name="d"), Dense(2, 2, name="d")])
+        with pytest.raises(ValueError, match="duplicate"):
+            network_state(network)
+
+
+class TestSaveLoadRoundTrip:
+    def test_outputs_identical_after_round_trip(self, rng, tmp_path):
+        network = build_mnist_cnn(rng=1)
+        inputs = rng.normal(size=(2, 1, 28, 28))
+        expected = network.forward(inputs)
+        save_network(network, tmp_path / "ckpt.npz")
+
+        fresh = build_mnist_cnn(rng=99)  # different init
+        assert not np.allclose(fresh.forward(inputs), expected)
+        load_network(fresh, tmp_path / "ckpt.npz")
+        np.testing.assert_array_equal(fresh.forward(inputs), expected)
+
+    def test_running_stats_round_trip(self, rng, tmp_path):
+        network = Sequential(
+            [Conv2D(1, 2, 3, name="c", rng=1), BatchNorm(2, name="bn")]
+        )
+        network.forward(rng.normal(size=(8, 1, 6, 6)), training=True)
+        save_network(network, tmp_path / "bn.npz")
+        fresh = Sequential(
+            [Conv2D(1, 2, 3, name="c", rng=2), BatchNorm(2, name="bn")]
+        )
+        load_network(fresh, tmp_path / "bn.npz")
+        np.testing.assert_array_equal(
+            fresh.layers[1].running_mean, network.layers[1].running_mean
+        )
+
+    def test_missing_parameter_raises(self, rng, tmp_path):
+        small = Sequential([Dense(2, 2, name="a")])
+        save_network(small, tmp_path / "small.npz")
+        bigger = Sequential([Dense(2, 2, name="a"), Dense(2, 2, name="b")])
+        with pytest.raises(KeyError):
+            load_network(bigger, tmp_path / "small.npz")
+
+    def test_shape_mismatch_raises(self, tmp_path):
+        save_network(Sequential([Dense(2, 2, name="a")]), tmp_path / "x.npz")
+        with pytest.raises(ValueError, match="shape"):
+            load_network(
+                Sequential([Dense(2, 3, name="a")]), tmp_path / "x.npz"
+            )
+
+    def test_unused_entries_raise(self, tmp_path):
+        save_network(
+            Sequential([Dense(2, 2, name="a"), Dense(2, 2, name="b")]),
+            tmp_path / "big.npz",
+        )
+        with pytest.raises(ValueError, match="unused"):
+            load_network(
+                Sequential([Dense(2, 2, name="a")]), tmp_path / "big.npz"
+            )
+
+    def test_creates_parent_directories(self, tmp_path):
+        network = Sequential([Dense(2, 2, name="a"), ReLU()])
+        save_network(network, tmp_path / "deep" / "dir" / "ckpt.npz")
+        assert (tmp_path / "deep" / "dir" / "ckpt.npz").exists()

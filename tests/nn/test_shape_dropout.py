@@ -1,0 +1,99 @@
+"""Tests for Flatten, Reshape and Dropout."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dropout, Flatten, Reshape
+
+
+class TestFlatten:
+    def test_forward_shape(self, rng):
+        out = Flatten().forward(rng.normal(size=(2, 3, 4, 5)))
+        assert out.shape == (2, 60)
+
+    def test_backward_restores_shape(self, rng):
+        layer = Flatten()
+        inputs = rng.normal(size=(2, 3, 4, 4))
+        layer.forward(inputs)
+        grad = layer.backward(rng.normal(size=(2, 48)))
+        assert grad.shape == inputs.shape
+
+    def test_round_trip_values(self, rng):
+        layer = Flatten()
+        inputs = rng.normal(size=(2, 2, 3, 3))
+        out = layer.forward(inputs)
+        np.testing.assert_array_equal(layer.backward(out), inputs)
+
+    def test_output_shape(self):
+        assert Flatten().output_shape((16, 7, 7)) == (784,)
+
+    def test_backward_before_forward(self, rng):
+        with pytest.raises(RuntimeError):
+            Flatten().backward(rng.normal(size=(2, 4)))
+
+
+class TestReshape:
+    def test_forward(self, rng):
+        out = Reshape((4, 2, 2)).forward(rng.normal(size=(3, 16)))
+        assert out.shape == (3, 4, 2, 2)
+
+    def test_incompatible_sizes(self, rng):
+        with pytest.raises(ValueError):
+            Reshape((4, 4)).forward(rng.normal(size=(2, 15)))
+
+    def test_backward(self, rng):
+        layer = Reshape((2, 8))
+        inputs = rng.normal(size=(2, 16))
+        layer.forward(inputs)
+        grad = layer.backward(rng.normal(size=(2, 2, 8)))
+        assert grad.shape == (2, 16)
+
+    def test_output_shape_validation(self):
+        with pytest.raises(ValueError):
+            Reshape((3, 3)).output_shape((8,))
+
+    def test_rejects_non_positive_extents(self):
+        with pytest.raises(ValueError):
+            Reshape((0, 4))
+
+
+class TestDropout:
+    def test_inference_is_identity(self, rng):
+        layer = Dropout(0.5, rng=1)
+        inputs = rng.normal(size=(4, 10))
+        np.testing.assert_array_equal(
+            layer.forward(inputs, training=False), inputs
+        )
+
+    def test_training_zeroes_and_scales(self):
+        layer = Dropout(0.5, rng=1)
+        inputs = np.ones((100, 100))
+        out = layer.forward(inputs, training=True)
+        values = np.unique(out)
+        assert set(values.tolist()) <= {0.0, 2.0}
+
+    def test_expected_value_preserved(self):
+        layer = Dropout(0.3, rng=2)
+        inputs = np.ones((200, 200))
+        out = layer.forward(inputs, training=True)
+        assert out.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_backward_uses_same_mask(self):
+        layer = Dropout(0.5, rng=3)
+        inputs = np.ones((10, 10))
+        out = layer.forward(inputs, training=True)
+        grad = layer.backward(np.ones_like(out))
+        np.testing.assert_array_equal(grad, out)
+
+    def test_zero_rate_is_identity(self, rng):
+        layer = Dropout(0.0)
+        inputs = rng.normal(size=(3, 5))
+        np.testing.assert_array_equal(
+            layer.forward(inputs, training=True), inputs
+        )
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)

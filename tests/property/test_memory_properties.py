@@ -1,0 +1,62 @@
+"""Property tests: memory round trips and pipelined-GAN cycle counts."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gan_pipeline import (
+    d_training_cycles_pipelined,
+    g_training_cycles_pipelined,
+)
+from repro.xbar.memory import ReRAMMemory
+
+
+class TestMemoryRoundTrip:
+    @given(
+        width=st.sampled_from([4, 8, 12, 16]),
+        count=st.integers(1, 32),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_ideal_round_trip_any_width(self, width, count, seed):
+        """Every word width and payload survives an ideal store/load."""
+        memory = ReRAMMemory.create(rows=16, cols=16, rng=0)
+        if count > memory.capacity_words(width):
+            return
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, 2**width, size=count)
+        memory.store(values, width=width)
+        np.testing.assert_array_equal(memory.load(), values)
+        assert memory.bit_error_rate(values) == 0.0
+
+    @given(
+        width=st.sampled_from([8, 16]),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_extreme_values_round_trip(self, width, seed):
+        memory = ReRAMMemory.create(rows=16, cols=16, rng=0)
+        values = np.array([0, 2**width - 1, 1, 2 ** (width - 1)])
+        memory.store(values, width=width)
+        np.testing.assert_array_equal(memory.load(), values)
+
+
+class TestGanPipelinedTrainerCycles:
+    @given(
+        l_d=st.integers(1, 6),
+        l_g=st.integers(1, 6),
+        batch=st.integers(1, 16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_phase_spans_compose_to_paper_formulas(self, l_d, l_g, batch):
+        """The wavefront executor's per-phase spans (program length +
+        B - 1, plus one update cycle each) reproduce the paper's D and
+        G training cycle counts for every (L_D, L_G, B)."""
+        # Phase spans as the executor computes them.
+        d_real_span = (2 * l_d + 1) + batch - 1
+        d_fake_span = (l_g + 2 * l_d + 1) + batch - 1
+        g_span = (2 * l_g + 2 * l_d + 1) + batch - 1
+        assert d_real_span + d_fake_span + 1 == d_training_cycles_pipelined(
+            l_d, l_g, batch
+        )
+        assert g_span + 1 == g_training_cycles_pipelined(l_d, l_g, batch)

@@ -1,0 +1,159 @@
+"""Tests for repro.utils.im2col: lowering, adjointness, zero insertion."""
+
+import numpy as np
+import pytest
+
+from repro.utils.im2col import (
+    col2im,
+    conv_output_size,
+    im2col,
+    insert_zeros,
+    pad_nchw,
+)
+
+
+class TestConvOutputSize:
+    @pytest.mark.parametrize(
+        "size,kernel,stride,pad,expected",
+        [
+            (28, 5, 1, 2, 28),
+            (114, 3, 1, 0, 112),  # the Fig. 4 example
+            (227, 11, 4, 0, 55),  # AlexNet conv1
+            (7, 7, 1, 0, 1),
+            (10, 2, 2, 0, 5),
+        ],
+    )
+    def test_known_sizes(self, size, kernel, stride, pad, expected):
+        assert conv_output_size(size, kernel, stride, pad) == expected
+
+    def test_kernel_too_large(self):
+        with pytest.raises(ValueError):
+            conv_output_size(3, 5, 1, 0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            conv_output_size(0, 1, 1, 0)
+        with pytest.raises(ValueError):
+            conv_output_size(5, 1, 0, 0)
+        with pytest.raises(ValueError):
+            conv_output_size(5, 1, 1, -1)
+
+
+class TestPadNchw:
+    def test_zero_pad_is_identity(self, rng):
+        images = rng.normal(size=(2, 3, 4, 4))
+        assert pad_nchw(images, 0) is images
+
+    def test_shape_and_content(self, rng):
+        images = rng.normal(size=(1, 1, 2, 2))
+        padded = pad_nchw(images, 1)
+        assert padded.shape == (1, 1, 4, 4)
+        assert padded[0, 0, 0, 0] == 0.0
+        np.testing.assert_array_equal(padded[0, 0, 1:3, 1:3], images[0, 0])
+
+
+class TestIm2col:
+    def test_shape(self, rng):
+        images = rng.normal(size=(2, 3, 8, 8))
+        cols = im2col(images, 3, 3, stride=1, pad=1)
+        assert cols.shape == (2 * 8 * 8, 3 * 3 * 3)
+
+    def test_matches_direct_convolution(self, rng):
+        """im2col @ weight must equal a brute-force Eq. (1) convolution."""
+        batch, cin, cout, size, kernel = 2, 3, 4, 6, 3
+        images = rng.normal(size=(batch, cin, size, size))
+        weight = rng.normal(size=(cout, cin, kernel, kernel))
+        cols = im2col(images, kernel, kernel)
+        out = (cols @ weight.reshape(cout, -1).T).reshape(
+            batch, size - kernel + 1, size - kernel + 1, cout
+        ).transpose(0, 3, 1, 2)
+
+        expected = np.zeros_like(out)
+        for n in range(batch):
+            for c in range(cout):
+                for y in range(size - kernel + 1):
+                    for x in range(size - kernel + 1):
+                        expected[n, c, y, x] = np.sum(
+                            weight[c]
+                            * images[n, :, y : y + kernel, x : x + kernel]
+                        )
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_stride_subsamples(self, rng):
+        images = rng.normal(size=(1, 1, 8, 8))
+        cols = im2col(images, 2, 2, stride=2)
+        assert cols.shape == (16, 4)
+
+    def test_single_pixel_kernel_is_reshape(self, rng):
+        images = rng.normal(size=(2, 3, 4, 4))
+        cols = im2col(images, 1, 1)
+        np.testing.assert_array_equal(
+            cols, images.transpose(0, 2, 3, 1).reshape(-1, 3)
+        )
+
+    def test_rejects_non_4d(self, rng):
+        with pytest.raises(ValueError):
+            im2col(rng.normal(size=(3, 4, 4)), 2, 2)
+
+
+class TestCol2im:
+    def test_adjoint_property(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> — col2im is the exact adjoint."""
+        shape = (2, 3, 7, 7)
+        images = rng.normal(size=shape)
+        cols = im2col(images, 3, 3, stride=2, pad=1)
+        other = rng.normal(size=cols.shape)
+        lhs = float(np.sum(cols * other))
+        rhs = float(np.sum(images * col2im(other, shape, 3, 3, stride=2, pad=1)))
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    def test_round_trip_counts_overlaps(self, rng):
+        """col2im(im2col(x)) multiplies each pixel by its window count."""
+        shape = (1, 1, 4, 4)
+        images = np.ones(shape)
+        cols = im2col(images, 2, 2, stride=1, pad=0)
+        back = col2im(cols, shape, 2, 2, stride=1, pad=0)
+        expected = np.array(
+            [
+                [1, 2, 2, 1],
+                [2, 4, 4, 2],
+                [2, 4, 4, 2],
+                [1, 2, 2, 1],
+            ],
+            dtype=float,
+        )
+        np.testing.assert_array_equal(back[0, 0], expected)
+
+    def test_wrong_shape_raises(self, rng):
+        with pytest.raises(ValueError):
+            col2im(rng.normal(size=(4, 4)), (1, 1, 4, 4), 2, 2)
+
+
+class TestInsertZeros:
+    def test_stride_one_is_identity(self, rng):
+        images = rng.normal(size=(1, 2, 3, 3))
+        assert insert_zeros(images, 1) is images
+
+    def test_shape(self, rng):
+        images = rng.normal(size=(2, 1, 3, 4))
+        out = insert_zeros(images, 2)
+        assert out.shape == (2, 1, 5, 7)
+
+    def test_values_at_grid_points(self, rng):
+        images = rng.normal(size=(1, 1, 3, 3))
+        out = insert_zeros(images, 3)
+        np.testing.assert_array_equal(out[:, :, ::3, ::3], images)
+
+    def test_zeros_in_between(self, rng):
+        images = rng.normal(size=(1, 1, 2, 2))
+        out = insert_zeros(images, 2)
+        assert out[0, 0, 1, 1] == 0.0
+        assert out[0, 0, 0, 1] == 0.0
+
+    def test_total_mass_preserved(self, rng):
+        images = rng.normal(size=(2, 3, 4, 4))
+        assert np.sum(insert_zeros(images, 2)) == pytest.approx(np.sum(images))
+
+    def test_rejects_bad_stride(self, rng):
+        with pytest.raises(ValueError):
+            insert_zeros(rng.normal(size=(1, 1, 2, 2)), 0)

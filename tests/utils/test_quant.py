@@ -1,0 +1,107 @@
+"""Tests for repro.utils.quant: uniform quantization behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.utils.quant import (
+    QuantSpec,
+    clip_to_range,
+    dequantize_uniform,
+    quantize_symmetric,
+    quantize_uniform,
+)
+
+
+class TestQuantSpec:
+    def test_step(self):
+        spec = QuantSpec(low=0.0, high=1.0, levels=5)
+        assert spec.step == pytest.approx(0.25)
+
+    def test_from_bits(self):
+        spec = QuantSpec.from_bits(0.0, 1.0, 3)
+        assert spec.levels == 8
+
+    def test_symmetric(self):
+        spec = QuantSpec.symmetric(2.0, 4)
+        assert spec.low == -2.0 and spec.high == 2.0 and spec.levels == 16
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            QuantSpec(low=0.0, high=1.0, levels=1)
+
+    def test_inverted_range(self):
+        with pytest.raises(ValueError):
+            QuantSpec(low=1.0, high=0.0, levels=4)
+
+    def test_endpoints_are_exact(self):
+        spec = QuantSpec(low=-1.0, high=1.0, levels=9)
+        values = np.array([-1.0, 1.0])
+        np.testing.assert_array_equal(spec.apply(values), values)
+
+    def test_clipping(self):
+        spec = QuantSpec(low=0.0, high=1.0, levels=3)
+        out = spec.apply(np.array([-5.0, 5.0]))
+        np.testing.assert_array_equal(out, [0.0, 1.0])
+
+    def test_round_trip_indices(self):
+        spec = QuantSpec(low=0.0, high=15.0, levels=16)
+        indices = np.arange(16)
+        np.testing.assert_array_equal(
+            spec.indices(spec.from_indices(indices)), indices
+        )
+
+    def test_from_indices_rejects_out_of_range(self):
+        spec = QuantSpec(low=0.0, high=1.0, levels=4)
+        with pytest.raises(ValueError):
+            spec.from_indices(np.array([4]))
+        with pytest.raises(ValueError):
+            spec.from_indices(np.array([-1]))
+
+    def test_quantization_error_bounded_by_half_step(self, rng):
+        spec = QuantSpec(low=-1.0, high=1.0, levels=17)
+        values = rng.uniform(-1.0, 1.0, size=100)
+        error = np.abs(spec.apply(values) - values)
+        assert np.all(error <= spec.step / 2 + 1e-12)
+
+    def test_idempotent(self, rng):
+        spec = QuantSpec(low=-1.0, high=1.0, levels=12)
+        once = spec.apply(rng.normal(size=50))
+        np.testing.assert_allclose(spec.apply(once), once, atol=1e-12)
+
+
+class TestHelpers:
+    def test_quantize_uniform_matches_spec(self, rng):
+        values = rng.normal(size=20)
+        spec = QuantSpec(low=-2.0, high=2.0, levels=8)
+        np.testing.assert_array_equal(
+            quantize_uniform(values, -2.0, 2.0, 8), spec.apply(values)
+        )
+
+    def test_dequantize_uniform(self):
+        out = dequantize_uniform(np.array([0, 7]), 0.0, 7.0, 8)
+        np.testing.assert_array_equal(out, [0.0, 7.0])
+
+    def test_clip_to_range(self):
+        np.testing.assert_array_equal(
+            clip_to_range(np.array([-2.0, 0.5, 2.0]), -1.0, 1.0),
+            [-1.0, 0.5, 1.0],
+        )
+
+    def test_clip_invalid_range(self):
+        with pytest.raises(ValueError):
+            clip_to_range(np.zeros(3), 1.0, 0.0)
+
+    def test_quantize_symmetric_zero_array(self):
+        values = np.zeros(5)
+        np.testing.assert_array_equal(quantize_symmetric(values, 4), values)
+
+    def test_quantize_symmetric_preserves_extremes(self, rng):
+        values = rng.normal(size=30)
+        out = quantize_symmetric(values, 8)
+        assert np.max(np.abs(out)) == pytest.approx(np.max(np.abs(values)))
+
+    def test_quantize_symmetric_more_bits_less_error(self, rng):
+        values = rng.normal(size=200)
+        err4 = np.mean(np.abs(quantize_symmetric(values, 4) - values))
+        err8 = np.mean(np.abs(quantize_symmetric(values, 8) - values))
+        assert err8 < err4

@@ -1,0 +1,82 @@
+"""Tests for repro.utils.rng: determinism and independence."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    DEFAULT_SEED,
+    derive_seed,
+    new_rng,
+    optional_rng,
+    spawn_rngs,
+)
+
+
+class TestNewRng:
+    def test_none_uses_default_seed(self):
+        a = new_rng(None).random(5)
+        b = new_rng(DEFAULT_SEED).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_same_seed_same_stream(self):
+        np.testing.assert_array_equal(
+            new_rng(42).random(10), new_rng(42).random(10)
+        )
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(new_rng(1).random(10), new_rng(2).random(10))
+
+    def test_generator_passes_through(self):
+        generator = np.random.default_rng(7)
+        assert new_rng(generator) is generator
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_children_are_independent(self):
+        children = spawn_rngs(3, 2)
+        assert not np.array_equal(
+            children[0].random(20), children[1].random(20)
+        )
+
+    def test_deterministic_across_calls(self):
+        first = spawn_rngs(9, 3)
+        second = spawn_rngs(9, 3)
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a.random(5), b.random(5))
+
+    def test_accepts_generator_seed(self):
+        children = spawn_rngs(np.random.default_rng(4), 2)
+        assert len(children) == 2
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(5, "layer1") == derive_seed(5, "layer1")
+
+    def test_salt_changes_seed(self):
+        assert derive_seed(5, "layer1") != derive_seed(5, "layer2")
+
+    def test_seed_changes_seed(self):
+        assert derive_seed(5, "layer1") != derive_seed(6, "layer1")
+
+    def test_in_valid_range(self):
+        seed = derive_seed(123456, "x" * 100)
+        assert 0 <= seed < 2**31 - 1
+
+
+class TestOptionalRng:
+    def test_none_stays_none(self):
+        assert optional_rng(None) is None
+
+    def test_int_becomes_generator(self):
+        assert isinstance(optional_rng(1), np.random.Generator)

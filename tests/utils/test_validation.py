@@ -1,0 +1,67 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_choice,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_shape,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 1)
+        check_positive("x", 0.001)
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", value)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        check_non_negative("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative("x", -1e-9)
+
+
+class TestCheckInRange:
+    def test_accepts_endpoints(self):
+        check_in_range("x", 0.0, 0.0, 1.0)
+        check_in_range("x", 1.0, 0.0, 1.0)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 1.1, 0.0, 1.0)
+
+
+class TestCheckShape:
+    def test_exact_match(self):
+        check_shape("a", np.zeros((2, 3)), (2, 3))
+
+    def test_wildcard(self):
+        check_shape("a", np.zeros((5, 3)), (-1, 3))
+
+    def test_wrong_rank(self):
+        with pytest.raises(ValueError, match="dimensions"):
+            check_shape("a", np.zeros((2, 3)), (2, 3, 1))
+
+    def test_wrong_extent(self):
+        with pytest.raises(ValueError, match="axis 1"):
+            check_shape("a", np.zeros((2, 3)), (2, 4))
+
+
+class TestCheckChoice:
+    def test_accepts_member(self):
+        check_choice("mode", "a", ("a", "b"))
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ValueError, match="mode"):
+            check_choice("mode", "c", ("a", "b"))

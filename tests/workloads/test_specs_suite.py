@@ -1,0 +1,148 @@
+"""Tests for workload layer specs and the evaluation suite."""
+
+import pytest
+
+from repro.workloads import (
+    FIG4_EXAMPLE,
+    LayerSpec,
+    alexnet_spec,
+    conv,
+    dcgan_spec,
+    fc,
+    fcnn,
+    mnist_cnn_spec,
+    pipelayer_suite,
+    pool,
+    regan_suite,
+    vggnet_spec,
+)
+
+
+class TestLayerSpec:
+    def test_fig4_example_numbers(self):
+        """The paper's worked example: 114x114x128 in, 3x3x128x256
+        kernels, 112x112x256 out, 1152x1 input vectors, 12544 cycles."""
+        assert FIG4_EXAMPLE.matrix_rows == 1152
+        assert FIG4_EXAMPLE.matrix_cols == 256
+        assert FIG4_EXAMPLE.output_vectors == 12544
+        assert FIG4_EXAMPLE.output_shape == (256, 112, 112)
+
+    def test_conv_macs(self):
+        layer = conv(2, 5, 3, 3)  # 5x5x2 -> 3x3x3, 3x3 kernels
+        assert layer.macs == (2 * 3 * 3) * 3 * (3 * 3)
+
+    def test_fc_geometry(self):
+        layer = fc(9216, 4096)
+        assert layer.matrix_rows == 9216
+        assert layer.matrix_cols == 4096
+        assert layer.output_vectors == 1
+        assert layer.macs == 9216 * 4096
+
+    def test_fcnn_output_grows(self):
+        layer = fcnn(8, 4, 4, 4, stride=2, pad=1)
+        assert layer.output_shape == (4, 8, 8)
+
+    def test_fcnn_matrix_uses_equivalent_conv(self):
+        layer = fcnn(8, 4, 4, 4, stride=2, pad=1)
+        assert layer.matrix_rows == 8 * 16
+        assert layer.matrix_cols == 4
+
+    def test_pool_has_no_matrix(self):
+        layer = pool(16, 14, 2)
+        assert layer.matrix_rows == 0
+        assert layer.weight_count == 0
+        assert layer.macs == 0
+        assert not layer.is_matrix_layer
+
+    def test_pool_output_shape(self):
+        assert pool(16, 14, 2).output_shape == (16, 7, 7)
+
+    def test_flops_twice_macs(self):
+        assert FIG4_EXAMPLE.flops == 2 * FIG4_EXAMPLE.macs
+
+    def test_scaled_shrinks_channels(self):
+        scaled = FIG4_EXAMPLE.scaled(0.5)
+        assert scaled.in_channels == 64
+        assert scaled.out_channels == 128
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            LayerSpec(kind="attention", in_channels=1, in_height=1,
+                      in_width=1, out_channels=1)
+
+
+class TestNetworkSpecs:
+    def test_alexnet_published_totals(self):
+        """AlexNet: ~1.1 GMACs, ~61-62M weights (the published figures,
+        biases excluded here)."""
+        net = alexnet_spec()
+        assert 1.0e9 < net.total_macs < 1.3e9
+        assert 60e6 < net.total_weights < 64e6
+        assert net.depth == 8
+
+    def test_vggnet_published_totals(self):
+        """VGG-16: ~15.5 GMACs, ~138M weights."""
+        net = vggnet_spec()
+        assert 15.0e9 < net.total_macs < 16.0e9
+        assert 134e6 < net.total_weights < 140e6
+        assert net.depth == 16
+
+    def test_mnist_depth(self):
+        assert mnist_cnn_spec().depth == 4
+
+    def test_pipelayer_suite_members(self):
+        names = [spec.name for spec in pipelayer_suite()]
+        assert names == ["mnist_cnn", "alexnet", "vggnet"]
+
+    def test_matrix_layers_exclude_pools(self):
+        net = alexnet_spec()
+        assert all(l.is_matrix_layer for l in net.matrix_layers)
+        assert len(net.matrix_layers) < len(net.layers)
+
+    def test_summary_renders(self):
+        assert "MACs" in alexnet_spec().summary()
+
+
+class TestDcganSpecs:
+    def test_generator_discriminator_mirror(self):
+        generator, discriminator = dcgan_spec(64, 3)
+        assert generator.layers[-1].output_shape == (3, 64, 64)
+        assert discriminator.input_shape == (3, 64, 64)
+
+    def test_generator_projects_then_upsamples(self):
+        generator, _ = dcgan_spec(32, 3)
+        kinds = [layer.kind for layer in generator.layers]
+        assert kinds[0] == "fc"
+        assert all(kind == "fcnn" for kind in kinds[1:])
+
+    def test_depth_scales_with_image_size(self):
+        g32, d32 = dcgan_spec(32, 3)
+        g64, d64 = dcgan_spec(64, 3)
+        assert g64.depth == g32.depth + 1
+        assert d64.depth == d32.depth + 1
+
+    def test_discriminator_ends_with_logit(self):
+        _, discriminator = dcgan_spec(32, 1)
+        last = discriminator.layers[-1]
+        assert last.kind == "fc"
+        assert last.out_channels == 1
+
+    def test_channel_doubling_halving(self):
+        generator, discriminator = dcgan_spec(64, 3, base_channels=128)
+        g_channels = [l.out_channels for l in generator.layers[1:]]
+        assert g_channels == [512, 256, 128, 3]
+        d_channels = [l.out_channels for l in discriminator.layers[:-1]]
+        assert d_channels == [128, 256, 512, 1024]
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            dcgan_spec(24, 3)
+        with pytest.raises(ValueError):
+            dcgan_spec(8, 3)
+
+    def test_regan_suite_datasets(self):
+        suite = regan_suite()
+        assert set(suite) == {"mnist", "cifar10", "celeba", "lsun"}
+        for generator, discriminator in suite.values():
+            assert generator.depth >= 4
+            assert discriminator.depth >= 4

@@ -1,0 +1,166 @@
+"""Tests for activation-range calibration."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_train_test
+from repro.nn import Adam, build_mnist_cnn, evaluate_classifier, train_classifier
+from repro.xbar import CrossbarEngineConfig, InputEncoding
+from repro.xbar.calibration import (
+    LayerCalibration,
+    calibrated_configs,
+    calibration_report,
+    collect_calibration,
+    deploy_calibrated,
+)
+
+
+@pytest.fixture(scope="module")
+def trained():
+    x_train, y_train, x_test, y_test = make_train_test(400, 120, rng=7)
+    network = build_mnist_cnn(rng=11)
+    train_classifier(
+        network, Adam(network.parameters(), lr=1e-3), x_train, y_train,
+        epochs=2, batch_size=32, rng=np.random.default_rng(1),
+    )
+    return network, x_train, x_test, y_test
+
+
+class TestCollectCalibration:
+    def test_covers_all_weight_layers(self, trained):
+        network, x_train, _, _ = trained
+        calibration = collect_calibration(network, x_train[:32])
+        assert len(calibration) == 4  # 2 conv + 2 fc
+
+    def test_statistics_ordering(self, trained):
+        network, x_train, _, _ = trained
+        calibration = collect_calibration(network, x_train[:32])
+        for stats in calibration.values():
+            assert stats.mean_abs <= stats.percentile_99 <= stats.max_abs
+
+    def test_percentile_tighter_than_max(self, trained):
+        network, x_train, _, _ = trained
+        calibration = collect_calibration(network, x_train[:32])
+        assert any(
+            stats.percentile_99 < stats.max_abs
+            for stats in calibration.values()
+        )
+
+    def test_range_policy_dispatch(self):
+        stats = LayerCalibration("l", max_abs=5.0, percentile_99=3.0,
+                                 mean_abs=1.0)
+        assert stats.range_for("max") == 5.0
+        assert stats.range_for("percentile") == 3.0
+        with pytest.raises(ValueError):
+            stats.range_for("median")
+
+    def test_zero_trace_guard(self):
+        stats = LayerCalibration("l", 0.0, 0.0, 0.0)
+        assert stats.range_for("max") > 0
+
+    def test_rejects_empty_calibration_set(self, trained):
+        network, x_train, _, _ = trained
+        with pytest.raises(ValueError):
+            collect_calibration(network, x_train[:0])
+
+
+class TestCalibratedDeployment:
+    def test_configs_carry_ranges(self, trained):
+        network, x_train, _, _ = trained
+        calibration = collect_calibration(network, x_train[:32])
+        configs = calibrated_configs(
+            CrossbarEngineConfig(), calibration, policy="max"
+        )
+        for name, config in configs.items():
+            assert config.activation_range == calibration[name].range_for(
+                "max"
+            )
+
+    def test_calibrated_deploy_preserves_accuracy(self, trained):
+        """Frozen ranges must not cost accuracy at 8-bit activations."""
+        network, x_train, x_test, y_test = trained
+        float_accuracy = evaluate_classifier(network, x_test, y_test)
+        deployment = deploy_calibrated(
+            network, CrossbarEngineConfig(), x_train[:64], rng=3
+        )
+        calibrated_accuracy = evaluate_classifier(network, x_test, y_test)
+        deployment.undeploy()
+        assert calibrated_accuracy >= float_accuracy - 0.05
+
+    def test_percentile_beats_max_at_low_bits(self, trained):
+        """At very low activation resolution, clipping outliers buys a
+        finer step and (usually) better accuracy."""
+        network, x_train, x_test, y_test = trained
+        base = CrossbarEngineConfig(encoding=InputEncoding(bits=3))
+        accuracies = {}
+        for policy in ("max", "percentile"):
+            deployment = deploy_calibrated(
+                network, base, x_train[:64], policy=policy, rng=3
+            )
+            accuracies[policy] = evaluate_classifier(
+                network, x_test, y_test
+            )
+            deployment.undeploy()
+        assert accuracies["percentile"] >= accuracies["max"] - 0.02
+
+    def test_report_renders(self, trained):
+        network, x_train, _, _ = trained
+        calibration = collect_calibration(network, x_train[:16])
+        lines = calibration_report(calibration)
+        assert len(lines) == 1 + len(calibration)
+        assert "max|x|" in lines[0]
+
+
+class TestFcnnCalibration:
+    def test_generator_calibration_covers_fcnn_layers(self, rng):
+        """The calibration pass must see what the FCNN crossbars see:
+        the zero-inserted, padded extended map."""
+        from repro.nn import build_dcgan_generator
+        from repro.nn.layers import FractionalStridedConv2D
+
+        generator = build_dcgan_generator(
+            noise_dim=8, base_channels=4, image_channels=1, image_size=16,
+            rng=1,
+        )
+        noise = rng.uniform(-1, 1, size=(6, 8))
+        generator.forward(noise, training=True)  # fix VBN references
+        calibration = collect_calibration(generator, noise)
+        fcnn_names = [
+            layer.name
+            for layer in generator.layers
+            if isinstance(layer, FractionalStridedConv2D)
+        ]
+        assert fcnn_names
+        for name in fcnn_names:
+            assert name in calibration
+            # Zero insertion guarantees many exact zeros in the drive,
+            # so the mean is well below the max.
+            stats = calibration[name]
+            assert stats.mean_abs < 0.5 * stats.max_abs
+
+    def test_calibrated_generator_deployment(self, rng):
+        from repro.nn import build_dcgan_generator
+
+        generator = build_dcgan_generator(
+            noise_dim=8, base_channels=4, image_channels=1, image_size=16,
+            rng=1,
+        )
+        noise = rng.uniform(-1, 1, size=(6, 8))
+        generator.forward(noise, training=True)
+        reference = generator.forward(noise)
+        # Generators are outlier-sensitive (few large activations feed
+        # tanh saturation), so the no-clipping "max" policy is the
+        # right choice — percentile clipping visibly distorts here.
+        deployment = deploy_calibrated(
+            generator,
+            CrossbarEngineConfig(array_rows=32, array_cols=32),
+            noise,
+            policy="max",
+            rng=4,
+        )
+        deployed = generator.forward(noise)
+        deployment.undeploy()
+        rel = np.max(np.abs(deployed - reference)) / np.max(
+            np.abs(reference)
+        )
+        assert rel < 0.05

@@ -1,0 +1,306 @@
+"""Tests for the device model, I&F ADC, and input drivers."""
+
+import numpy as np
+import pytest
+
+from repro.xbar.adc import ADCConfig, IntegrateFireADC
+from repro.xbar.dac import (
+    AnalogDAC,
+    InputEncoding,
+    SpikeCoder,
+    quantize_activations,
+)
+from repro.xbar.device import (
+    NOISY_DEVICE,
+    PIPELAYER_DEVICE,
+    DeviceConfig,
+    DeviceModel,
+)
+
+
+class TestDeviceConfig:
+    def test_default_window(self):
+        device = DeviceConfig()
+        assert device.g_min == pytest.approx(1e-6)
+        assert device.g_max == pytest.approx(1e-4)
+        assert device.on_off_ratio == pytest.approx(100.0)
+
+    def test_levels_from_bits(self):
+        assert DeviceConfig(cell_bits=4).levels == 16
+        assert DeviceConfig(cell_bits=1).levels == 2
+
+    def test_g_step_spans_window(self):
+        device = DeviceConfig(cell_bits=2)
+        assert device.g_min + 3 * device.g_step == pytest.approx(device.g_max)
+
+    def test_rejects_inverted_resistances(self):
+        with pytest.raises(ValueError):
+            DeviceConfig(r_on=1e6, r_off=1e4)
+
+    def test_rejects_stuck_rates_over_one(self):
+        with pytest.raises(ValueError):
+            DeviceConfig(stuck_off_rate=0.6, stuck_on_rate=0.6)
+
+    def test_ideal_strips_noise(self):
+        ideal = NOISY_DEVICE.ideal()
+        assert ideal.program_noise == 0.0
+        assert ideal.read_noise == 0.0
+        assert ideal.stuck_off_rate == 0.0
+
+    def test_with_noise_override(self):
+        device = PIPELAYER_DEVICE.with_noise(read_noise=0.5)
+        assert device.read_noise == 0.5
+        assert device.program_noise == PIPELAYER_DEVICE.program_noise
+
+
+class TestDeviceModel:
+    def test_ideal_programming_is_exact(self):
+        model = DeviceModel(PIPELAYER_DEVICE, rng=0)
+        levels = np.arange(16).reshape(4, 4)
+        conductance = model.program(levels)
+        back = (conductance - PIPELAYER_DEVICE.g_min) / PIPELAYER_DEVICE.g_step
+        np.testing.assert_allclose(back, levels, atol=1e-9)
+
+    def test_programming_noise_perturbs(self):
+        device = DeviceConfig(program_noise=0.1)
+        model = DeviceModel(device, rng=1)
+        levels = np.full((8, 8), 7)
+        conductance = model.program(levels)
+        back = (conductance - device.g_min) / device.g_step
+        assert np.std(back) > 0.01
+
+    def test_programming_noise_zero_mean_ish(self):
+        device = DeviceConfig(program_noise=0.05)
+        model = DeviceModel(device, rng=2)
+        levels = np.full((64, 64), 8)
+        back = (model.program(levels) - device.g_min) / device.g_step
+        assert np.mean(back) == pytest.approx(8.0, rel=0.02)
+
+    def test_conductance_clipped_to_window(self):
+        device = DeviceConfig(program_noise=1.0)
+        model = DeviceModel(device, rng=3)
+        conductance = model.program(np.full((32, 32), device.levels - 1))
+        assert np.all(conductance <= device.g_max)
+        assert np.all(conductance >= device.g_min)
+
+    def test_rejects_out_of_range_levels(self):
+        model = DeviceModel(PIPELAYER_DEVICE, rng=0)
+        with pytest.raises(ValueError):
+            model.program(np.array([[16]]))
+        with pytest.raises(ValueError):
+            model.program(np.array([[-1]]))
+
+    def test_stuck_faults_rate(self):
+        device = DeviceConfig(stuck_off_rate=0.2, stuck_on_rate=0.1)
+        model = DeviceModel(device, rng=4)
+        levels = np.full((200, 200), 8)
+        out = model.apply_stuck_faults(levels)
+        stuck_off = np.mean(out == 0)
+        stuck_on = np.mean(out == device.levels - 1)
+        assert stuck_off == pytest.approx(0.2, abs=0.02)
+        assert stuck_on == pytest.approx(0.1, abs=0.02)
+
+    def test_read_noise_zero_when_disabled(self):
+        model = DeviceModel(PIPELAYER_DEVICE, rng=0)
+        np.testing.assert_array_equal(
+            model.read_noise_levels((3, 3)), np.zeros((3, 3))
+        )
+
+    def test_read_noise_scale_in_level_units(self):
+        device = DeviceConfig(read_noise=0.7)
+        model = DeviceModel(device, rng=5)
+        noise = model.read_noise_levels((10000,))
+        assert np.std(noise) == pytest.approx(0.7, rel=0.05)
+
+    def test_read_noise_accumulates_over_reads(self):
+        device = DeviceConfig(read_noise=1.0)
+        model = DeviceModel(device, rng=6)
+        noise = model.read_noise_levels((10000,), reads=4)
+        assert np.std(noise) == pytest.approx(2.0, rel=0.05)
+
+
+class TestADC:
+    def test_lossless_for_integers(self):
+        adc = IntegrateFireADC(ADCConfig.lossless_for(128, 16))
+        values = np.arange(0, 128 * 15 + 1, 7, dtype=float)
+        np.testing.assert_array_equal(adc.convert(values), values)
+
+    def test_lossless_config_unit_grid(self):
+        config = ADCConfig.lossless_for(128, 16)
+        assert config.levels_per_count == 1.0
+        assert config.max_count >= 128 * 15
+
+    def test_saturates_at_full_scale(self):
+        adc = IntegrateFireADC(ADCConfig(bits=4, full_scale_levels=15.0))
+        assert adc.convert(np.array([100.0]))[0] == 15.0
+
+    def test_clips_negative_to_zero(self):
+        adc = IntegrateFireADC(ADCConfig(bits=4, full_scale_levels=15.0))
+        assert adc.convert(np.array([-3.0]))[0] == 0.0
+
+    def test_quantization_step(self):
+        adc = IntegrateFireADC(ADCConfig(bits=2, full_scale_levels=30.0))
+        # 3 counts over 30 levels -> step 10.
+        np.testing.assert_array_equal(
+            adc.convert(np.array([4.0, 6.0, 14.0])), [0.0, 10.0, 10.0]
+        )
+
+    def test_counts_are_integers(self):
+        adc = IntegrateFireADC(ADCConfig(bits=6, full_scale_levels=100.0))
+        counts = adc.counts(np.array([0.0, 50.0, 100.0]))
+        assert counts.dtype == np.int64
+        assert counts[2] == adc.config.max_count
+
+    def test_conversion_counter(self):
+        adc = IntegrateFireADC(ADCConfig(bits=8, full_scale_levels=255.0))
+        adc.convert(np.zeros((4, 5)))
+        assert adc.conversions == 20
+
+    def test_is_lossless_for(self):
+        adc = IntegrateFireADC(ADCConfig.lossless_for(64, 16))
+        assert adc.is_lossless_for(64, 16)
+        assert not adc.is_lossless_for(128, 16)
+
+
+class TestSpikeCoder:
+    def test_decompose_recompose_identity(self, rng):
+        coder = SpikeCoder(InputEncoding(bits=8))
+        integers = rng.integers(0, 256, size=(5, 7))
+        planes = coder.decompose(integers)
+        assert len(planes) == 8
+        recombined = coder.accumulate(planes)
+        np.testing.assert_array_equal(recombined, integers)
+
+    def test_planes_are_binary(self, rng):
+        coder = SpikeCoder(InputEncoding(bits=4))
+        planes = coder.decompose(rng.integers(0, 16, size=20))
+        for plane in planes:
+            assert set(np.unique(plane)).issubset({0.0, 1.0})
+
+    def test_lsb_first(self):
+        coder = SpikeCoder(InputEncoding(bits=3))
+        planes = coder.decompose(np.array([5]))  # 0b101
+        assert [p[0] for p in planes] == [1.0, 0.0, 1.0]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SpikeCoder(InputEncoding(bits=4)).decompose(np.array([-1]))
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            SpikeCoder(InputEncoding(bits=4)).decompose(np.array([16]))
+
+    def test_accumulate_wrong_count(self):
+        coder = SpikeCoder(InputEncoding(bits=4))
+        with pytest.raises(ValueError):
+            coder.accumulate([np.zeros(3)] * 3)
+
+    def test_subcycles(self):
+        assert SpikeCoder(InputEncoding(bits=6)).subcycles == 6
+        assert AnalogDAC(InputEncoding(bits=6)).subcycles == 1
+
+
+class TestAnalogDAC:
+    def test_drive_passes_values(self):
+        dac = AnalogDAC(InputEncoding(bits=4))
+        np.testing.assert_array_equal(
+            dac.drive(np.array([0, 7, 15])), [0.0, 7.0, 15.0]
+        )
+
+    def test_rejects_out_of_range(self):
+        dac = AnalogDAC(InputEncoding(bits=4))
+        with pytest.raises(ValueError):
+            dac.drive(np.array([16]))
+
+
+class TestQuantizeActivations:
+    def test_round_trip(self, rng):
+        encoding = InputEncoding(bits=8)
+        values = rng.normal(size=(4, 6))
+        pos, neg, scale = quantize_activations(values, encoding, 3.0)
+        reconstructed = (pos - neg) * scale
+        np.testing.assert_allclose(reconstructed, values, atol=scale / 2 + 1e-12)
+
+    def test_sign_split_disjoint(self, rng):
+        pos, neg, _ = quantize_activations(
+            rng.normal(size=100), InputEncoding(bits=6), 2.0
+        )
+        assert np.all((pos == 0) | (neg == 0))
+
+    def test_clipping_at_max_abs(self):
+        encoding = InputEncoding(bits=4)
+        pos, neg, scale = quantize_activations(
+            np.array([100.0, -100.0]), encoding, 1.0
+        )
+        assert pos[0] == encoding.max_int
+        assert neg[1] == encoding.max_int
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            quantize_activations(np.zeros(3), InputEncoding(bits=4), 0.0)
+
+
+class TestRateCoder:
+    def test_round_trip(self, rng):
+        from repro.xbar.dac import RateCoder
+
+        coder = RateCoder(InputEncoding(bits=4))
+        integers = rng.integers(0, 16, size=(4, 5))
+        planes = coder.decompose(integers)
+        assert len(planes) == 15  # 2**4 - 1 sub-cycles
+        np.testing.assert_array_equal(coder.accumulate(planes), integers)
+
+    def test_planes_are_binary_and_monotone(self, rng):
+        from repro.xbar.dac import RateCoder
+
+        coder = RateCoder(InputEncoding(bits=3))
+        planes = coder.decompose(rng.integers(0, 8, size=20))
+        for plane in planes:
+            assert set(np.unique(plane)).issubset({0.0, 1.0})
+        # Thermometer property: later planes are subsets of earlier ones.
+        for earlier, later in zip(planes, planes[1:]):
+            assert np.all(later <= earlier)
+
+    def test_exponentially_more_subcycles_than_weighted(self):
+        from repro.xbar.dac import RateCoder
+
+        for bits in (2, 4, 8):
+            encoding = InputEncoding(bits=bits)
+            assert RateCoder(encoding).subcycles == 2**bits - 1
+            assert SpikeCoder(encoding).subcycles == bits
+
+    def test_rejects_out_of_range(self):
+        from repro.xbar.dac import RateCoder
+
+        coder = RateCoder(InputEncoding(bits=3))
+        with pytest.raises(ValueError):
+            coder.decompose(np.array([8]))
+        with pytest.raises(ValueError):
+            coder.decompose(np.array([-1]))
+
+
+class TestRateModeEngine:
+    def test_rate_mode_matches_spike_mode(self, rng):
+        from repro.xbar import CrossbarEngine, CrossbarEngineConfig
+
+        weights = rng.normal(size=(20, 12))
+        activations = rng.normal(size=(3, 20))
+        outputs = {}
+        stats = {}
+        for mode in ("spike", "rate"):
+            engine = CrossbarEngine(
+                CrossbarEngineConfig(
+                    array_rows=16, array_cols=16, fast_ideal=False,
+                    encoding=InputEncoding(bits=4), input_mode=mode,
+                ),
+                rng=0,
+            )
+            engine.prepare(weights)
+            outputs[mode] = engine.matmul(activations)
+            stats[mode] = engine.stats.subcycles
+        np.testing.assert_allclose(
+            outputs["rate"], outputs["spike"], atol=1e-9
+        )
+        # The paper's claim, measured: weighted coding needs b passes
+        # per sign stream, rate coding 2**b - 1.
+        assert stats["rate"] > 3 * stats["spike"]

@@ -1,0 +1,146 @@
+"""Tests for weight-to-conductance mapping: signs, slices, schemes."""
+
+import numpy as np
+import pytest
+
+from repro.xbar.mapping import (
+    WeightMapping,
+    map_weights,
+    quantize_weights,
+    slice_magnitudes,
+)
+
+
+class TestWeightMapping:
+    def test_pipelayer_default(self):
+        """PipeLayer: 16-bit weights in 4-bit cells = 4 slices."""
+        mapping = WeightMapping(weight_bits=16, cell_bits=4)
+        assert mapping.n_slices == 4
+        assert mapping.magnitude_bits == 15
+        assert mapping.cells_per_weight == 8  # differential doubles
+
+    def test_offset_cells(self):
+        mapping = WeightMapping(weight_bits=16, cell_bits=4, scheme="offset")
+        assert mapping.cells_per_weight == 4
+
+    def test_non_divisible_bits_round_up(self):
+        mapping = WeightMapping(weight_bits=8, cell_bits=3)
+        assert mapping.n_slices == 3  # 7 magnitude bits / 3 -> 3 slices
+
+    def test_max_int(self):
+        assert WeightMapping(weight_bits=8, cell_bits=4).max_int == 127
+
+    def test_rejects_one_bit_weights(self):
+        with pytest.raises(ValueError):
+            WeightMapping(weight_bits=1, cell_bits=1)
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            WeightMapping(scheme="ternary")
+
+
+class TestQuantizeWeights:
+    def test_zero_matrix(self):
+        quantized, scale = quantize_weights(
+            np.zeros((3, 3)), WeightMapping()
+        )
+        assert scale == 1.0
+        np.testing.assert_array_equal(quantized, 0)
+
+    def test_round_trip_error_bounded(self, rng):
+        mapping = WeightMapping(weight_bits=8, cell_bits=4)
+        weights = rng.normal(size=(20, 20))
+        quantized, scale = quantize_weights(weights, mapping)
+        np.testing.assert_allclose(
+            quantized * scale, weights, atol=scale / 2 + 1e-12
+        )
+
+    def test_extremes_hit_max_int(self, rng):
+        mapping = WeightMapping(weight_bits=8, cell_bits=4)
+        weights = rng.normal(size=50)
+        quantized, _ = quantize_weights(weights, mapping)
+        assert np.max(np.abs(quantized)) == mapping.max_int
+
+    def test_more_bits_less_error(self, rng):
+        weights = rng.normal(size=(30, 30))
+        err = {}
+        for bits in (4, 8, 12):
+            mapping = WeightMapping(weight_bits=bits, cell_bits=4)
+            quantized, scale = quantize_weights(weights, mapping)
+            err[bits] = np.mean(np.abs(quantized * scale - weights))
+        assert err[12] < err[8] < err[4]
+
+
+class TestSliceMagnitudes:
+    def test_reconstruction(self, rng):
+        mapping = WeightMapping(weight_bits=16, cell_bits=4)
+        magnitudes = rng.integers(0, mapping.max_int + 1, size=(10, 10))
+        slices = slice_magnitudes(magnitudes, mapping)
+        recombined = sum(
+            plane * 16**index for index, plane in enumerate(slices)
+        )
+        np.testing.assert_array_equal(recombined, magnitudes)
+
+    def test_slices_fit_cell_levels(self, rng):
+        mapping = WeightMapping(weight_bits=16, cell_bits=4)
+        slices = slice_magnitudes(
+            rng.integers(0, mapping.max_int + 1, size=100), mapping
+        )
+        for plane in slices:
+            assert np.all((plane >= 0) & (plane < 16))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            slice_magnitudes(np.array([-1]), WeightMapping())
+
+    def test_rejects_overflow(self):
+        # 2 slices of 2 bits hold at most 15; 16 must be rejected.
+        mapping = WeightMapping(weight_bits=5, cell_bits=2)
+        assert mapping.n_slices == 2
+        with pytest.raises(ValueError):
+            slice_magnitudes(np.array([16]), mapping)
+
+
+class TestMapWeights:
+    def test_differential_reconstruction(self, rng):
+        mapping = WeightMapping(weight_bits=12, cell_bits=4)
+        weights = rng.normal(size=(15, 8))
+        sliced = map_weights(weights, mapping)
+        np.testing.assert_allclose(
+            sliced.reconstruct(), weights, atol=sliced.scale / 2 + 1e-12
+        )
+
+    def test_differential_planes_disjoint(self, rng):
+        sliced = map_weights(rng.normal(size=(10, 10)), WeightMapping())
+        positive = sum(p * 16**i for i, p in enumerate(sliced.pos_slices))
+        negative = sum(p * 16**i for i, p in enumerate(sliced.neg_slices))
+        assert np.all((positive == 0) | (negative == 0))
+
+    def test_offset_reconstruction(self, rng):
+        mapping = WeightMapping(weight_bits=12, cell_bits=4, scheme="offset")
+        weights = rng.normal(size=(9, 11))
+        sliced = map_weights(weights, mapping)
+        np.testing.assert_allclose(
+            sliced.reconstruct(), weights, atol=sliced.scale / 2 + 1e-12
+        )
+
+    def test_offset_neg_planes_empty(self, rng):
+        mapping = WeightMapping(scheme="offset")
+        sliced = map_weights(rng.normal(size=(5, 5)), mapping)
+        for plane in sliced.neg_slices:
+            np.testing.assert_array_equal(plane, 0)
+
+    def test_offset_matches_differential_values(self, rng):
+        """Both schemes represent the same quantized matrix."""
+        weights = rng.normal(size=(12, 7))
+        differential = map_weights(weights, WeightMapping(weight_bits=10))
+        offset = map_weights(
+            weights, WeightMapping(weight_bits=10, scheme="offset")
+        )
+        np.testing.assert_allclose(
+            differential.reconstruct(), offset.reconstruct(), atol=1e-12
+        )
+
+    def test_shape_property(self, rng):
+        sliced = map_weights(rng.normal(size=(6, 4)), WeightMapping())
+        assert sliced.shape == (6, 4)
