@@ -11,7 +11,8 @@ Four sweeps, all on the AlexNet deployment at batch 32:
 """
 
 from benchmarks._common import format_table, record
-from repro.core import MappingConfig, PipeLayerModel
+from repro.core import PipeLayerModel
+from repro.core.mapping import MappingConfig
 from repro.workloads import alexnet_spec
 
 

@@ -10,7 +10,7 @@ the passes-vs-arrays trade-off curve.
 """
 
 from benchmarks._common import format_table, record
-from repro.core import balanced_mapping, naive_mapping
+from repro.core.mapping import balanced_mapping, naive_mapping
 from repro.workloads import FIG4_EXAMPLE
 
 X_SWEEP = [1, 4, 16, 64, 256, 1024, 4096, 12544]

@@ -9,12 +9,12 @@ for large B).
 """
 
 from benchmarks._common import format_table, record
-from repro.core import (
+from repro.core.pipeline import (
     asymptotic_training_speedup,
-    simulate_training_pipeline,
     training_cycles_pipelined,
     training_cycles_sequential,
 )
+from repro.core.schedule import simulate_training_pipeline
 
 LAYERS = 8          # AlexNet's weighted-layer depth
 BATCHES = [1, 2, 4, 8, 16, 32, 64, 128]

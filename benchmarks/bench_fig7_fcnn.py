@@ -12,7 +12,7 @@ ReGAN accepts to reuse convolution hardware.
 import numpy as np
 
 from benchmarks._common import format_table, record
-from repro.core import (
+from repro.core.fcnn import (
     fcnn_backward_strided_conv,
     fcnn_forward_zero_insertion,
     zero_fraction,

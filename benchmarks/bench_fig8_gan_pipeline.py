@@ -8,7 +8,7 @@ records the cycle counts and speedups.
 """
 
 from benchmarks._common import format_table, record
-from repro.core import (
+from repro.core.gan_pipeline import (
     d_training_cycles_pipelined,
     d_training_cycles_unpipelined,
     g_training_cycles_pipelined,

@@ -9,7 +9,7 @@ cycles, speedup, and hardware price of each scheme.
 """
 
 from benchmarks._common import format_table, record
-from repro.core import SCHEME_COSTS, SCHEMES, iteration_cycles
+from repro.core.gan_pipeline import SCHEME_COSTS, SCHEMES, iteration_cycles
 from repro.workloads import regan_suite
 
 BATCH = 32

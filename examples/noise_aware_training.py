@@ -20,12 +20,9 @@ Run:  python examples/noise_aware_training.py
 """
 
 from repro.arch import training_lifetime
-from repro.core import (
-    PipeLayerModel,
-    compare_noise_aware,
-    render_training_schedule,
-    simulate_training_pipeline,
-)
+from repro.core import PipeLayerModel, compare_noise_aware
+from repro.core.schedule import simulate_training_pipeline
+from repro.core.trace import render_training_schedule
 from repro.datasets import make_train_test
 from repro.nn import SGD, build_mlp
 from repro.workloads import alexnet_spec, mnist_cnn_spec, vggnet_spec

@@ -13,9 +13,9 @@ Reproduces the PipeLayer analysis end to end at full network scale:
 Run:  python examples/pipelayer_imagenet.py
 """
 
-from repro.core import (
-    PipeLayerModel,
-    mapping_table,
+from repro.core import PipeLayerModel
+from repro.core.mapping import mapping_table
+from repro.core.pipeline import (
     training_cycles_pipelined,
     training_cycles_sequential,
 )

@@ -14,7 +14,8 @@ Run:  python examples/pipelined_training_equivalence.py
 
 import numpy as np
 
-from repro.core import PipelinedTrainer, training_cycles_per_batch_pipelined
+from repro.core.pipeline import training_cycles_per_batch_pipelined
+from repro.core.pipelined_trainer import PipelinedTrainer
 from repro.datasets import make_train_test
 from repro.nn import SGD, SoftmaxCrossEntropy, build_mnist_cnn, evaluate_classifier
 

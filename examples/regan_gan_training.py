@@ -14,7 +14,8 @@ Two halves, mirroring Sec. III-B:
 Run:  python examples/regan_gan_training.py
 """
 
-from repro.core import ReGANModel, scheme_table
+from repro.core import ReGANModel
+from repro.core.gan_pipeline import scheme_table
 from repro.datasets import DatasetShape, make_gan_images
 from repro.nn import (
     Adam,

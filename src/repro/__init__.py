@@ -26,10 +26,15 @@ Subpackages
 ``repro.datasets``
     Deterministic synthetic stand-ins for the paper's datasets.
 
+``repro.api``
+    The curated facade: :class:`~repro.api.Simulator` wires workload
+    building, crossbar deployment, inference/training, and the Table I
+    estimator into one object (re-exported here).
+
 Quick start
 -----------
->>> from repro.core import pipelayer_table1
->>> row = pipelayer_table1()
+>>> from repro import Simulator
+>>> row = Simulator.table1()["pipelayer"]
 >>> row.speedup > 1.0
 True
 """
@@ -37,6 +42,7 @@ True
 __version__ = "1.0.0"
 
 from repro import arch, core, datasets, nn, workloads, xbar
+from repro.api import InferenceResult, Simulator, TrainResult
 
 __all__ = [
     "arch",
@@ -45,5 +51,8 @@ __all__ = [
     "nn",
     "workloads",
     "xbar",
+    "Simulator",
+    "InferenceResult",
+    "TrainResult",
     "__version__",
 ]

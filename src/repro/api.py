@@ -1,0 +1,419 @@
+"""Unified simulation facade: one import for the whole reproduction.
+
+The subpackages expose every internal seam (device physics, mapping,
+pipelines, estimators); this module is the curated front door that
+wires them together for the common journeys:
+
+>>> from repro import Simulator
+>>> sim = Simulator.from_workload("mnist_cnn", seed=7)
+>>> result = sim.run_inference(count=32)
+>>> result.stats["mvm_calls"] > 0
+True
+
+* :meth:`Simulator.from_workload` — build a runnable network for a
+  named workload and deploy it onto simulated crossbar engines
+  (``backend="vectorized"`` or ``"loop"``, see
+  :class:`repro.xbar.engine.CrossbarEngineConfig`);
+* :meth:`Simulator.run_inference` — drive synthetic inputs through the
+  deployed datapath and collect accuracy plus operation counters;
+* :meth:`Simulator.train` — crossbar-in-the-loop training on the
+  matching synthetic dataset;
+* :meth:`Simulator.table1` — the paper's headline Table I rows.
+
+The module-level report functions (:func:`table1_report`,
+:func:`mapping_sweep`, :func:`pipeline_sweep`, :func:`gan_scheme_report`,
+:func:`schedule_trace`) return plain JSON-able dictionaries; the CLI
+routes every subcommand through them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.compiler import Deployment, deploy_network, spec_from_network
+from repro.core.estimator import TableOneRow, pipelayer_table1, regan_table1
+from repro.core.gan_pipeline import scheme_table
+from repro.core.gan_schedule import simulate_gan_iteration
+from repro.core.mapping import balanced_mapping
+from repro.core.pipeline import (
+    training_cycles_pipelined,
+    training_cycles_sequential,
+)
+from repro.core.schedule import simulate_training_pipeline
+from repro.core.trace import render_gan_schedule, render_training_schedule
+from repro.datasets.synthetic import (
+    CIFAR10_SHAPE,
+    MNIST_SHAPE,
+    DatasetShape,
+    make_classification_images,
+    make_train_test,
+)
+from repro.nn.models import build_cifar_cnn, build_mlp, build_mnist_cnn
+from repro.nn.network import Sequential
+from repro.nn.optim import SGD
+from repro.nn.train import evaluate_classifier, train_classifier
+from repro.utils.rng import derive_seed, new_rng
+from repro.workloads import FIG4_EXAMPLE, regan_suite
+from repro.workloads.suite import NetworkSpec
+from repro.xbar.engine import CrossbarEngineConfig
+
+#: Small flat-input stand-in driven by the "mlp" workload.
+_TOY_SHAPE = DatasetShape("toy", 1, 8, 4)
+
+
+def _row_dict(row: TableOneRow) -> Dict[str, Any]:
+    return {
+        "accelerator": row.accelerator,
+        "speedup": row.speedup,
+        "energy_saving": row.energy_saving,
+        "paper_speedup": row.paper_speedup,
+        "paper_energy_saving": row.paper_energy_saving,
+        "per_workload": [
+            {"network": name, "speedup": speedup, "energy_saving": energy}
+            for name, speedup, energy in row.per_workload
+        ],
+    }
+
+
+@dataclass
+class InferenceResult:
+    """Outcome of :meth:`Simulator.run_inference`."""
+
+    accuracy: float
+    count: int
+    outputs: np.ndarray
+    stats: Dict[str, int]
+    engine_info: Dict[str, dict]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able view (outputs elided — they are bulk data)."""
+        return {
+            "accuracy": self.accuracy,
+            "count": self.count,
+            "stats": dict(self.stats),
+            "engine_info": self.engine_info,
+        }
+
+    def summary(self) -> str:
+        return (
+            f"inference on {self.count} inputs: accuracy "
+            f"{self.accuracy:.3f}, {self.stats.get('mvm_calls', 0)} crossbar "
+            f"matmuls, {self.stats.get('subcycles', 0)} sub-cycles"
+        )
+
+
+@dataclass
+class TrainResult:
+    """Outcome of :meth:`Simulator.train`."""
+
+    final_accuracy: float
+    epochs: int
+    batch_losses: List[float] = field(repr=False)
+    stats: Dict[str, int] = field(default_factory=dict)
+    engine_info: Dict[str, dict] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "final_accuracy": self.final_accuracy,
+            "epochs": self.epochs,
+            "final_loss": self.batch_losses[-1] if self.batch_losses else None,
+            "stats": dict(self.stats),
+            "engine_info": self.engine_info,
+        }
+
+    def summary(self) -> str:
+        return (
+            f"trained {self.epochs} epoch(s): accuracy "
+            f"{self.final_accuracy:.3f}, "
+            f"{self.stats.get('array_programs', 0):,} array programs"
+        )
+
+
+class Simulator:
+    """A workload deployed onto the simulated accelerator.
+
+    Construct with :meth:`from_workload`; the instance owns the live
+    network, its synthetic dataset geometry, and (unless
+    ``deploy=False``) a crossbar engine per weight layer.  All
+    randomness derives from ``seed``, so runs are reproducible and the
+    two evaluation backends are bit-identical under the same seed.
+    """
+
+    WORKLOADS = ("mlp", "mnist_cnn", "cifar_cnn")
+
+    def __init__(
+        self,
+        name: str,
+        network: Sequential,
+        input_shape: Tuple[int, ...],
+        dataset: DatasetShape,
+        seed: int,
+        deployment: Optional[Deployment],
+        flatten_inputs: bool = False,
+    ) -> None:
+        self.name = name
+        self.network = network
+        self.input_shape = input_shape
+        self.dataset = dataset
+        self.seed = seed
+        self.deployment = deployment
+        self._flatten_inputs = flatten_inputs
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def from_workload(
+        cls,
+        name: str,
+        engine_config: Optional[CrossbarEngineConfig] = None,
+        backend: Optional[str] = None,
+        seed: int = 0,
+        deploy: bool = True,
+    ) -> "Simulator":
+        """Build a named workload and deploy it onto crossbar engines.
+
+        ``name`` is one of :attr:`WORKLOADS`.  ``backend`` overrides
+        the engine evaluation backend (``"loop"`` or ``"vectorized"``)
+        without rebuilding ``engine_config``; ``deploy=False`` keeps
+        the network on exact float matmul (the GPU-baseline
+        counterpart).
+        """
+        if name not in cls.WORKLOADS:
+            raise ValueError(
+                f"unknown workload {name!r}; pick from {cls.WORKLOADS}"
+            )
+        net_rng = derive_seed(seed, f"net:{name}")
+        if name == "mlp":
+            dataset = _TOY_SHAPE
+            features = (
+                dataset.channels * dataset.size * dataset.size
+            )
+            network = build_mlp(
+                features, hidden=(32,), classes=dataset.classes, rng=net_rng
+            )
+            input_shape: Tuple[int, ...] = (features,)
+            flatten = True
+        elif name == "mnist_cnn":
+            dataset = MNIST_SHAPE
+            network = build_mnist_cnn(rng=net_rng, classes=dataset.classes)
+            input_shape = dataset.image_shape
+            flatten = False
+        else:
+            dataset = CIFAR10_SHAPE
+            network = build_cifar_cnn(rng=net_rng, classes=dataset.classes)
+            input_shape = dataset.image_shape
+            flatten = False
+        deployment = None
+        if deploy:
+            deployment = deploy_network(
+                network,
+                engine_config,
+                rng=derive_seed(seed, "deploy"),
+                backend=backend,
+            )
+        return cls(
+            name=name,
+            network=network,
+            input_shape=input_shape,
+            dataset=dataset,
+            seed=seed,
+            deployment=deployment,
+            flatten_inputs=flatten,
+        )
+
+    # -- properties ---------------------------------------------------------
+    def spec(self) -> NetworkSpec:
+        """Shape-level spec of the deployed network (for cost models)."""
+        return spec_from_network(self.network, self.input_shape)
+
+    def engine_info(self) -> Dict[str, dict]:
+        """Which datapath serves each weight layer."""
+        if self.deployment is None:
+            return {}
+        return self.deployment.engine_info()
+
+    def stats(self) -> Dict[str, int]:
+        """Aggregate crossbar operation counters (zeros if undeployed)."""
+        if self.deployment is None:
+            return {}
+        return self.deployment.total_stats()
+
+    def undeploy(self) -> None:
+        """Detach the engines; the network falls back to exact matmul."""
+        if self.deployment is not None:
+            self.deployment.undeploy()
+            self.deployment = None
+
+    # -- journeys -----------------------------------------------------------
+    def _inputs(self, images: np.ndarray) -> np.ndarray:
+        if self._flatten_inputs:
+            return images.reshape(images.shape[0], -1)
+        return images
+
+    def run_inference(
+        self, count: int = 64, batch: int = 32
+    ) -> InferenceResult:
+        """Forward synthetic inputs through the deployed datapath."""
+        images, labels = make_classification_images(
+            count,
+            shape=self.dataset,
+            rng=derive_seed(self.seed, "infer"),
+        )
+        inputs = self._inputs(images)
+        outputs = []
+        for start in range(0, count, batch):
+            outputs.append(
+                self.network.forward(
+                    inputs[start : start + batch], training=False
+                )
+            )
+        logits = np.concatenate(outputs, axis=0)
+        accuracy = float(np.mean(np.argmax(logits, axis=1) == labels))
+        return InferenceResult(
+            accuracy=accuracy,
+            count=count,
+            outputs=logits,
+            stats=self.stats(),
+            engine_info=self.engine_info(),
+        )
+
+    def train(
+        self,
+        epochs: int = 1,
+        batch: int = 32,
+        train_count: int = 256,
+        test_count: int = 64,
+        learning_rate: float = 0.05,
+    ) -> TrainResult:
+        """Crossbar-in-the-loop training on the matching synthetic set.
+
+        The deployed engines stay in the forward path, so every batch
+        re-programs the arrays (fresh programming noise, like real
+        cells) and the final accuracy is measured on the same hardware
+        the network trained on.
+        """
+        images, labels, test_images, test_labels = make_train_test(
+            train_count,
+            test_count,
+            shape=self.dataset,
+            rng=derive_seed(self.seed, "train"),
+        )
+        history = train_classifier(
+            self.network,
+            SGD(self.network.parameters(), lr=learning_rate),
+            self._inputs(images),
+            labels,
+            epochs=epochs,
+            batch_size=batch,
+            rng=new_rng(derive_seed(self.seed, "shuffle")),
+        )
+        accuracy = evaluate_classifier(
+            self.network, self._inputs(test_images), test_labels
+        )
+        return TrainResult(
+            final_accuracy=accuracy,
+            epochs=epochs,
+            batch_losses=list(history.batch_losses),
+            stats=self.stats(),
+            engine_info=self.engine_info(),
+        )
+
+    @staticmethod
+    def table1(batch: int = 32) -> Dict[str, TableOneRow]:
+        """Both Table I rows (PipeLayer and ReGAN) at ``batch``."""
+        return {
+            "pipelayer": pipelayer_table1(batch=batch),
+            "regan": regan_table1(batch=batch),
+        }
+
+
+# -- JSON-able report functions (the CLI's data layer) ----------------------
+def table1_report(batch: int = 32) -> Dict[str, Any]:
+    """Table I rows as a plain dictionary."""
+    rows = Simulator.table1(batch=batch)
+    return {name: _row_dict(row) for name, row in rows.items()}
+
+
+def mapping_sweep(
+    duplications: Sequence[int] = (1, 4, 16, 64, 256, 1024, 4096, 12544),
+) -> List[Dict[str, int]]:
+    """Fig. 4 mapping trade-off: duplication vs passes vs arrays."""
+    out = []
+    for duplication in duplications:
+        mapping = balanced_mapping(FIG4_EXAMPLE, duplication)
+        out.append(
+            {
+                "duplication": int(duplication),
+                "passes_per_image": mapping.passes_per_image,
+                "arrays": mapping.total_arrays,
+            }
+        )
+    return out
+
+
+def pipeline_sweep(
+    layers: int = 8,
+    batches: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128),
+) -> List[Dict[str, Any]]:
+    """Fig. 5 pipeline cycles: sequential vs pipelined training."""
+    out = []
+    for batch in batches:
+        n_inputs = batch * 4
+        sequential = training_cycles_sequential(layers, n_inputs, batch)
+        pipelined = training_cycles_pipelined(layers, n_inputs, batch)
+        out.append(
+            {
+                "batch": int(batch),
+                "sequential_cycles": sequential,
+                "pipelined_cycles": pipelined,
+                "speedup": sequential / pipelined,
+            }
+        )
+    return out
+
+
+def gan_scheme_report(batch: int = 32) -> Dict[str, List[Dict[str, Any]]]:
+    """Fig. 9 GAN pipeline schemes per ReGAN dataset."""
+    report = {}
+    for dataset, (generator, discriminator) in regan_suite().items():
+        report[dataset] = scheme_table(
+            discriminator.depth, generator.depth, batch
+        )
+    return report
+
+
+def schedule_trace(
+    layers: int = 3,
+    batch: int = 4,
+    gan: bool = False,
+    scheme: str = "sp_cs",
+) -> Dict[str, Any]:
+    """Cycle-accurate schedule of one pipeline run, with ASCII Gantt."""
+    if gan:
+        result = simulate_gan_iteration(layers, layers, batch, scheme)
+        rendered = render_gan_schedule(result)
+    else:
+        result = simulate_training_pipeline(layers, batch * 2, batch)
+        rendered = render_training_schedule(result)
+    return {
+        "layers": layers,
+        "batch": batch,
+        "gan": gan,
+        "scheme": scheme if gan else None,
+        "makespan": result.makespan,
+        "gantt": rendered,
+    }
+
+
+__all__ = [
+    "Simulator",
+    "InferenceResult",
+    "TrainResult",
+    "table1_report",
+    "mapping_sweep",
+    "pipeline_sweep",
+    "gan_scheme_report",
+    "schedule_trace",
+]

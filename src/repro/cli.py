@@ -2,36 +2,34 @@
 
 Usage::
 
-    python -m repro.cli table1              # both Table I rows
-    python -m repro.cli fig4                # mapping trade-off sweep
-    python -m repro.cli fig5 --layers 8     # pipeline cycles + chart
-    python -m repro.cli fig9                # GAN pipeline schemes
-    python -m repro.cli summary alexnet     # workload inventory
-    python -m repro.cli trace --layers 3 --batch 4   # ASCII Gantt
+    repro table1                        # both Table I rows
+    repro table1 --json                 # same, machine-readable
+    repro fig4                          # mapping trade-off sweep
+    repro fig5 --layers 8               # pipeline cycles + chart
+    repro fig9                          # GAN pipeline schemes
+    repro summary alexnet               # workload inventory
+    repro trace --layers 3 --batch 4    # ASCII Gantt
+    repro infer mnist_cnn --backend vectorized
+    repro train mlp --epochs 2
 
-Each subcommand prints the same series the corresponding benchmark
-records; the CLI exists so users can explore parameters without writing
-code.
+(``python -m repro.cli ...`` works identically when the console script
+is not installed.)
+
+Every subcommand accepts the shared ``--seed`` / ``--batch`` options
+and a ``--json`` flag that switches the output to a machine-readable
+document.  All result data comes from :mod:`repro.api` — the CLI is a
+thin presentation layer over the same facade library users import.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Any, List, Optional
 
-from repro.core.estimator import pipelayer_table1, regan_table1
-from repro.core.gan_pipeline import scheme_table
-from repro.core.gan_schedule import simulate_gan_iteration
-from repro.core.mapping import balanced_mapping
-from repro.core.pipeline import (
-    training_cycles_pipelined,
-    training_cycles_sequential,
-)
-from repro.core.schedule import simulate_training_pipeline
-from repro.core.trace import render_gan_schedule, render_training_schedule
+from repro import api
 from repro.workloads import (
-    FIG4_EXAMPLE,
     alexnet_spec,
     mnist_cnn_spec,
     regan_suite,
@@ -45,52 +43,64 @@ _WORKLOADS = {
 }
 
 
-def _cmd_table1(args: argparse.Namespace) -> int:
-    print(pipelayer_table1(batch=args.batch).summary())
-    print()
-    print(regan_table1(batch=args.batch).summary())
+def _emit(args: argparse.Namespace, document: Any, text: str) -> int:
+    """Print ``document`` as JSON or the human ``text`` rendering."""
+    if args.json:
+        json.dump(document, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        print(text)
     return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    rows = api.Simulator.table1(batch=args.batch)
+    text = "\n\n".join(row.summary() for row in rows.values())
+    return _emit(args, api.table1_report(batch=args.batch), text)
 
 
 def _cmd_fig4(args: argparse.Namespace) -> int:
-    print("Fig. 4 mapping trade-off (114x114x128 -> 112x112x256, 3x3):")
-    print(f"{'X':>8s} {'passes/img':>12s} {'arrays':>10s}")
-    for duplication in (1, 4, 16, 64, 256, 1024, 4096, 12544):
-        mapping = balanced_mapping(FIG4_EXAMPLE, duplication)
-        print(
-            f"{duplication:>8d} {mapping.passes_per_image:>12d} "
-            f"{mapping.total_arrays:>10d}"
+    sweep = api.mapping_sweep()
+    lines = ["Fig. 4 mapping trade-off (114x114x128 -> 112x112x256, 3x3):"]
+    lines.append(f"{'X':>8s} {'passes/img':>12s} {'arrays':>10s}")
+    for row in sweep:
+        lines.append(
+            f"{row['duplication']:>8d} {row['passes_per_image']:>12d} "
+            f"{row['arrays']:>10d}"
         )
-    return 0
+    return _emit(args, sweep, "\n".join(lines))
 
 
 def _cmd_fig5(args: argparse.Namespace) -> int:
-    layers = args.layers
-    print(f"Fig. 5 pipeline, L = {layers}:")
-    print(f"{'B':>6s} {'sequential':>12s} {'pipelined':>12s} {'speedup':>9s}")
-    for batch in (1, 2, 4, 8, 16, 32, 64, 128):
-        n_inputs = batch * 4
-        sequential = training_cycles_sequential(layers, n_inputs, batch)
-        pipelined = training_cycles_pipelined(layers, n_inputs, batch)
-        print(
-            f"{batch:>6d} {sequential:>12d} {pipelined:>12d} "
-            f"{sequential / pipelined:>8.2f}x"
+    sweep = api.pipeline_sweep(layers=args.layers)
+    lines = [f"Fig. 5 pipeline, L = {args.layers}:"]
+    lines.append(
+        f"{'B':>6s} {'sequential':>12s} {'pipelined':>12s} {'speedup':>9s}"
+    )
+    for row in sweep:
+        lines.append(
+            f"{row['batch']:>6d} {row['sequential_cycles']:>12d} "
+            f"{row['pipelined_cycles']:>12d} {row['speedup']:>8.2f}x"
         )
-    return 0
+    return _emit(args, sweep, "\n".join(lines))
 
 
 def _cmd_fig9(args: argparse.Namespace) -> int:
-    for dataset, (generator, discriminator) in regan_suite().items():
-        print(f"{dataset} (L_G={generator.depth}, L_D={discriminator.depth},"
-              f" B={args.batch}):")
-        for row in scheme_table(
-            discriminator.depth, generator.depth, args.batch
-        ):
-            print(
+    report = api.gan_scheme_report(batch=args.batch)
+    depths = {
+        name: (generator.depth, discriminator.depth)
+        for name, (generator, discriminator) in regan_suite().items()
+    }
+    lines = []
+    for dataset, rows in report.items():
+        l_g, l_d = depths[dataset]
+        lines.append(f"{dataset} (L_G={l_g}, L_D={l_d}, B={args.batch}):")
+        for row in rows:
+            lines.append(
                 f"  {row['scheme']:<12s} {row['cycles']:>6d} cycles "
                 f"{row['speedup']:>7.2f}x"
             )
-    return 0
+    return _emit(args, report, "\n".join(lines))
 
 
 def _cmd_summary(args: argparse.Namespace) -> int:
@@ -101,30 +111,36 @@ def _cmd_summary(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    print(_WORKLOADS[args.workload]().summary())
-    return 0
+    spec = _WORKLOADS[args.workload]()
+    document = {
+        "name": spec.name,
+        "depth": spec.depth,
+        "layers": len(spec.layers),
+        "total_macs": spec.total_macs,
+        "total_weights": spec.total_weights,
+        "total_activations": spec.total_activations,
+    }
+    return _emit(args, document, spec.summary())
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    document = api.schedule_trace(
+        layers=args.layers,
+        batch=args.batch,
+        gan=args.gan,
+        scheme=args.scheme,
+    )
     if args.gan:
-        result = simulate_gan_iteration(
-            args.layers, args.layers, args.batch, args.scheme
-        )
-        print(
+        header = (
             f"GAN iteration, L_D=L_G={args.layers}, B={args.batch}, "
-            f"scheme={args.scheme} -> {result.makespan} cycles"
+            f"scheme={args.scheme} -> {document['makespan']} cycles"
         )
-        print(render_gan_schedule(result))
     else:
-        result = simulate_training_pipeline(
-            args.layers, args.batch * 2, args.batch
-        )
-        print(
+        header = (
             f"training pipeline, L={args.layers}, B={args.batch}, "
-            f"2 batches -> {result.makespan} cycles"
+            f"2 batches -> {document['makespan']} cycles"
         )
-        print(render_training_schedule(result))
-    return 0
+    return _emit(args, document, header + "\n" + document["gantt"])
 
 
 def _cmd_sensitivity(args: argparse.Namespace) -> int:
@@ -135,16 +151,29 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
         "speedup": lambda tech: pipelayer_table1(tech=tech).speedup,
         "energy": lambda tech: pipelayer_table1(tech=tech).energy_saving,
     }[args.metric]
-    print(f"PipeLayer {args.metric} sensitivity (0.5x .. 2x per field):")
-    print(f"{'parameter':<28s}{'0.5x':>10s}{'nominal':>10s}{'2x':>10s}"
-          f"{'swing':>8s}")
-    for row in tech_sensitivity(metric):
-        print(
+    rows = tech_sensitivity(metric)
+    document = [
+        {
+            "field": row.field,
+            "metric_low": row.metric_low,
+            "metric_nominal": row.metric_nominal,
+            "metric_high": row.metric_high,
+            "swing": row.swing,
+        }
+        for row in rows
+    ]
+    lines = [f"PipeLayer {args.metric} sensitivity (0.5x .. 2x per field):"]
+    lines.append(
+        f"{'parameter':<28s}{'0.5x':>10s}{'nominal':>10s}{'2x':>10s}"
+        f"{'swing':>8s}"
+    )
+    for row in rows:
+        lines.append(
             f"{row.field:<28s}{row.metric_low:>10.2f}"
             f"{row.metric_nominal:>10.2f}{row.metric_high:>10.2f}"
             f"{row.swing:>8.2f}"
         )
-    return 0
+    return _emit(args, document, "\n".join(lines))
 
 
 def _cmd_area(args: argparse.Namespace) -> int:
@@ -161,12 +190,57 @@ def _cmd_area(args: argparse.Namespace) -> int:
     model = PipeLayerModel(
         _WORKLOADS[args.workload](), array_budget=args.budget
     )
-    print(pipelayer_report(model, batch=args.batch).summary())
-    return 0
+    report = pipelayer_report(model, batch=args.batch)
+    document = {
+        "name": report.name,
+        "array_count": report.array_count,
+        "compute_area_mm2": report.compute_area_mm2,
+        "memory_area_mm2": report.memory_area_mm2,
+        "total_area_mm2": report.total_area_mm2,
+        "static_power_w": report.static_power_w,
+        "dynamic_power_w": report.dynamic_power_w,
+        "total_power_w": report.total_power_w,
+        "area_vs_gpu": report.area_vs_gpu,
+    }
+    return _emit(args, document, report.summary())
+
+
+def _cmd_infer(args: argparse.Namespace) -> int:
+    sim = api.Simulator.from_workload(
+        args.workload, backend=args.backend, seed=args.seed
+    )
+    result = sim.run_inference(count=args.count, batch=args.batch)
+    return _emit(args, result.to_dict(), result.summary())
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    sim = api.Simulator.from_workload(
+        args.workload, backend=args.backend, seed=args.seed
+    )
+    result = sim.train(
+        epochs=args.epochs,
+        batch=args.batch,
+        train_count=args.train_count,
+        test_count=args.test_count,
+    )
+    return _emit(args, result.to_dict(), result.summary())
 
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
+    shared = argparse.ArgumentParser(add_help=False)
+    shared.add_argument(
+        "--seed", type=int, default=0, help="master RNG seed (default 0)"
+    )
+    shared.add_argument(
+        "--batch", type=int, default=32, help="batch size (default 32)"
+    )
+    shared.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON document instead of text",
+    )
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate results from 'ReRAM-based Accelerator "
@@ -174,45 +248,87 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_table1 = sub.add_parser("table1", help="Table I: both accelerators")
-    p_table1.add_argument("--batch", type=int, default=32)
+    p_table1 = sub.add_parser(
+        "table1", parents=[shared], help="Table I: both accelerators"
+    )
     p_table1.set_defaults(func=_cmd_table1)
 
-    p_fig4 = sub.add_parser("fig4", help="Fig. 4 mapping sweep")
+    p_fig4 = sub.add_parser(
+        "fig4", parents=[shared], help="Fig. 4 mapping sweep"
+    )
     p_fig4.set_defaults(func=_cmd_fig4)
 
-    p_fig5 = sub.add_parser("fig5", help="Fig. 5 pipeline cycles")
+    p_fig5 = sub.add_parser(
+        "fig5", parents=[shared], help="Fig. 5 pipeline cycles"
+    )
     p_fig5.add_argument("--layers", type=int, default=8)
     p_fig5.set_defaults(func=_cmd_fig5)
 
-    p_fig9 = sub.add_parser("fig9", help="Fig. 9 GAN pipeline schemes")
-    p_fig9.add_argument("--batch", type=int, default=32)
+    p_fig9 = sub.add_parser(
+        "fig9", parents=[shared], help="Fig. 9 GAN pipeline schemes"
+    )
     p_fig9.set_defaults(func=_cmd_fig9)
 
-    p_summary = sub.add_parser("summary", help="workload inventory")
+    p_summary = sub.add_parser(
+        "summary", parents=[shared], help="workload inventory"
+    )
     p_summary.add_argument("workload")
     p_summary.set_defaults(func=_cmd_summary)
 
     p_sens = sub.add_parser(
-        "sensitivity", help="tech-parameter tornado for Table I"
+        "sensitivity",
+        parents=[shared],
+        help="tech-parameter tornado for Table I",
     )
     p_sens.add_argument(
         "--metric", choices=("speedup", "energy"), default="speedup"
     )
     p_sens.set_defaults(func=_cmd_sensitivity)
 
-    p_area = sub.add_parser("area", help="area/power budget of a workload")
+    p_area = sub.add_parser(
+        "area", parents=[shared], help="area/power budget of a workload"
+    )
     p_area.add_argument("workload")
     p_area.add_argument("--budget", type=int, default=262144)
-    p_area.add_argument("--batch", type=int, default=32)
     p_area.set_defaults(func=_cmd_area)
 
-    p_trace = sub.add_parser("trace", help="ASCII Gantt of a schedule")
+    p_trace = sub.add_parser(
+        "trace", parents=[shared], help="ASCII Gantt of a schedule"
+    )
     p_trace.add_argument("--layers", type=int, default=3)
-    p_trace.add_argument("--batch", type=int, default=4)
     p_trace.add_argument("--gan", action="store_true")
     p_trace.add_argument("--scheme", default="sp_cs")
-    p_trace.set_defaults(func=_cmd_trace)
+    p_trace.set_defaults(func=_cmd_trace, batch=4)
+
+    p_infer = sub.add_parser(
+        "infer",
+        parents=[shared],
+        help="run synthetic inference through the crossbar simulator",
+    )
+    p_infer.add_argument(
+        "workload", choices=api.Simulator.WORKLOADS
+    )
+    p_infer.add_argument(
+        "--backend", choices=("loop", "vectorized"), default=None
+    )
+    p_infer.add_argument("--count", type=int, default=64)
+    p_infer.set_defaults(func=_cmd_infer)
+
+    p_train = sub.add_parser(
+        "train",
+        parents=[shared],
+        help="crossbar-in-the-loop training on a synthetic set",
+    )
+    p_train.add_argument(
+        "workload", choices=api.Simulator.WORKLOADS
+    )
+    p_train.add_argument(
+        "--backend", choices=("loop", "vectorized"), default=None
+    )
+    p_train.add_argument("--epochs", type=int, default=1)
+    p_train.add_argument("--train-count", type=int, default=256)
+    p_train.add_argument("--test-count", type=int, default=64)
+    p_train.set_defaults(func=_cmd_train)
     return parser
 
 

@@ -4,14 +4,23 @@ Data mapping (Fig. 4), inter-layer pipelines (Fig. 5), FCNN mapping
 (Fig. 7), GAN training pipelines (Figs. 8-9), the accelerator cost
 models behind Table I, and the compiler that runs live networks through
 the crossbar simulator.
+
+This package re-exports only the *curated* high-level surface: the
+accelerator models, the Table I estimator, the network compiler, and
+crossbar-in-the-loop training.  Lower-level building blocks (mapping
+arithmetic, pipeline cycle formulas, schedule simulators, trace
+rendering, ...) live in their defining submodules — import them from
+there (``repro.core.mapping``, ``repro.core.pipeline``, ...).  The old
+flat names still resolve through a module ``__getattr__`` shim that
+raises a :class:`DeprecationWarning` naming the new home.
 """
 
-from repro.core.allocation import (
-    AllocationResult,
-    BankConfig,
-    Placement,
-    allocate_banks,
-)
+from __future__ import annotations
+
+import importlib
+import warnings
+from typing import Any
+
 from repro.core.compiler import Deployment, deploy_network, spec_from_network
 from repro.core.estimator import (
     PAPER_PIPELAYER_ENERGY,
@@ -26,86 +35,16 @@ from repro.core.estimator import (
     regan_table1,
     table1,
 )
-from repro.core.fcnn import (
-    equivalent_conv_kernel,
-    extended_input_shape,
-    fcnn_backward_strided_conv,
-    fcnn_forward_zero_insertion,
-    zero_fraction,
-    zero_insertion_padding,
-)
-from repro.core.gan_pipeline import (
-    SCHEME_COSTS,
-    SCHEMES,
-    SchemeCost,
-    d_training_cycles_pipelined,
-    d_training_cycles_unpipelined,
-    g_training_cycles_pipelined,
-    g_training_cycles_unpipelined,
-    iteration_cycles,
-    iteration_speedup,
-    scheme_table,
-    sweep_d_fake,
-    sweep_d_real,
-    sweep_g,
-)
-from repro.core.mapping import (
-    LayerMapping,
-    MappingConfig,
-    balance_duplication,
-    balanced_mapping,
-    duplication_for_passes,
-    mapping_table,
-    naive_mapping,
-)
 from repro.core.pipelayer import PipeLayerModel, PipeLayerReport
-from repro.core.pipeline import (
-    PipelineSummary,
-    asymptotic_training_speedup,
-    inference_cycles_pipelined,
-    inference_cycles_sequential,
-    training_cycles_per_batch_pipelined,
-    training_cycles_pipelined,
-    training_cycles_sequential,
-    training_speedup,
-)
-from repro.core.gan_schedule import (
-    GanEvent,
-    GanScheduleResult,
-    simulate_gan_iteration,
-    verify_scheme,
-)
-from repro.core.pipelined_gan import PipelinedGANTrainer, fix_vbn_references
-from repro.core.pipelined_trainer import (
-    PipelinedTrainer,
-    PipelineTickLog,
-    group_into_stages,
-)
 from repro.core.regan import ReGANModel, ReGANReport
-from repro.core.trace import (
-    occupancy_profile,
-    render_gan_schedule,
-    render_training_schedule,
-)
 from repro.core.training_sim import (
     CrossbarTrainingResult,
     NoiseAwareComparison,
     compare_noise_aware,
     train_on_crossbar,
 )
-from repro.core.schedule import (
-    ScheduleEvent,
-    ScheduleResult,
-    simulate_inference_pipeline,
-    simulate_training_pipeline,
-    simulate_training_sequential,
-)
 
 __all__ = [
-    "AllocationResult",
-    "BankConfig",
-    "Placement",
-    "allocate_banks",
     "Deployment",
     "deploy_network",
     "spec_from_network",
@@ -120,63 +59,101 @@ __all__ = [
     "PAPER_REGAN_ENERGY",
     "PIPELAYER_ARRAY_BUDGET",
     "REGAN_ARRAY_BUDGET",
-    "equivalent_conv_kernel",
-    "fcnn_forward_zero_insertion",
-    "fcnn_backward_strided_conv",
-    "extended_input_shape",
-    "zero_fraction",
-    "zero_insertion_padding",
-    "SCHEMES",
-    "SCHEME_COSTS",
-    "SchemeCost",
-    "iteration_cycles",
-    "iteration_speedup",
-    "scheme_table",
-    "sweep_d_real",
-    "sweep_d_fake",
-    "sweep_g",
-    "d_training_cycles_pipelined",
-    "d_training_cycles_unpipelined",
-    "g_training_cycles_pipelined",
-    "g_training_cycles_unpipelined",
-    "LayerMapping",
-    "MappingConfig",
-    "naive_mapping",
-    "balanced_mapping",
-    "balance_duplication",
-    "duplication_for_passes",
-    "mapping_table",
     "PipeLayerModel",
     "PipeLayerReport",
-    "GanEvent",
-    "GanScheduleResult",
-    "simulate_gan_iteration",
-    "verify_scheme",
-    "render_training_schedule",
-    "render_gan_schedule",
-    "occupancy_profile",
+    "ReGANModel",
+    "ReGANReport",
     "CrossbarTrainingResult",
     "NoiseAwareComparison",
     "train_on_crossbar",
     "compare_noise_aware",
-    "PipelinedGANTrainer",
-    "fix_vbn_references",
-    "PipelinedTrainer",
-    "PipelineTickLog",
-    "group_into_stages",
-    "ReGANModel",
-    "ReGANReport",
-    "PipelineSummary",
-    "training_cycles_sequential",
-    "training_cycles_pipelined",
-    "training_cycles_per_batch_pipelined",
-    "inference_cycles_sequential",
-    "inference_cycles_pipelined",
-    "training_speedup",
-    "asymptotic_training_speedup",
-    "ScheduleEvent",
-    "ScheduleResult",
-    "simulate_training_pipeline",
-    "simulate_training_sequential",
-    "simulate_inference_pipeline",
 ]
+
+#: Former ``repro.core`` flat exports -> their defining submodule.
+#: Resolved lazily with a DeprecationWarning; new code should import
+#: from the submodule directly.
+_DEPRECATED = {
+    # allocation
+    "AllocationResult": "repro.core.allocation",
+    "BankConfig": "repro.core.allocation",
+    "Placement": "repro.core.allocation",
+    "allocate_banks": "repro.core.allocation",
+    # fcnn
+    "equivalent_conv_kernel": "repro.core.fcnn",
+    "extended_input_shape": "repro.core.fcnn",
+    "fcnn_backward_strided_conv": "repro.core.fcnn",
+    "fcnn_forward_zero_insertion": "repro.core.fcnn",
+    "zero_fraction": "repro.core.fcnn",
+    "zero_insertion_padding": "repro.core.fcnn",
+    # gan_pipeline
+    "SCHEME_COSTS": "repro.core.gan_pipeline",
+    "SCHEMES": "repro.core.gan_pipeline",
+    "SchemeCost": "repro.core.gan_pipeline",
+    "d_training_cycles_pipelined": "repro.core.gan_pipeline",
+    "d_training_cycles_unpipelined": "repro.core.gan_pipeline",
+    "g_training_cycles_pipelined": "repro.core.gan_pipeline",
+    "g_training_cycles_unpipelined": "repro.core.gan_pipeline",
+    "iteration_cycles": "repro.core.gan_pipeline",
+    "iteration_speedup": "repro.core.gan_pipeline",
+    "scheme_table": "repro.core.gan_pipeline",
+    "sweep_d_fake": "repro.core.gan_pipeline",
+    "sweep_d_real": "repro.core.gan_pipeline",
+    "sweep_g": "repro.core.gan_pipeline",
+    # mapping
+    "LayerMapping": "repro.core.mapping",
+    "MappingConfig": "repro.core.mapping",
+    "balance_duplication": "repro.core.mapping",
+    "balanced_mapping": "repro.core.mapping",
+    "duplication_for_passes": "repro.core.mapping",
+    "mapping_table": "repro.core.mapping",
+    "naive_mapping": "repro.core.mapping",
+    # pipeline
+    "PipelineSummary": "repro.core.pipeline",
+    "asymptotic_training_speedup": "repro.core.pipeline",
+    "inference_cycles_pipelined": "repro.core.pipeline",
+    "inference_cycles_sequential": "repro.core.pipeline",
+    "training_cycles_per_batch_pipelined": "repro.core.pipeline",
+    "training_cycles_pipelined": "repro.core.pipeline",
+    "training_cycles_sequential": "repro.core.pipeline",
+    "training_speedup": "repro.core.pipeline",
+    # gan_schedule
+    "GanEvent": "repro.core.gan_schedule",
+    "GanScheduleResult": "repro.core.gan_schedule",
+    "simulate_gan_iteration": "repro.core.gan_schedule",
+    "verify_scheme": "repro.core.gan_schedule",
+    # pipelined trainers
+    "PipelinedGANTrainer": "repro.core.pipelined_gan",
+    "fix_vbn_references": "repro.core.pipelined_gan",
+    "PipelinedTrainer": "repro.core.pipelined_trainer",
+    "PipelineTickLog": "repro.core.pipelined_trainer",
+    "group_into_stages": "repro.core.pipelined_trainer",
+    # trace
+    "occupancy_profile": "repro.core.trace",
+    "render_gan_schedule": "repro.core.trace",
+    "render_training_schedule": "repro.core.trace",
+    # schedule
+    "ScheduleEvent": "repro.core.schedule",
+    "ScheduleResult": "repro.core.schedule",
+    "simulate_inference_pipeline": "repro.core.schedule",
+    "simulate_training_pipeline": "repro.core.schedule",
+    "simulate_training_sequential": "repro.core.schedule",
+}
+
+
+def __getattr__(name: str) -> Any:
+    module_path = _DEPRECATED.get(name)
+    if module_path is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    warnings.warn(
+        f"importing {name!r} from 'repro.core' is deprecated; import it "
+        f"from {module_path!r} instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return getattr(importlib.import_module(module_path), name)
+
+
+def __dir__() -> list:
+    return sorted(set(__all__) | set(_DEPRECATED))

@@ -15,7 +15,7 @@ Two jobs:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.nn.layers import (
@@ -140,6 +140,12 @@ class Deployment:
             totals["adc_conversions"] += stats.adc_conversions
         return totals
 
+    def engine_info(self) -> Dict[str, dict]:
+        """Per-layer engine descriptions (backend, array counts, ...)."""
+        return {
+            name: engine.info() for name, engine in self.engines.items()
+        }
+
     def undeploy(self) -> None:
         """Detach all engines (layers fall back to exact matmul)."""
         for layer in self.network.layers:
@@ -152,6 +158,7 @@ def deploy_network(
     network: Sequential,
     config: Optional[CrossbarEngineConfig] = None,
     rng: RngLike = None,
+    backend: Optional[str] = None,
 ) -> Deployment:
     """Attach crossbar engines to every Dense/Conv2D layer.
 
@@ -161,10 +168,17 @@ def deploy_network(
     Fig. 7(a) mapping: the equivalent flipped kernel is programmed and
     the zero-inserted input drives it as an ordinary convolution.
 
+    ``backend`` (``"loop"`` or ``"vectorized"``) overrides the
+    evaluation backend of ``config`` without the caller having to
+    rebuild the config — the two are bit-identical under a shared
+    seed, so this is purely a throughput knob.
+
     The engines are *lazy*: arrays are programmed at the first forward
     pass (when ``prepare`` first sees the weights).
     """
     config = config or CrossbarEngineConfig()
+    if backend is not None and backend != config.backend:
+        config = replace(config, backend=backend)
     targets = [
         layer
         for layer in network.layers

@@ -64,6 +64,7 @@ def train_on_crossbar(
     batch_size: int = 32,
     rng: RngLike = None,
     deploy_rng: RngLike = 3,
+    backend: Optional[str] = None,
 ) -> CrossbarTrainingResult:
     """Train ``network`` with its forward matmuls on the crossbars.
 
@@ -71,8 +72,15 @@ def train_on_crossbar(
     ``final_accuracy`` is measured on the same (non-ideal) hardware the
     network trained on.  The caller may ``deployment.undeploy()``
     afterwards.
+
+    ``backend`` overrides the engine evaluation backend; training is
+    the hottest consumer of the full datapath (every batch re-programs
+    and re-reads the arrays), so the default vectorized backend is
+    what makes crossbar-in-the-loop studies tractable.
     """
-    deployment = deploy_network(network, engine_config, rng=deploy_rng)
+    deployment = deploy_network(
+        network, engine_config, rng=deploy_rng, backend=backend
+    )
     history = train_classifier(
         network,
         optimizer,
@@ -125,13 +133,16 @@ def compare_noise_aware(
     batch_size: int = 32,
     train_rng_seed: int = 1,
     deploy_rng: RngLike = 3,
+    backend: Optional[str] = None,
 ) -> NoiseAwareComparison:
     """Run the two training regimes from identical initial weights.
 
     ``build_network()`` must return a freshly *seeded* network (same
     weights every call); ``build_optimizer(network)`` its optimizer.
     The same deployment seed is used in both arms so each sees the same
-    device instance (same stuck cells, same noise process).
+    device instance (same stuck cells, same noise process).  Both arms
+    use the same evaluation ``backend`` (the backends are bit-identical
+    under a shared seed, so this only changes wall-clock time).
     """
     images, labels = train_data
 
@@ -147,7 +158,9 @@ def compare_noise_aware(
         rng=np.random.default_rng(train_rng_seed),
     )
     float_accuracy = evaluate_classifier(network_a, *eval_data)
-    deployment_a = deploy_network(network_a, engine_config, rng=deploy_rng)
+    deployment_a = deploy_network(
+        network_a, engine_config, rng=deploy_rng, backend=backend
+    )
     deployed_accuracy = evaluate_classifier(network_a, *eval_data)
     deployment_a.undeploy()
 
@@ -164,6 +177,7 @@ def compare_noise_aware(
         batch_size=batch_size,
         rng=np.random.default_rng(train_rng_seed),
         deploy_rng=deploy_rng,
+        backend=backend,
     )
     result.deployment.undeploy()
 

@@ -27,8 +27,22 @@ class MatmulEngine:
         raise NotImplementedError
 
     def matmul(self, activations: np.ndarray) -> np.ndarray:
-        """Return ``activations @ weights`` for the prepared weights."""
+        """Return ``activations @ weights`` for the prepared weights.
+
+        ``activations`` carries the whole batch; implementations are
+        expected to evaluate it in one call (batched/vectorized) rather
+        than row by row, so batching decisions made by layers propagate
+        all the way into the engine.
+        """
         raise NotImplementedError
+
+    def info(self) -> dict:
+        """Describe this engine (name, backend, ...) for reports.
+
+        Keys are free-form; the deployment/facade layers surface them
+        verbatim so users can see which datapath served their matmuls.
+        """
+        return {"engine": type(self).__name__}
 
 
 class ExactEngine(MatmulEngine):
@@ -44,6 +58,9 @@ class ExactEngine(MatmulEngine):
         if self._weights is None:
             raise RuntimeError("prepare() must be called before matmul()")
         return np.asarray(activations, dtype=np.float64) @ self._weights
+
+    def info(self) -> dict:
+        return {"engine": "exact"}
 
 
 def run_engine(

@@ -68,6 +68,21 @@ class ADCConfig:
         return cls(bits=bits, full_scale_levels=float(2**bits - 1))
 
 
+def quantize_levels(level_values: np.ndarray, config: ADCConfig) -> np.ndarray:
+    """The I&F transfer function, vectorized over any input shape.
+
+    Values are clipped at the full scale (counter saturation) and
+    floored at zero (the I&F cannot fire a negative spike), snapped to
+    the count grid, then mapped back to level units.  Both the per-array
+    loop path and the stacked vectorized backend apply exactly this
+    function, so ADC quantization is bit-identical between them.
+    """
+    level_values = np.asarray(level_values, dtype=np.float64)
+    clipped = np.clip(level_values, 0.0, config.full_scale_levels)
+    counts = np.rint(clipped / config.levels_per_count)
+    return counts * config.levels_per_count
+
+
 class IntegrateFireADC:
     """Quantize analog column outputs (level units) to spike counts."""
 
@@ -78,16 +93,12 @@ class IntegrateFireADC:
     def convert(self, level_values: np.ndarray) -> np.ndarray:
         """Digitise ``level_values``; returns the same units, quantized.
 
-        Values are clipped at the full scale (counter saturation) and
-        floored at zero (the I&F cannot fire a negative spike), snapped
-        to the count grid, then mapped back to level units so callers
-        can keep working in a device-independent domain.
+        Delegates to :func:`quantize_levels` (the shared quantization
+        seam) and counts the conversions for the energy models.
         """
         level_values = np.asarray(level_values, dtype=np.float64)
         self.conversions += int(level_values.size)
-        clipped = np.clip(level_values, 0.0, self.config.full_scale_levels)
-        counts = np.rint(clipped / self.config.levels_per_count)
-        return counts * self.config.levels_per_count
+        return quantize_levels(level_values, self.config)
 
     def counts(self, level_values: np.ndarray) -> np.ndarray:
         """Raw spike counts (integers) for ``level_values``."""

@@ -55,6 +55,7 @@ class CrossbarArray:
         if adc is None:
             adc = ADCConfig.lossless_for(rows, device.levels)
         self.adc = IntegrateFireADC(adc)
+        self._levels: Optional[np.ndarray] = None
         self._conductance: Optional[np.ndarray] = None
         self.programs = 0
         self.reads = 0
@@ -76,19 +77,53 @@ class CrossbarArray:
             )
         full = np.zeros((self.rows, self.cols), dtype=np.int64)
         full[: levels.shape[0], : levels.shape[1]] = levels
-        self._conductance = self._model.program(full)
+        # The *level matrix* is the computational state: for an ideal
+        # device it is exactly integer-valued, so both evaluation
+        # backends compute bit-identical dot products no matter how
+        # BLAS associates the sums.  The conductance matrix is derived
+        # physical bookkeeping.
+        self._levels = self._model.program_levels(full)
+        self._levels.flags.writeable = False
+        self._conductance = (
+            self.device.g_min + self._levels * self.device.g_step
+        )
         self.programs += 1
 
     @property
     def is_programmed(self) -> bool:
         """Whether the array holds a programmed matrix."""
-        return self._conductance is not None
+        return self._levels is not None
 
-    def effective_levels(self) -> np.ndarray:
-        """Stored matrix in level units, including programming error."""
+    @property
+    def conductance(self) -> np.ndarray:
+        """The programmed conductance matrix (siemens), read-only view."""
         if self._conductance is None:
             raise RuntimeError("array has not been programmed")
-        return (self._conductance - self.device.g_min) / self.device.g_step
+        view = self._conductance.view()
+        view.flags.writeable = False
+        return view
+
+    def read_noise_levels(self, shape) -> np.ndarray:
+        """Draw per-read output noise from *this array's* stream.
+
+        The explicit device-noise seam shared by both evaluation
+        backends: one stacked draw of shape ``(subcycles, batch, cols)``
+        consumes the generator exactly like that many sequential
+        per-subcycle draws, which is what makes the vectorized backend
+        bit-identical to the loop path under a shared seed.
+        """
+        return self._model.read_noise_levels(shape)
+
+    def effective_levels(self) -> np.ndarray:
+        """Stored matrix in level units, including programming error.
+
+        This is the exact matrix every read multiplies by — the tensor
+        the vectorized backend stacks, and the basis of the engine's
+        linear fast path.
+        """
+        if self._levels is None:
+            raise RuntimeError("array has not been programmed")
+        return self._levels
 
     # -- evaluation -----------------------------------------------------------
     def mvm(self, drive: np.ndarray) -> np.ndarray:
@@ -96,11 +131,13 @@ class CrossbarArray:
 
         ``drive`` is ``(batch, rows)`` non-negative amplitudes (binary
         for spike coding, multi-level for an analog DAC).  Returns the
-        digitised column outputs ``(batch, cols)`` in level units: the
-        bit-line currents, baseline-corrected for the off-state leakage
-        ``g_min``, read-noise-corrupted, then quantized by the ADC.
+        digitised column outputs ``(batch, cols)`` in level units:
+        the bit-line currents baseline-corrected for the off-state
+        leakage ``g_min`` (computed directly in the level domain, where
+        ``currents - g_min * sum(drive) == drive @ levels * g_step``),
+        read-noise-corrupted, then quantized by the ADC.
         """
-        if self._conductance is None:
+        if self._levels is None:
             raise RuntimeError("array has not been programmed")
         drive = np.asarray(drive, dtype=np.float64)
         if drive.ndim == 1:
@@ -113,9 +150,7 @@ class CrossbarArray:
             raise ValueError("word-line drive must be non-negative")
         self.reads += int(drive.shape[0])
 
-        currents = drive @ self._conductance  # amperes per volt of drive
-        baseline = self.device.g_min * drive.sum(axis=1, keepdims=True)
-        level_values = (currents - baseline) / self.device.g_step
+        level_values = drive @ self._levels
         if self.device.read_noise > 0.0:
             level_values = level_values + self._model.read_noise_levels(
                 level_values.shape

@@ -185,11 +185,16 @@ class DeviceModel:
         out[draw > 1.0 - config.stuck_on_rate] = config.levels - 1
         return out
 
-    def program(self, levels: np.ndarray) -> np.ndarray:
-        """Convert integer levels to conductances with programming error.
+    def program_levels(self, levels: np.ndarray) -> np.ndarray:
+        """Effective stored levels after faults, noise, clip, IR drop.
 
-        ``levels`` must be integers in ``[0, levels - 1]``.  The
-        returned conductances are clipped to the physical window.
+        ``levels`` must be integers in ``[0, levels - 1]``; the result
+        is the float level matrix the cell array actually holds — the
+        computational domain of every read-path evaluation.  For an
+        ideal device the result is *exactly* integer-valued (no
+        conductance-domain round trip), which is what lets both
+        evaluation backends produce bit-identical MVMs regardless of
+        summation order.
         """
         levels = np.asarray(levels)
         config = self.config
@@ -198,16 +203,30 @@ class DeviceModel:
                 f"levels must be in [0, {config.levels - 1}]"
             )
         levels = self.apply_stuck_faults(levels)
-        span = levels.astype(np.float64) * config.g_step
+        effective = levels.astype(np.float64)
         if config.program_noise > 0.0:
             factor = self._rng.lognormal(
-                mean=0.0, sigma=config.program_noise, size=span.shape
+                mean=0.0, sigma=config.program_noise, size=effective.shape
             )
-            span = span * factor
-        conductance = np.clip(
-            config.g_min + span, config.g_min, config.g_max
-        )
-        return apply_ir_drop(conductance, config.wire_resistance)
+            effective = effective * factor
+        effective = np.clip(effective, 0.0, float(config.levels - 1))
+        if config.wire_resistance > 0.0:
+            conductance = apply_ir_drop(
+                config.g_min + effective * config.g_step,
+                config.wire_resistance,
+            )
+            effective = (conductance - config.g_min) / config.g_step
+        return effective
+
+    def program(self, levels: np.ndarray) -> np.ndarray:
+        """Convert integer levels to conductances with programming error.
+
+        ``levels`` must be integers in ``[0, levels - 1]``.  The
+        returned conductances are clipped to the physical window.
+        """
+        config = self.config
+        effective = self.program_levels(levels)
+        return config.g_min + effective * config.g_step
 
     def read_noise_levels(self, shape, reads: int = 1) -> np.ndarray:
         """Additive per-read output noise, in conductance-level units.

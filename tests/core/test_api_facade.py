@@ -1,0 +1,228 @@
+"""Tests for the ``repro.api`` facade, the curated core surface, and
+the CLI's ``--json`` contract."""
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+import repro.core
+from repro import Simulator
+from repro.api import (
+    gan_scheme_report,
+    mapping_sweep,
+    pipeline_sweep,
+    schedule_trace,
+)
+from repro.cli import main
+from repro.xbar.engine import CrossbarEngineConfig
+
+
+class TestSimulator:
+    def test_from_workload_deploys_engines(self):
+        sim = Simulator.from_workload("mlp", seed=3)
+        info = sim.engine_info()
+        assert info  # one entry per weight layer
+        assert all(entry["engine"] == "crossbar" for entry in info.values())
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            Simulator.from_workload("resnet")
+
+    def test_backend_override_reaches_engines(self):
+        sim = Simulator.from_workload("mlp", backend="loop", seed=3)
+        assert all(
+            entry["backend"] == "loop"
+            for entry in sim.engine_info().values()
+        )
+
+    def test_run_inference_counts_operations(self):
+        sim = Simulator.from_workload("mlp", seed=3)
+        result = sim.run_inference(count=16, batch=8)
+        assert result.count == 16
+        assert result.outputs.shape == (16, sim.dataset.classes)
+        assert result.stats["mvm_calls"] > 0
+        assert 0.0 <= result.accuracy <= 1.0
+        document = result.to_dict()
+        json.dumps(document)  # must be JSON-able
+        assert "outputs" not in document
+
+    def test_run_inference_is_deterministic(self):
+        first = Simulator.from_workload("mlp", seed=9).run_inference(
+            count=8, batch=8
+        )
+        second = Simulator.from_workload("mlp", seed=9).run_inference(
+            count=8, batch=8
+        )
+        assert np.array_equal(first.outputs, second.outputs)
+
+    def test_backends_bit_identical_through_facade(self):
+        config = CrossbarEngineConfig(
+            array_rows=16, array_cols=16, fast_ideal=False
+        )
+        outputs = {}
+        for backend in ("loop", "vectorized"):
+            sim = Simulator.from_workload(
+                "mlp", engine_config=config, backend=backend, seed=4
+            )
+            outputs[backend] = sim.run_inference(count=8, batch=8).outputs
+        assert np.array_equal(outputs["loop"], outputs["vectorized"])
+
+    def test_train_reprograms_arrays(self):
+        sim = Simulator.from_workload("mlp", seed=5)
+        result = sim.train(
+            epochs=1, batch=16, train_count=48, test_count=16
+        )
+        assert result.stats["array_programs"] > 0
+        assert result.batch_losses
+        json.dumps(result.to_dict())
+
+    def test_undeploy_restores_exact_matmul(self):
+        sim = Simulator.from_workload("mlp", seed=3)
+        sim.undeploy()
+        assert sim.engine_info() == {}
+        assert sim.stats() == {}
+        # forward still works on the exact path
+        result = sim.run_inference(count=8, batch=8)
+        assert result.stats == {}
+
+    def test_spec_derivation(self):
+        sim = Simulator.from_workload("mnist_cnn", seed=0, deploy=False)
+        spec = sim.spec()
+        assert spec.depth >= 3
+        assert spec.total_weights > 0
+
+    def test_facade_reexported_from_package_root(self):
+        assert repro.Simulator is Simulator
+        assert "Simulator" in repro.__all__
+
+
+class TestReportFunctions:
+    def test_mapping_sweep_shape(self):
+        sweep = mapping_sweep(duplications=(1, 4))
+        assert [row["duplication"] for row in sweep] == [1, 4]
+        assert sweep[0]["passes_per_image"] > sweep[1]["passes_per_image"]
+
+    def test_pipeline_sweep_speedup_grows(self):
+        sweep = pipeline_sweep(layers=6, batches=(1, 32))
+        assert sweep[-1]["speedup"] > sweep[0]["speedup"]
+
+    def test_gan_scheme_report_has_all_datasets(self):
+        report = gan_scheme_report(batch=8)
+        assert set(report) == {"mnist", "cifar10", "celeba", "lsun"}
+
+    def test_schedule_trace_json_able(self):
+        document = schedule_trace(layers=2, batch=2)
+        json.dumps(document)
+        assert document["makespan"] > 0
+        assert "fwd L1" in document["gantt"]
+
+
+class TestCuratedCoreSurface:
+    def test_curated_names_import_cleanly(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro.core import (  # noqa: F401
+                Deployment,
+                PipeLayerModel,
+                ReGANModel,
+                deploy_network,
+                pipelayer_table1,
+                train_on_crossbar,
+            )
+
+    def test_deprecated_names_warn_but_resolve(self):
+        for name in ("balanced_mapping", "simulate_training_pipeline",
+                     "scheme_table", "render_training_schedule"):
+            with pytest.warns(DeprecationWarning, match=name):
+                resolved = getattr(repro.core, name)
+            assert callable(resolved)
+
+    def test_deprecated_name_identity(self):
+        from repro.core.mapping import balanced_mapping as direct
+
+        with pytest.warns(DeprecationWarning):
+            shimmed = repro.core.balanced_mapping
+        assert shimmed is direct
+
+    def test_unknown_name_raises_attribute_error(self):
+        with pytest.raises(AttributeError):
+            repro.core.does_not_exist
+
+    def test_dir_lists_both_surfaces(self):
+        names = dir(repro.core)
+        assert "pipelayer_table1" in names
+        assert "balanced_mapping" in names
+
+
+class TestCliJson:
+    def _json_out(self, capsys, argv):
+        assert main(argv) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_fig4_json(self, capsys):
+        document = self._json_out(capsys, ["fig4", "--json"])
+        assert document[0]["duplication"] == 1
+
+    def test_fig5_json(self, capsys):
+        document = self._json_out(
+            capsys, ["fig5", "--layers", "3", "--json"]
+        )
+        assert {"batch", "speedup"} <= set(document[0])
+
+    def test_fig9_json(self, capsys):
+        document = self._json_out(capsys, ["fig9", "--batch", "8", "--json"])
+        assert "mnist" in document
+
+    def test_summary_json(self, capsys):
+        document = self._json_out(capsys, ["summary", "mnist", "--json"])
+        assert document["name"] == "mnist_cnn"
+        assert document["total_macs"] > 0
+
+    def test_trace_json(self, capsys):
+        document = self._json_out(
+            capsys, ["trace", "--layers", "2", "--batch", "2", "--json"]
+        )
+        assert document["makespan"] > 0
+
+    def test_area_json(self, capsys):
+        document = self._json_out(
+            capsys, ["area", "mnist", "--budget", "8192", "--json"]
+        )
+        assert document["array_count"] > 0
+
+    def test_infer_json(self, capsys):
+        document = self._json_out(
+            capsys,
+            ["infer", "mlp", "--count", "8", "--batch", "8", "--json"],
+        )
+        assert document["stats"]["mvm_calls"] > 0
+
+    def test_infer_seed_changes_nothing_but_data(self, capsys):
+        first = self._json_out(
+            capsys,
+            ["infer", "mlp", "--count", "8", "--batch", "8", "--seed", "1",
+             "--json"],
+        )
+        again = self._json_out(
+            capsys,
+            ["infer", "mlp", "--count", "8", "--batch", "8", "--seed", "1",
+             "--json"],
+        )
+        assert first == again
+
+    def test_train_json(self, capsys):
+        document = self._json_out(
+            capsys,
+            ["train", "mlp", "--epochs", "1", "--train-count", "32",
+             "--test-count", "16", "--batch", "16", "--json"],
+        )
+        assert document["stats"]["array_programs"] > 0
+
+    @pytest.mark.slow
+    def test_table1_json(self, capsys):
+        document = self._json_out(capsys, ["table1", "--json"])
+        assert document["pipelayer"]["speedup"] > 1.0
+        assert document["regan"]["speedup"] > 1.0

@@ -1,0 +1,228 @@
+"""Backend equivalence: vectorized must match the loop oracle bit-for-bit.
+
+The vectorized backend's contract is not "close": under a shared seed
+it must reproduce the loop backend's outputs *exactly* (bit-identical
+float64) and report identical operation statistics, across every input
+mode, mapping scheme, device non-ideality, and ADC configuration.
+These tests pin that contract with parametrized fixed-seed cases and a
+hypothesis sweep over random weights, activations, and seeds.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xbar.device import NOISY_DEVICE, PIPELAYER_DEVICE
+from repro.xbar.engine import CrossbarEngine, CrossbarEngineConfig, XbarStats
+from repro.xbar.mapping import WeightMapping
+
+STUCK_DEVICE = replace(
+    PIPELAYER_DEVICE, stuck_off_rate=0.03, stuck_on_rate=0.02
+)
+IR_DEVICE = replace(PIPELAYER_DEVICE, wire_resistance=5.0)
+
+# Rate coding at full 8-bit width costs 255 sub-cycles per sign; a
+# narrower encoding keeps the loop oracle fast without losing coverage.
+RATE_BITS = 3
+
+
+def small_config(**overrides):
+    defaults = dict(array_rows=16, array_cols=16, fast_ideal=False)
+    defaults.update(overrides)
+    return CrossbarEngineConfig(**defaults)
+
+
+def run_both(config_kwargs, weights, activations, seed=11):
+    """Evaluate the same MVM on both backends with identical seeds."""
+    results = {}
+    for backend in ("loop", "vectorized"):
+        engine = CrossbarEngine(
+            small_config(backend=backend, **config_kwargs), rng=seed
+        )
+        engine.prepare(weights)
+        out = engine.matmul(activations)
+        results[backend] = (
+            out,
+            (
+                engine.stats.subcycles,
+                engine.stats.array_reads,
+                engine.stats.adc_conversions,
+                engine.stats.mvm_calls,
+            ),
+        )
+    return results
+
+
+def assert_bit_identical(results):
+    loop_out, loop_stats = results["loop"]
+    vec_out, vec_stats = results["vectorized"]
+    # Bit-for-bit: array_equal, not allclose.
+    assert np.array_equal(loop_out, vec_out), (
+        f"max abs diff {np.max(np.abs(loop_out - vec_out))}"
+    )
+    assert loop_stats == vec_stats
+
+
+CASES = {
+    "ideal-spike": dict(),
+    "ideal-offset": dict(mapping=WeightMapping(scheme="offset")),
+    "ideal-rate": dict(input_mode="rate"),
+    "ideal-analog": dict(input_mode="analog"),
+    "stuck-spike": dict(device=STUCK_DEVICE),
+    "stuck-analog": dict(device=STUCK_DEVICE, input_mode="analog"),
+    "noisy-spike": dict(device=NOISY_DEVICE),
+    "noisy-offset": dict(
+        device=NOISY_DEVICE, mapping=WeightMapping(scheme="offset")
+    ),
+    "noisy-rate": dict(device=NOISY_DEVICE, input_mode="rate"),
+    "noisy-analog": dict(device=NOISY_DEVICE, input_mode="analog"),
+    "lossy-adc": dict(adc_bits=3),
+    "noisy-lossy-adc": dict(device=NOISY_DEVICE, adc_bits=3),
+    "ir-drop": dict(device=IR_DEVICE),
+}
+
+
+class TestBitExactEquivalence:
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_case(self, name, rng):
+        kwargs = dict(CASES[name])
+        if kwargs.get("input_mode") == "rate":
+            from repro.xbar.dac import InputEncoding
+
+            kwargs["encoding"] = InputEncoding(bits=RATE_BITS)
+        weights = rng.normal(size=(40, 24))
+        activations = rng.normal(size=(6, 40))
+        assert_bit_identical(run_both(kwargs, weights, activations))
+
+    def test_multiple_calls_stay_identical(self, rng):
+        """RNG streams stay in lockstep across repeated matmuls."""
+        weights = rng.normal(size=(30, 20))
+        engines = {}
+        for backend in ("loop", "vectorized"):
+            engine = CrossbarEngine(
+                small_config(backend=backend, device=NOISY_DEVICE), rng=3
+            )
+            engine.prepare(weights)
+            engines[backend] = engine
+        for _ in range(3):
+            activations = rng.normal(size=(4, 30))
+            assert np.array_equal(
+                engines["loop"].matmul(activations),
+                engines["vectorized"].matmul(activations),
+            )
+
+    def test_reprogram_invalidates_cache(self, rng):
+        """New weights must flow into the vectorized state."""
+        first = rng.normal(size=(20, 12))
+        second = rng.normal(size=(20, 12))
+        activations = rng.normal(size=(3, 20))
+        engine = CrossbarEngine(small_config(backend="vectorized"), rng=5)
+        engine.prepare(first)
+        out_first = engine.matmul(activations)
+        engine.prepare(second)
+        out_second = engine.matmul(activations)
+        oracle = CrossbarEngine(small_config(backend="loop"), rng=5)
+        oracle.prepare(first)
+        oracle.matmul(activations)
+        oracle.prepare(second)
+        assert not np.array_equal(out_first, out_second)
+        assert np.array_equal(out_second, oracle.matmul(activations))
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        data_seed=st.integers(min_value=0, max_value=2**31 - 1),
+        rows=st.integers(min_value=1, max_value=40),
+        cols=st.integers(min_value=1, max_value=24),
+        batch=st.integers(min_value=1, max_value=5),
+        noisy=st.booleans(),
+        offset=st.booleans(),
+    )
+    def test_property_random_configs(
+        self, seed, data_seed, rows, cols, batch, noisy, offset
+    ):
+        data_rng = np.random.default_rng(data_seed)
+        weights = data_rng.normal(size=(rows, cols))
+        activations = data_rng.normal(size=(batch, rows))
+        kwargs = {}
+        if noisy:
+            kwargs["device"] = NOISY_DEVICE
+        if offset:
+            kwargs["mapping"] = WeightMapping(scheme="offset")
+        assert_bit_identical(
+            run_both(kwargs, weights, activations, seed=seed)
+        )
+
+
+class TestCollapsedFastPath:
+    """The transparent-ADC collapse must engage exactly when provable."""
+
+    def test_collapse_engages_for_ideal_device(self, rng):
+        engine = CrossbarEngine(small_config(backend="vectorized"), rng=0)
+        engine.prepare(rng.normal(size=(20, 12)))
+        engine.matmul(rng.normal(size=(2, 20)))
+        assert engine._vector is not None
+        assert engine._vector.collapsed is not None
+        assert engine._vector.gmat is None
+
+    def test_collapse_engages_with_stuck_faults(self, rng):
+        engine = CrossbarEngine(
+            small_config(backend="vectorized", device=STUCK_DEVICE), rng=0
+        )
+        engine.prepare(rng.normal(size=(20, 12)))
+        engine.matmul(rng.normal(size=(2, 20)))
+        assert engine._vector.collapsed is not None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(device=NOISY_DEVICE),
+            dict(device=IR_DEVICE),
+            dict(adc_bits=3),
+        ],
+        ids=["noisy", "ir-drop", "lossy-adc"],
+    )
+    def test_full_stack_used_when_not_provable(self, kwargs, rng):
+        engine = CrossbarEngine(
+            small_config(backend="vectorized", **kwargs), rng=0
+        )
+        engine.prepare(rng.normal(size=(20, 12)))
+        engine.matmul(rng.normal(size=(2, 20)))
+        assert engine._vector.collapsed is None
+        assert engine._vector.gmat is not None
+
+
+class TestXbarStatsHistory:
+    """Per-call sub-cycle history is opt-in and bounded."""
+
+    def test_default_does_not_accumulate(self, rng):
+        engine = CrossbarEngine(small_config(), rng=0)
+        engine.prepare(rng.normal(size=(20, 12)))
+        for _ in range(4):
+            engine.matmul(rng.normal(size=(2, 20)))
+        assert engine.stats.per_call_subcycles == []
+        assert engine.stats.subcycles > 0
+
+    def test_opt_in_records_and_caps(self, rng):
+        engine = CrossbarEngine(small_config(), rng=0, track_per_call=True)
+        engine.stats.per_call_limit = 3
+        engine.prepare(rng.normal(size=(20, 12)))
+        for _ in range(5):
+            engine.matmul(rng.normal(size=(2, 20)))
+        assert len(engine.stats.per_call_subcycles) == 3
+
+    def test_reset_shares_init_state(self):
+        stats = XbarStats(track_per_call=True)
+        stats.record_call(7)
+        stats.mvm_calls = 3
+        stats.reset()
+        fresh = XbarStats(track_per_call=True)
+        assert vars(stats) == vars(fresh)
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ValueError):
+            XbarStats(per_call_limit=0)
