@@ -1,0 +1,78 @@
+"""R1 — accuracy vs fault rate (the reliability campaign curve).
+
+The crossbar fabric is only useful if the mapped network tolerates the
+device's failure modes.  This benchmark trains the toy MLP golden
+reference on the float path, then sweeps stuck-cell and transient
+read-upset rates through :func:`repro.reliability.run_campaign`,
+recording the accuracy-degradation curve for each axis.  The whole
+campaign derives from one seed, so the recorded curve is reproducible
+bit for bit.
+"""
+
+from benchmarks._common import format_table, record
+from repro.reliability import run_campaign
+
+STUCK_RATES = (0.0, 0.002, 0.01, 0.05, 0.2)
+UPSET_RATES = (0.0, 0.001, 0.01, 0.05, 0.2)
+CAMPAIGN = dict(
+    workload="mlp",
+    seed=7,
+    count=64,
+    batch=32,
+    train_epochs=16,
+    train_count=512,
+    include_tiles=False,
+)
+
+
+def run_axis(axis, rates):
+    return run_campaign(axis=axis, rates=rates, **CAMPAIGN)
+
+
+def bench_reliability(benchmark):
+    stuck = run_axis("stuck", STUCK_RATES)
+    upset = run_axis("upset", UPSET_RATES)
+
+    benchmark(run_axis, "stuck", (0.0, 0.05))
+
+    rows = []
+    for report in (stuck, upset):
+        for scenario in report["scenarios"]:
+            rows.append(
+                (
+                    scenario["name"],
+                    scenario["accuracy"],
+                    scenario["mismatch_rate"],
+                    scenario["logit_rms_error"],
+                )
+            )
+    lines = [
+        f"golden (float) accuracy: {stuck['baseline_accuracy']:.4g}",
+        "",
+    ]
+    lines += format_table(
+        ("scenario", "accuracy", "mismatch", "logit_rms"), rows
+    )
+    record("reliability", lines)
+
+    # The golden reference actually trained (chance is 0.25 for the
+    # 4-class toy set), and the quantization-only floor stays close.
+    assert stuck["baseline_accuracy"] > 0.5
+    by_name = {
+        scenario["name"]: scenario
+        for report in (stuck, upset)
+        for scenario in report["scenarios"]
+    }
+    assert by_name["stuck=0"]["accuracy"] >= stuck["baseline_accuracy"] - 0.1
+    # The fault-free points inject nothing beyond quantization.
+    for name in ("stuck=0", "upset=0"):
+        assert by_name[name]["logit_rms_error"] < 0.2
+
+    # Faults monotonically increase output damage along each axis, and
+    # the heavy end of the sweep visibly degrades accuracy.
+    for report in (stuck, upset):
+        errors = [s["logit_rms_error"] for s in report["scenarios"]]
+        assert errors == sorted(errors), report["axis"]
+    assert by_name["stuck=0.2"]["accuracy"] <= by_name["stuck=0"]["accuracy"]
+    assert by_name["stuck=0.2"]["mismatch_rate"] > 0.0
+    assert by_name["upset=0.2"]["mismatch_rate"] > 0.0

@@ -21,7 +21,8 @@ True
 * :meth:`Simulator.table1` — the paper's headline Table I rows.
 
 The module-level report functions (:func:`table1_report`,
-:func:`mapping_sweep`, :func:`pipeline_sweep`, :func:`gan_scheme_report`,
+:func:`reliability_report`, :func:`mapping_sweep`,
+:func:`pipeline_sweep`, :func:`gan_scheme_report`,
 :func:`schedule_trace`) return plain JSON-able dictionaries; the CLI
 routes every subcommand through them.
 """
@@ -252,16 +253,34 @@ class Simulator:
             return images.reshape(images.shape[0], -1)
         return images
 
-    def run_inference(
-        self, count: int = 64, batch: int = 32
-    ) -> InferenceResult:
-        """Forward synthetic inputs through the deployed datapath."""
+    def make_inputs(self, count: int = 64) -> Tuple[np.ndarray, np.ndarray]:
+        """The deterministic evaluation set of this simulator.
+
+        Returns ``(inputs, labels)`` shaped for :meth:`run_inference`'s
+        forward pass.  Derived from the instance seed with the same
+        salt ``run_inference`` uses, so external evaluation harnesses
+        (e.g. :mod:`repro.reliability`) see exactly the inputs an
+        inference run would.
+
+        The class *templates* come from the ``"train"`` stream — the
+        same template family :meth:`train` fits — while labels, jitter
+        and noise come from the ``"infer"`` stream.  Inference after
+        training therefore measures generalisation on held-out draws
+        of the trained task, not performance on an unrelated one.
+        """
         images, labels = make_classification_images(
             count,
             shape=self.dataset,
             rng=derive_seed(self.seed, "infer"),
+            template_rng=derive_seed(self.seed, "train"),
         )
-        inputs = self._inputs(images)
+        return self._inputs(images), labels
+
+    def run_inference(
+        self, count: int = 64, batch: int = 32
+    ) -> InferenceResult:
+        """Forward synthetic inputs through the deployed datapath."""
+        inputs, labels = self.make_inputs(count)
         outputs = []
         for start in range(0, count, batch):
             outputs.append(
@@ -374,6 +393,42 @@ def pipeline_sweep(
     return out
 
 
+def reliability_report(
+    workload: str = "mlp",
+    axis: str = "stuck",
+    rates: Optional[Sequence[float]] = None,
+    seed: int = 0,
+    count: int = 64,
+    batch: int = 32,
+    backend: str = "vectorized",
+    train_epochs: int = 5,
+    train_count: int = 256,
+    include_tiles: bool = True,
+) -> Dict[str, Any]:
+    """Fault-injection campaign report (see :mod:`repro.reliability`).
+
+    Sweeps ``axis`` over ``rates`` on ``workload`` and returns the
+    JSON-able campaign document: per-scenario accuracy degradation,
+    per-layer error propagation, per-tile stuck-cell census.
+    Deterministic in ``seed``; ``backend="both"`` additionally verifies
+    the loop and vectorized engines report identical fault outcomes.
+    """
+    from repro.reliability import run_campaign
+
+    return run_campaign(
+        workload=workload,
+        axis=axis,
+        rates=rates,
+        seed=seed,
+        count=count,
+        batch=batch,
+        backend=backend,
+        train_epochs=train_epochs,
+        train_count=train_count,
+        include_tiles=include_tiles,
+    )
+
+
 def gan_scheme_report(batch: int = 32) -> Dict[str, List[Dict[str, Any]]]:
     """Fig. 9 GAN pipeline schemes per ReGAN dataset."""
     report = {}
@@ -412,6 +467,7 @@ __all__ = [
     "InferenceResult",
     "TrainResult",
     "table1_report",
+    "reliability_report",
     "mapping_sweep",
     "pipeline_sweep",
     "gan_scheme_report",

@@ -11,6 +11,7 @@ Usage::
     repro trace --layers 3 --batch 4    # ASCII Gantt
     repro infer mnist_cnn --backend vectorized
     repro train mlp --epochs 2
+    repro reliability mlp --axis stuck --backend both
 
 (``python -m repro.cli ...`` works identically when the console script
 is not installed.)
@@ -29,6 +30,7 @@ import sys
 from typing import Any, List, Optional
 
 from repro import api
+from repro.reliability import AXES, campaign_summary
 from repro.workloads import (
     alexnet_spec,
     mnist_cnn_spec,
@@ -205,6 +207,35 @@ def _cmd_area(args: argparse.Namespace) -> int:
     return _emit(args, document, report.summary())
 
 
+def _cmd_reliability(args: argparse.Namespace) -> int:
+    rates = None
+    if args.rates is not None:
+        try:
+            rates = [float(rate) for rate in args.rates.split(",") if rate]
+        except ValueError:
+            print(
+                f"--rates must be comma-separated numbers, got "
+                f"{args.rates!r}",
+                file=sys.stderr,
+            )
+            return 2
+        if not rates:
+            print("--rates must name at least one rate", file=sys.stderr)
+            return 2
+    report = api.reliability_report(
+        workload=args.workload,
+        axis=args.axis,
+        rates=rates,
+        seed=args.seed,
+        count=args.count,
+        batch=args.batch,
+        backend=args.backend,
+        train_epochs=args.train_epochs,
+        include_tiles=not args.no_tiles,
+    )
+    return _emit(args, report, campaign_summary(report))
+
+
 def _cmd_infer(args: argparse.Namespace) -> int:
     sim = api.Simulator.from_workload(
         args.workload, backend=args.backend, seed=args.seed
@@ -313,6 +344,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_infer.add_argument("--count", type=int, default=64)
     p_infer.set_defaults(func=_cmd_infer)
+
+    p_reliability = sub.add_parser(
+        "reliability",
+        parents=[shared],
+        help="deterministic fault-injection campaign over a workload",
+    )
+    p_reliability.add_argument(
+        "workload",
+        nargs="?",
+        default="mlp",
+        choices=api.Simulator.WORKLOADS,
+    )
+    p_reliability.add_argument(
+        "--axis", choices=tuple(sorted(AXES)), default="stuck"
+    )
+    p_reliability.add_argument(
+        "--rates",
+        default=None,
+        help="comma-separated sweep points (default: per-axis preset)",
+    )
+    p_reliability.add_argument(
+        "--backend",
+        choices=("loop", "vectorized", "both"),
+        default="vectorized",
+        help="'both' also verifies loop == vectorized fault outcomes",
+    )
+    p_reliability.add_argument("--count", type=int, default=32)
+    p_reliability.add_argument("--train-epochs", type=int, default=5)
+    p_reliability.add_argument(
+        "--no-tiles",
+        action="store_true",
+        help="omit the per-tile stuck-cell census from layer records",
+    )
+    p_reliability.set_defaults(func=_cmd_reliability)
 
     p_train = sub.add_parser(
         "train",

@@ -85,11 +85,18 @@ def make_classification_images(
     noise: float = 0.15,
     jitter: int = 2,
     rng: RngLike = None,
+    template_rng: RngLike = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Labelled images: class template + spatial jitter + pixel noise.
 
     Returns ``(images, labels)`` with images in ``[0, 1]``-ish range,
     NCHW float64, and integer labels.
+
+    ``template_rng`` optionally draws the class templates from a
+    separate stream, so two differently-seeded calls can produce
+    held-out sets of the *same* classification task — e.g. an
+    evaluation set for a model trained on a :func:`make_train_test`
+    split (pass that split's seed here and a fresh ``rng``).
     """
     check_positive("count", count)
     if noise < 0:
@@ -97,7 +104,10 @@ def make_classification_images(
     if jitter < 0:
         raise ValueError(f"jitter must be >= 0, got {jitter}")
     rng = new_rng(rng)
-    templates = _class_templates(shape.classes, shape.channels, shape.size, rng)
+    template_source = rng if template_rng is None else new_rng(template_rng)
+    templates = _class_templates(
+        shape.classes, shape.channels, shape.size, template_source
+    )
     labels = rng.integers(0, shape.classes, size=count)
     images = np.empty((count, shape.channels, shape.size, shape.size))
     for index, label in enumerate(labels):

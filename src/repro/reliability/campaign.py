@@ -1,0 +1,323 @@
+"""Deterministic fault-injection campaigns over simulated workloads.
+
+A *campaign* answers the question the fault-tolerance literature keeps
+asking of ReRAM accelerators: how fast does a deployed network degrade
+as device faults scale up?  :func:`run_campaign` sweeps one fault axis
+(stuck cells, transient read upsets, conductance drift, programming or
+read noise) across a workload from the :class:`repro.api.Simulator`
+facade and reports per-scenario, per-layer, and per-tile damage as one
+JSON-able document.
+
+Seeding discipline
+------------------
+Everything derives from the single ``seed`` argument: the network
+weights, the (float) reference training run, the evaluation inputs,
+and every per-array device stream.  Two campaigns with the same
+arguments produce **byte-identical** JSON; and because each device
+effect draws from its own child stream, sweeping one axis moves only
+that effect — stuck-fault *placement*, for example, is nested across
+rates (the cells broken at 0.1% are a subset of those broken at 1%).
+The ``"both"`` backend mode runs every scenario through the loop and
+vectorized engines and verifies the reports agree exactly — the
+backend-equivalence contract, enforced at campaign granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.reliability.metrics import (
+    lockstep_trace,
+    output_metrics,
+    weight_error,
+)
+from repro.utils.validation import check_choice, check_positive
+from repro.xbar.device import DeviceConfig
+from repro.xbar.engine import CrossbarEngineConfig
+
+#: Sweepable fault axes: name -> DeviceConfig overrides at one rate.
+#: The "stuck" axis splits the rate evenly between stuck-off and
+#: stuck-on cells (fabrication defects come in both polarities).
+AXES: Dict[str, Callable[[float], Dict[str, float]]] = {
+    "stuck": lambda rate: {
+        "stuck_off_rate": rate / 2.0,
+        "stuck_on_rate": rate / 2.0,
+    },
+    "upset": lambda rate: {"upset_rate": rate},
+    "drift": lambda rate: {"drift_nu": rate},
+    "program": lambda rate: {"program_noise": rate},
+    "read": lambda rate: {"read_noise": rate},
+}
+
+#: Default sweep points per axis (always starting from the fault-free
+#: point, so every report carries its own quantization-only floor).
+DEFAULT_RATES: Dict[str, Sequence[float]] = {
+    "stuck": (0.0, 0.001, 0.01, 0.05),
+    "upset": (0.0, 0.001, 0.01, 0.05),
+    "drift": (0.0, 0.01, 0.05, 0.2),
+    "program": (0.0, 0.02, 0.05, 0.1),
+    "read": (0.0, 0.1, 0.3, 1.0),
+}
+
+BACKENDS = ("loop", "vectorized", "both")
+
+
+class BackendMismatchError(AssertionError):
+    """Loop and vectorized backends disagreed on a fault outcome.
+
+    Raised by ``backend="both"`` campaigns; either backend alone is
+    deterministic, so a mismatch means the bit-identity contract of
+    :mod:`repro.xbar.engine` is broken, not that the run is noisy.
+    """
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """One point of a sweep: an axis at a rate."""
+
+    name: str
+    axis: str
+    rate: float
+
+    def device(self, base: DeviceConfig) -> DeviceConfig:
+        """The base device with this scenario's fault rate applied."""
+        return replace(base, **AXES[self.axis](self.rate))
+
+
+def scenarios_for(
+    axis: str, rates: Optional[Sequence[float]] = None
+) -> List[FaultScenario]:
+    """Build the scenario list for one axis (default rates if ``None``)."""
+    check_choice("axis", axis, tuple(sorted(AXES)))
+    if rates is None:
+        rates = DEFAULT_RATES[axis]
+    return [
+        FaultScenario(name=f"{axis}={float(rate):g}", axis=axis, rate=float(rate))
+        for rate in rates
+    ]
+
+
+def _scenario_result(
+    scenario: FaultScenario,
+    workload: str,
+    seed: int,
+    base_config: CrossbarEngineConfig,
+    backend: str,
+    reference,
+    inputs: np.ndarray,
+    labels: np.ndarray,
+    baseline_accuracy: float,
+    batch: int,
+    include_tiles: bool,
+) -> Dict[str, Any]:
+    """Run one scenario through one backend and report its damage."""
+    from repro.api import Simulator
+
+    device = scenario.device(base_config.device)
+    config = replace(base_config, device=device)
+    sim = Simulator.from_workload(
+        workload, engine_config=config, backend=backend, seed=seed
+    )
+    # The scenario network inherits the golden network's (trained)
+    # weights, so every divergence below is injected-fault damage.
+    for source, target in zip(
+        reference.network.parameters(), sim.network.parameters()
+    ):
+        target.copy_from(source)
+    ref_logits, faulty_logits, layer_records = lockstep_trace(
+        reference.network, sim.network, inputs, batch=batch
+    )
+    metrics = output_metrics(ref_logits, faulty_logits, labels)
+    layers = []
+    engines = sim.deployment.engines if sim.deployment else {}
+    for record in layer_records:
+        entry: Dict[str, Any] = dict(record)
+        engine = engines.get(record["layer"])
+        if engine is not None:
+            fault = engine.fault_report()
+            entry["weight_rms_error"] = weight_error(engine)
+            entry["arrays"] = engine.array_count
+            entry["cells"] = fault["cells"]
+            entry["stuck_off"] = fault["stuck_off"]
+            entry["stuck_on"] = fault["stuck_on"]
+            if include_tiles:
+                entry["tiles"] = fault["tiles"]
+        layers.append(entry)
+    stats = sim.stats()
+    sim.undeploy()
+    return {
+        "name": scenario.name,
+        "axis": scenario.axis,
+        "rate": scenario.rate,
+        "device": AXES[scenario.axis](scenario.rate),
+        "accuracy": metrics["accuracy"],
+        "accuracy_drop": baseline_accuracy - metrics["accuracy"],
+        "mismatch_rate": metrics["mismatch_rate"],
+        "logit_rms_error": metrics["logit_rms_error"],
+        "layers": layers,
+        "stats": stats,
+    }
+
+
+def run_campaign(
+    workload: str = "mlp",
+    axis: str = "stuck",
+    rates: Optional[Sequence[float]] = None,
+    seed: int = 0,
+    count: int = 64,
+    batch: int = 32,
+    backend: str = "vectorized",
+    engine_config: Optional[CrossbarEngineConfig] = None,
+    train_epochs: int = 5,
+    train_count: int = 256,
+    include_tiles: bool = True,
+) -> Dict[str, Any]:
+    """Sweep one fault axis across a workload; return the full report.
+
+    Parameters
+    ----------
+    workload:
+        A :attr:`repro.api.Simulator.WORKLOADS` name.
+    axis, rates:
+        The fault knob to sweep (see :data:`AXES`) and its sweep
+        points; ``None`` takes :data:`DEFAULT_RATES`.
+    seed:
+        Master seed — same arguments, same seed: byte-identical report.
+    count, batch:
+        Evaluation inputs and lockstep batch size.
+    backend:
+        ``"loop"``, ``"vectorized"``, or ``"both"`` (run both, verify
+        identical fault outcomes, raise :class:`BackendMismatchError`
+        otherwise).
+    engine_config:
+        Base crossbar pipeline; scenario devices are grafted onto it.
+    train_epochs, train_count:
+        Float-path epochs and training-set size used to train the
+        golden network before evaluation (``train_epochs=0`` keeps the
+        untrained init, where accuracy sits at chance and only
+        mismatch/error metrics carry signal).
+    include_tiles:
+        Attach the per-tile stuck-cell census to every layer record.
+    """
+    from repro.api import Simulator
+
+    check_choice("backend", backend, BACKENDS)
+    check_positive("count", count)
+    check_positive("batch", batch)
+    scenarios = scenarios_for(axis, rates)
+    base_config = engine_config or CrossbarEngineConfig()
+
+    # Golden model: exact float forward, trained on the float path.
+    reference = Simulator.from_workload(workload, seed=seed, deploy=False)
+    if train_epochs > 0:
+        reference.train(
+            epochs=train_epochs, batch=batch, train_count=train_count
+        )
+    inputs, labels = reference.make_inputs(count)
+    baseline_logits = np.concatenate(
+        [
+            reference.network.forward(
+                inputs[start : start + batch], training=False
+            )
+            for start in range(0, count, batch)
+        ],
+        axis=0,
+    )
+    baseline_accuracy = float(
+        np.mean(np.argmax(baseline_logits, axis=1) == labels)
+    )
+
+    backends = ("loop", "vectorized") if backend == "both" else (backend,)
+    per_backend: Dict[str, List[Dict[str, Any]]] = {}
+    for run_backend in backends:
+        per_backend[run_backend] = [
+            _scenario_result(
+                scenario,
+                workload,
+                seed,
+                base_config,
+                run_backend,
+                reference,
+                inputs,
+                labels,
+                baseline_accuracy,
+                batch,
+                include_tiles,
+            )
+            for scenario in scenarios
+        ]
+    backends_match: Optional[bool] = None
+    if backend == "both":
+        for loop_result, vec_result in zip(
+            per_backend["loop"], per_backend["vectorized"]
+        ):
+            if loop_result != vec_result:
+                raise BackendMismatchError(
+                    f"scenario {loop_result['name']!r}: loop and "
+                    f"vectorized backends reported different fault "
+                    f"outcomes under seed {seed}"
+                )
+        backends_match = True
+    results = per_backend[backends[-1]]
+
+    report: Dict[str, Any] = {
+        "workload": workload,
+        "axis": axis,
+        "rates": [scenario.rate for scenario in scenarios],
+        "seed": int(seed),
+        "count": int(count),
+        "batch": int(batch),
+        "train_epochs": int(train_epochs),
+        "train_count": int(train_count),
+        "backend": backend,
+        "base_device": asdict(base_config.device),
+        "baseline_accuracy": baseline_accuracy,
+        "scenarios": results,
+    }
+    if backends_match is not None:
+        report["backends_match"] = backends_match
+    return report
+
+
+def campaign_summary(report: Dict[str, Any]) -> str:
+    """Human-readable rendering of a campaign report (CLI text mode)."""
+    lines = [
+        f"reliability campaign: {report['workload']} / {report['axis']} "
+        f"axis, {report['count']} inputs, seed {report['seed']}, "
+        f"backend {report['backend']}"
+        + (
+            " (loop == vectorized ✓)"
+            if report.get("backends_match")
+            else ""
+        ),
+        f"golden accuracy {report['baseline_accuracy']:.3f} "
+        f"(float reference, {report['train_epochs']} epoch(s))",
+        f"{'scenario':<16s}{'accuracy':>10s}{'drop':>8s}"
+        f"{'mismatch':>10s}{'logit rms':>11s}{'stuck':>8s}",
+    ]
+    for scenario in report["scenarios"]:
+        stuck = sum(
+            layer.get("stuck_off", 0) + layer.get("stuck_on", 0)
+            for layer in scenario["layers"]
+        )
+        lines.append(
+            f"{scenario['name']:<16s}{scenario['accuracy']:>10.3f}"
+            f"{scenario['accuracy_drop']:>8.3f}"
+            f"{scenario['mismatch_rate']:>10.3f}"
+            f"{scenario['logit_rms_error']:>11.4f}{stuck:>8d}"
+        )
+    worst = report["scenarios"][-1]
+    deepest = max(
+        worst["layers"],
+        key=lambda layer: layer["output_rms_error"],
+        default=None,
+    )
+    if deepest is not None:
+        lines.append(
+            f"worst scenario {worst['name']}: largest layer error at "
+            f"{deepest['layer']} (rms {deepest['output_rms_error']:.4f})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Error-propagation metrics: where a fault's damage goes.
+
+A reliability campaign wants more than a final accuracy number — it
+wants to see *where* injected faults enter the computation and how far
+they travel.  :func:`lockstep_trace` runs a golden (exact float)
+network and its fault-injected crossbar twin over the same inputs,
+layer pair by layer pair, and accumulates the divergence after every
+weighted layer; :func:`weight_error` measures the damage already done
+in the weight domain (what the arrays hold vs what was asked for).
+
+Both networks must be architecturally identical with identical
+parameters — the campaign builds them from the same workload seed and
+copies the trained weights across — so every divergence is
+attributable to the injected device faults alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Conv2D, Dense, FractionalStridedConv2D
+from repro.nn.network import Sequential
+
+#: Layer types whose forward pass runs through a crossbar engine.
+WEIGHT_LAYERS = (Dense, Conv2D, FractionalStridedConv2D)
+
+
+def relative_rms(error_sse: float, reference_energy: float) -> float:
+    """Relative RMS error ``sqrt(sum(err^2) / sum(ref^2))``.
+
+    0 when the reference signal itself is identically zero (no signal,
+    no meaningful relative error).
+    """
+    if reference_energy == 0.0:
+        return 0.0
+    return float(np.sqrt(error_sse / reference_energy))
+
+
+def lockstep_trace(
+    reference: Sequential,
+    faulty: Sequential,
+    inputs: np.ndarray,
+    batch: int = 32,
+) -> Tuple[np.ndarray, np.ndarray, List[Dict[str, float]]]:
+    """Forward both networks in lockstep, tracking per-layer divergence.
+
+    Returns ``(reference_logits, faulty_logits, layer_records)`` where
+    ``layer_records`` holds, for each weighted layer in network order,
+    the relative RMS error and worst absolute error of the faulty
+    network's activations immediately after that layer — the
+    error-propagation profile of the injected faults.
+    """
+    if len(reference.layers) != len(faulty.layers):
+        raise ValueError(
+            f"networks differ in depth: {len(reference.layers)} vs "
+            f"{len(faulty.layers)}"
+        )
+    tracked = [
+        (index, layer.name)
+        for index, layer in enumerate(faulty.layers)
+        if isinstance(layer, WEIGHT_LAYERS)
+    ]
+    sse = {index: 0.0 for index, _ in tracked}
+    energy = {index: 0.0 for index, _ in tracked}
+    max_abs = {index: 0.0 for index, _ in tracked}
+    ref_logits = []
+    faulty_logits = []
+    count = inputs.shape[0]
+    for start in range(0, count, batch):
+        x_ref = inputs[start : start + batch]
+        x_faulty = x_ref
+        for index, (ref_layer, faulty_layer) in enumerate(
+            zip(reference.layers, faulty.layers)
+        ):
+            x_ref = ref_layer.forward(x_ref, training=False)
+            x_faulty = faulty_layer.forward(x_faulty, training=False)
+            if index in sse:
+                difference = x_faulty - x_ref
+                sse[index] += float(np.sum(difference * difference))
+                energy[index] += float(np.sum(x_ref * x_ref))
+                max_abs[index] = max(
+                    max_abs[index], float(np.max(np.abs(difference)))
+                )
+        ref_logits.append(x_ref)
+        faulty_logits.append(x_faulty)
+    records = [
+        {
+            "layer": name,
+            "output_rms_error": relative_rms(sse[index], energy[index]),
+            "output_max_abs_error": max_abs[index],
+        }
+        for index, name in tracked
+    ]
+    return (
+        np.concatenate(ref_logits, axis=0),
+        np.concatenate(faulty_logits, axis=0),
+        records,
+    )
+
+
+def weight_error(engine) -> float:
+    """Relative RMS deviation of programmed vs requested weights.
+
+    Compares the matrix the arrays physically hold (with programming
+    noise and stuck faults baked in) against the quantized matrix the
+    compiler asked for; 0 for an ideal device.
+    """
+    requested = engine.quantized_weights()
+    effective = engine.effective_weights()
+    difference = effective - requested
+    return relative_rms(
+        float(np.sum(difference * difference)),
+        float(np.sum(requested * requested)),
+    )
+
+
+def output_metrics(
+    ref_logits: np.ndarray,
+    faulty_logits: np.ndarray,
+    labels: np.ndarray,
+) -> Dict[str, float]:
+    """Network-output damage summary of one scenario run.
+
+    ``mismatch_rate`` is the fraction of inputs whose *prediction*
+    changed relative to the golden network — the end-to-end soft-error
+    rate the fault tolerance literature reports — independent of
+    whether either prediction is correct.
+    """
+    ref_predictions = np.argmax(ref_logits, axis=1)
+    faulty_predictions = np.argmax(faulty_logits, axis=1)
+    difference = faulty_logits - ref_logits
+    return {
+        "accuracy": float(np.mean(faulty_predictions == labels)),
+        "mismatch_rate": float(np.mean(faulty_predictions != ref_predictions)),
+        "logit_rms_error": relative_rms(
+            float(np.sum(difference * difference)),
+            float(np.sum(ref_logits * ref_logits)),
+        ),
+    }

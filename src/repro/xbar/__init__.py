@@ -17,6 +17,7 @@ from repro.xbar.dac import (
 from repro.xbar.device import (
     NOISY_DEVICE,
     PIPELAYER_DEVICE,
+    SOFT_ERROR_DEVICE,
     DeviceConfig,
     DeviceModel,
     apply_ir_drop,
@@ -53,6 +54,7 @@ __all__ = [
     "apply_ir_drop",
     "PIPELAYER_DEVICE",
     "NOISY_DEVICE",
+    "SOFT_ERROR_DEVICE",
     "LayerCalibration",
     "collect_calibration",
     "calibrated_configs",

@@ -114,6 +114,23 @@ class CrossbarArray:
         """
         return self._model.read_noise_levels(shape)
 
+    def transient_upset_levels(self, shape) -> np.ndarray:
+        """Per-read soft-error impulses from *this array's* own stream.
+
+        Same stacked-equals-sequential contract as
+        :meth:`read_noise_levels`; the upsets live on a dedicated child
+        stream so enabling them never shifts the read-noise draws.
+        """
+        return self._model.transient_upset_levels(shape)
+
+    def drift_factors(self, events: int) -> np.ndarray:
+        """Drift decay for the next ``events`` reads (advances the clock)."""
+        return self._model.drift_factors(events)
+
+    def fault_census(self) -> dict:
+        """Stuck-cell counts of this array's persistent defect mask."""
+        return self._model.fault_census()
+
     def effective_levels(self) -> np.ndarray:
         """Stored matrix in level units, including programming error.
 
@@ -151,8 +168,17 @@ class CrossbarArray:
         self.reads += int(drive.shape[0])
 
         level_values = drive @ self._levels
+        # Read-path effect order (shared with the vectorized backend):
+        # drift scales the signal, then Gaussian read noise, then
+        # transient upsets, then the ADC digitises the sum.
+        if self.device.drift_nu > 0.0:
+            level_values = level_values * self._model.drift_factors(1)[0]
         if self.device.read_noise > 0.0:
             level_values = level_values + self._model.read_noise_levels(
+                level_values.shape
+            )
+        if self.device.upset_rate > 0.0:
+            level_values = level_values + self._model.transient_upset_levels(
                 level_values.shape
             )
         return self.adc.convert(level_values)

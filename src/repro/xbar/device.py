@@ -19,7 +19,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.utils.rng import RngLike, new_rng
+from repro.utils.rng import RngLike, spawn_rngs
 from repro.utils.validation import check_in_range, check_non_negative, check_positive
 
 
@@ -43,6 +43,22 @@ class DeviceConfig:
         one conductance level per column (0 disables).
     stuck_off_rate, stuck_on_rate:
         Fraction of cells stuck at the lowest / highest level.
+    upset_rate:
+        Probability, per read and per column output, of a *transient*
+        soft error: the analog partial sum is hit by an impulse drawn
+        uniformly from ``±upset_magnitude`` level units before the ADC
+        digitises it (a radiation-/disturb-style read upset; gone on
+        the next read, unlike a stuck cell).  0 disables.
+    upset_magnitude:
+        Amplitude bound of one upset impulse in conductance-level
+        units.  ``None`` defaults to ``levels - 1`` — one full cell's
+        worth of current, the analog equivalent of a flipped cell.
+    drift_nu:
+        Conductance-drift exponent: the signal read at the ``k``-th
+        read event since programming is scaled by ``(1 + k) ** -nu``
+        (metal-oxide RRAM relaxation, with read events standing in for
+        elapsed time).  Reprogramming refreshes the cells and resets
+        the clock.  0 disables.
     wire_resistance:
         Word/bit-line wire resistance per cell segment (ohms).  A
         first-order static IR-drop model: the effective conductance of
@@ -62,6 +78,9 @@ class DeviceConfig:
     read_noise: float = 0.0
     stuck_off_rate: float = 0.0
     stuck_on_rate: float = 0.0
+    upset_rate: float = 0.0
+    upset_magnitude: Optional[float] = None
+    drift_nu: float = 0.0
     wire_resistance: float = 0.0
     endurance: float = 1e9
 
@@ -79,6 +98,10 @@ class DeviceConfig:
         check_in_range("stuck_on_rate", self.stuck_on_rate, 0.0, 1.0)
         if self.stuck_off_rate + self.stuck_on_rate > 1.0:
             raise ValueError("stuck rates sum to more than 1")
+        check_in_range("upset_rate", self.upset_rate, 0.0, 1.0)
+        if self.upset_magnitude is not None:
+            check_non_negative("upset_magnitude", self.upset_magnitude)
+        check_non_negative("drift_nu", self.drift_nu)
         check_non_negative("wire_resistance", self.wire_resistance)
         check_positive("endurance", self.endurance)
 
@@ -107,6 +130,18 @@ class DeviceConfig:
         """Resistance window ``r_off / r_on``."""
         return self.r_off / self.r_on
 
+    @property
+    def upset_levels(self) -> float:
+        """Amplitude bound of one transient upset, in level units."""
+        if self.upset_magnitude is not None:
+            return self.upset_magnitude
+        return float(self.levels - 1)
+
+    @property
+    def has_transient_faults(self) -> bool:
+        """Whether any per-read (non-static) fault effect is enabled."""
+        return self.upset_rate > 0.0 or self.drift_nu > 0.0
+
     def with_noise(
         self,
         program_noise: Optional[float] = None,
@@ -129,6 +164,8 @@ class DeviceConfig:
             read_noise=0.0,
             stuck_off_rate=0.0,
             stuck_on_rate=0.0,
+            upset_rate=0.0,
+            drift_nu=0.0,
             wire_resistance=0.0,
         )
 
@@ -158,12 +195,30 @@ def apply_ir_drop(conductance: np.ndarray, wire_resistance: float) -> np.ndarray
 
 
 class DeviceModel:
-    """Programs level matrices into (noisy) conductance matrices."""
+    """Programs level matrices into (noisy) conductance matrices.
+
+    Every stochastic effect draws from its **own child stream** of the
+    constructor seed (programming noise, stuck-fault placement, read
+    noise, transient upsets).  That makes the effects orthogonal knobs:
+    enabling or re-rating one of them never shifts another's draws, so
+    a reliability sweep at a fixed seed varies exactly one thing at a
+    time — and it is what keeps the loop and vectorized engine
+    backends bit-identical, because each backend may interleave the
+    effects differently in code as long as it consumes each *stream*
+    in the same per-read order.
+    """
 
     def __init__(self, config: DeviceConfig, rng: RngLike = None) -> None:
         self.config = config
-        self._rng = new_rng(rng)
+        (
+            self._program_rng,
+            self._fault_rng,
+            self._read_rng,
+            self._transient_rng,
+        ) = spawn_rngs(rng, 4)
         self._fault_draw: Optional[np.ndarray] = None
+        #: Read events since the last program — the drift time base.
+        self.read_events = 0
 
     def apply_stuck_faults(self, levels: np.ndarray) -> np.ndarray:
         """Force stuck-at cells to their defect level.
@@ -173,17 +228,44 @@ class DeviceModel:
         and reused for every subsequent reprogram, so training loops
         that rewrite weights each batch face the same broken cells
         throughout — the situation noise-aware training adapts to.
+        Reprogramming at a different shape is a physical impossibility
+        (defects cannot move), so it raises instead of redrawing.
         """
         config = self.config
         if config.stuck_off_rate == 0.0 and config.stuck_on_rate == 0.0:
             return levels
-        if self._fault_draw is None or self._fault_draw.shape != levels.shape:
-            self._fault_draw = self._rng.random(levels.shape)
+        if self._fault_draw is None:
+            self._fault_draw = self._fault_rng.random(levels.shape)
+        elif self._fault_draw.shape != levels.shape:
+            raise ValueError(
+                f"stuck-fault mask was drawn for shape "
+                f"{self._fault_draw.shape}; reprogramming at "
+                f"{levels.shape} would silently move physical defects"
+            )
         draw = self._fault_draw
         out = levels.copy()
         out[draw < config.stuck_off_rate] = 0
         out[draw > 1.0 - config.stuck_on_rate] = config.levels - 1
         return out
+
+    def fault_census(self) -> dict:
+        """Stuck-cell counts of the persistent mask (JSON-able).
+
+        Zeros until the first program draws the mask.
+        """
+        config = self.config
+        if self._fault_draw is None or (
+            config.stuck_off_rate == 0.0 and config.stuck_on_rate == 0.0
+        ):
+            return {"cells": 0, "stuck_off": 0, "stuck_on": 0}
+        draw = self._fault_draw
+        return {
+            "cells": int(draw.size),
+            "stuck_off": int(np.count_nonzero(draw < config.stuck_off_rate)),
+            "stuck_on": int(
+                np.count_nonzero(draw > 1.0 - config.stuck_on_rate)
+            ),
+        }
 
     def program_levels(self, levels: np.ndarray) -> np.ndarray:
         """Effective stored levels after faults, noise, clip, IR drop.
@@ -205,10 +287,12 @@ class DeviceModel:
         levels = self.apply_stuck_faults(levels)
         effective = levels.astype(np.float64)
         if config.program_noise > 0.0:
-            factor = self._rng.lognormal(
+            factor = self._program_rng.lognormal(
                 mean=0.0, sigma=config.program_noise, size=effective.shape
             )
             effective = effective * factor
+        # A (re)program refreshes the cells: the drift clock restarts.
+        self.read_events = 0
         effective = np.clip(effective, 0.0, float(config.levels - 1))
         if config.wire_resistance > 0.0:
             conductance = apply_ir_drop(
@@ -239,7 +323,45 @@ class DeviceModel:
         if config.read_noise == 0.0:
             return np.zeros(shape)
         sigma = config.read_noise * np.sqrt(reads)
-        return self._rng.normal(0.0, sigma, size=shape)
+        return self._read_rng.normal(0.0, sigma, size=shape)
+
+    def transient_upset_levels(self, shape) -> np.ndarray:
+        """Per-read soft-error impulses, in conductance-level units.
+
+        Each output element is upset with probability ``upset_rate``;
+        an upset adds a uniform impulse in ``±upset_levels``.  Mask and
+        amplitude come from a *single* uniform draw per element (the
+        sub-threshold coordinate ``u / rate`` is itself uniform), so
+        stream consumption is one element per output regardless of how
+        many upsets fire — the property that lets a stacked draw in
+        the vectorized backend equal the loop backend's sequential
+        per-sub-cycle draws.
+        """
+        config = self.config
+        if config.upset_rate == 0.0:
+            return np.zeros(shape)
+        draw = self._transient_rng.random(shape)
+        rate = config.upset_rate
+        amplitude = (2.0 * (draw / rate) - 1.0) * config.upset_levels
+        return np.where(draw < rate, amplitude, 0.0)
+
+    def drift_factors(self, events: int) -> np.ndarray:
+        """Signal decay factors for the next ``events`` read events.
+
+        Returns ``(1 + k) ** -drift_nu`` for each upcoming read event
+        ``k`` (counted since the last program) and advances the drift
+        clock — deterministic, no stream consumed.  With drift
+        disabled the factors are all 1 but the clock still advances,
+        so enabling drift later in a config sweep never perturbs the
+        other effects' alignment.
+        """
+        if events < 0:
+            raise ValueError(f"events must be >= 0, got {events}")
+        ticks = self.read_events + np.arange(events, dtype=np.float64)
+        self.read_events += events
+        if self.config.drift_nu == 0.0:
+            return np.ones(events)
+        return (1.0 + ticks) ** (-self.config.drift_nu)
 
 
 #: Device used by PipeLayer-style experiments (4-bit MLC, ideal).
@@ -254,4 +376,14 @@ NOISY_DEVICE = DeviceConfig(
     read_noise=0.2,
     stuck_off_rate=0.001,
     stuck_on_rate=0.001,
+)
+
+#: Transient-fault device for soft-error/reliability studies: clean
+#: cells and writes, but occasional per-read upsets and mild drift.
+SOFT_ERROR_DEVICE = DeviceConfig(
+    r_on=1e4,
+    r_off=1e6,
+    cell_bits=4,
+    upset_rate=1e-3,
+    drift_nu=0.01,
 )

@@ -14,7 +14,10 @@ forward matmul through the complete simulated pipeline —
    coding — one binary sub-cycle per input bit, PipeLayer's scheme — or
    by an analog DAC (:mod:`repro.xbar.dac`);
 4. every array read is digitised by the integrate-and-fire ADC before
-   partial sums merge (:mod:`repro.xbar.adc`);
+   partial sums merge (:mod:`repro.xbar.adc`); transient read-path
+   faults — conductance drift and per-read soft-error upsets
+   (:mod:`repro.xbar.device`) — strike between the analog sum and the
+   converter, identically in both backends;
 5. digital shift-and-add recombines input bits, weight slices, and
    signs.
 
@@ -129,7 +132,7 @@ class CrossbarEngineConfig:
         non-integer (noisy-cell) partial sums, which the fast path
         approximates away (bounded by half an output LSB).
         """
-        if self.device.read_noise != 0.0:
+        if self.device.read_noise != 0.0 or self.device.has_transient_faults:
             return False
         adc = self.adc_config()
         if adc is None:
@@ -152,6 +155,7 @@ class CrossbarEngineConfig:
             and device.read_noise == 0.0
             and device.stuck_off_rate == 0.0
             and device.stuck_on_rate == 0.0
+            and not device.has_transient_faults
             and device.wire_resistance == 0.0
         )
         if not clean_device:
@@ -347,6 +351,33 @@ class CrossbarEngine(MatmulEngine):
             "arrays": self.array_count,
         }
 
+    def fault_report(self) -> dict:
+        """Per-tile stuck-fault census across every programmed plane.
+
+        One entry per (sign plane, weight slice) tile with its array
+        grid and stuck-cell totals, plus engine-level totals — the
+        defect observability consumed by :mod:`repro.reliability`.
+        """
+        if self._sliced is None:
+            raise RuntimeError("prepare() must be called first")
+        tiles = []
+        totals = {"cells": 0, "stuck_off": 0, "stuck_on": 0}
+        for (plane_name, slice_index), tile in sorted(self._tiles.items()):
+            census = tile.fault_census()
+            tiles.append(
+                {
+                    "plane": plane_name,
+                    "slice": slice_index,
+                    "grid": census["grid"],
+                    "cells": census["cells"],
+                    "stuck_off": census["stuck_off"],
+                    "stuck_on": census["stuck_on"],
+                }
+            )
+            for key in totals:
+                totals[key] += census[key]
+        return {**totals, "tiles": tiles}
+
     def quantized_weights(self) -> np.ndarray:
         """The integer weight matrix the crossbars represent (scaled)."""
         if self._sliced is None or self._quantized is None:
@@ -511,6 +542,7 @@ class CrossbarEngine(MatmulEngine):
         if (
             device.program_noise != 0.0
             or device.read_noise != 0.0
+            or device.has_transient_faults
             or device.wire_resistance != 0.0
         ):
             return False
@@ -626,17 +658,34 @@ class CrossbarEngine(MatmulEngine):
             levels = np.matmul(drive, state.gmat).reshape(
                 grid_rows, span, batch, n_planes, grid_cols, cols
             )
-            if device.read_noise > 0.0:
+            # Per-array read-path effects in the loop backend's order:
+            # drift scales the signal, then Gaussian read noise, then
+            # transient upsets.  Each effect draws from its own child
+            # stream per array, so a stacked (span, ...) draw consumes
+            # each stream exactly like the loop's sequential
+            # per-sub-cycle draws; drift is a deterministic per-event
+            # factor from the same read clock the loop advances.
+            drift = device.drift_nu > 0.0
+            noise = device.read_noise > 0.0
+            upsets = device.upset_rate > 0.0
+            if drift or noise or upsets:
                 for plane in range(n_planes):
                     for block_row in range(grid_rows):
                         for block_col in range(grid_cols):
-                            levels[
-                                block_row, :, :, plane, block_col, :
-                            ] += state.arrays[plane][block_row][
-                                block_col
-                            ].read_noise_levels(
-                                (span, batch, cols)
-                            )
+                            array = state.arrays[plane][block_row][block_col]
+                            view = levels[block_row, :, :, plane, block_col, :]
+                            if drift:
+                                view *= array.drift_factors(span)[
+                                    :, None, None
+                                ]
+                            if noise:
+                                view += array.read_noise_levels(
+                                    (span, batch, cols)
+                                )
+                            if upsets:
+                                view += array.transient_upset_levels(
+                                    (span, batch, cols)
+                                )
             quantized = quantize_levels(levels, state.adc)
             folded = quantized[0].copy()
             for block_row in range(1, grid_rows):

@@ -185,6 +185,24 @@ class TiledCrossbar:
         self._effective_cache = out
         return out
 
+    def fault_census(self) -> dict:
+        """Stuck-cell totals across this tile's physical arrays.
+
+        JSON-able: grid geometry, aggregate counts, and the per-array
+        breakdown (row-major) — the per-tile observability the
+        reliability campaigns report.
+        """
+        per_array = [
+            array.fault_census() for row in self.arrays for array in row
+        ]
+        return {
+            "grid": [self.grid_rows, self.grid_cols],
+            "cells": sum(entry["cells"] for entry in per_array),
+            "stuck_off": sum(entry["stuck_off"] for entry in per_array),
+            "stuck_on": sum(entry["stuck_on"] for entry in per_array),
+            "arrays": per_array,
+        }
+
     @property
     def total_programs(self) -> int:
         """Sum of program operations across all arrays."""

@@ -59,6 +59,49 @@ class TestSpawnRngs:
         assert len(children) == 2
 
 
+class TestGeneratorPurity:
+    """Derivation helpers must not consume the caller's stream.
+
+    Regression: spawn_rngs/derive_seed used to draw from a passed-in
+    Generator, silently advancing the caller's stream — so *observing*
+    a seed changed every draw made after it.
+    """
+
+    def test_spawn_rngs_does_not_advance_caller(self):
+        generator = np.random.default_rng(11)
+        before = generator.bit_generator.state
+        spawn_rngs(generator, 4)
+        assert generator.bit_generator.state == before
+
+    def test_derive_seed_does_not_advance_caller(self):
+        generator = np.random.default_rng(11)
+        before = generator.bit_generator.state
+        derive_seed(generator, "layer1")
+        assert generator.bit_generator.state == before
+
+    def test_same_state_same_children(self):
+        a = np.random.default_rng(21)
+        b = np.random.default_rng(21)
+        for child_a, child_b in zip(spawn_rngs(a, 3), spawn_rngs(b, 3)):
+            np.testing.assert_array_equal(
+                child_a.random(8), child_b.random(8)
+            )
+
+    def test_derivation_is_repeatable_between_other_derivations(self):
+        generator = np.random.default_rng(3)
+        first = derive_seed(generator, "x")
+        spawn_rngs(generator, 7)  # unrelated derivations in between
+        derive_seed(generator, "y")
+        assert derive_seed(generator, "x") == first
+
+    def test_caller_draws_unchanged_by_derivation(self):
+        plain = np.random.default_rng(5)
+        observed = np.random.default_rng(5)
+        spawn_rngs(observed, 2)
+        derive_seed(observed, "anything")
+        np.testing.assert_array_equal(plain.random(16), observed.random(16))
+
+
 class TestDeriveSeed:
     def test_deterministic(self):
         assert derive_seed(5, "layer1") == derive_seed(5, "layer1")
@@ -72,6 +115,15 @@ class TestDeriveSeed:
     def test_in_valid_range(self):
         seed = derive_seed(123456, "x" * 100)
         assert 0 <= seed < 2**31 - 1
+
+    def test_equal_weighted_byte_sums_do_not_collide(self):
+        # "bc" and "db" share the positional byte sum the old salt
+        # hash used (1*98 + 2*99 == 1*100 + 2*98), so layer names
+        # could silently alias to the same stream.
+        assert derive_seed(5, "bc") != derive_seed(5, "db")
+
+    def test_anagram_salts_do_not_collide(self):
+        assert derive_seed(0, "conv1") != derive_seed(0, "cnov1")
 
 
 class TestOptionalRng:

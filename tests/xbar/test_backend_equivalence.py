@@ -24,6 +24,10 @@ STUCK_DEVICE = replace(
     PIPELAYER_DEVICE, stuck_off_rate=0.03, stuck_on_rate=0.02
 )
 IR_DEVICE = replace(PIPELAYER_DEVICE, wire_resistance=5.0)
+UPSET_DEVICE = replace(PIPELAYER_DEVICE, upset_rate=0.05)
+DRIFT_DEVICE = replace(PIPELAYER_DEVICE, drift_nu=0.1)
+# Everything at once: static faults, both noises, both transients.
+SOFT_DEVICE = replace(NOISY_DEVICE, upset_rate=0.02, drift_nu=0.05)
 
 # Rate coding at full 8-bit width costs 255 sub-cycles per sign; a
 # narrower encoding keeps the loop oracle fast without losing coverage.
@@ -83,6 +87,15 @@ CASES = {
     "lossy-adc": dict(adc_bits=3),
     "noisy-lossy-adc": dict(device=NOISY_DEVICE, adc_bits=3),
     "ir-drop": dict(device=IR_DEVICE),
+    "upset-spike": dict(device=UPSET_DEVICE),
+    "upset-analog": dict(device=UPSET_DEVICE, input_mode="analog"),
+    "upset-offset": dict(
+        device=UPSET_DEVICE, mapping=WeightMapping(scheme="offset")
+    ),
+    "drift-spike": dict(device=DRIFT_DEVICE),
+    "drift-analog": dict(device=DRIFT_DEVICE, input_mode="analog"),
+    "soft-combined": dict(device=SOFT_DEVICE),
+    "soft-combined-rate": dict(device=SOFT_DEVICE, input_mode="rate"),
 }
 
 
@@ -98,13 +111,20 @@ class TestBitExactEquivalence:
         activations = rng.normal(size=(6, 40))
         assert_bit_identical(run_both(kwargs, weights, activations))
 
-    def test_multiple_calls_stay_identical(self, rng):
-        """RNG streams stay in lockstep across repeated matmuls."""
+    @pytest.mark.parametrize(
+        "device",
+        [NOISY_DEVICE, UPSET_DEVICE, DRIFT_DEVICE, SOFT_DEVICE],
+        ids=["noisy", "upset", "drift", "soft-combined"],
+    )
+    def test_multiple_calls_stay_identical(self, device, rng):
+        """RNG streams and the drift clock stay in lockstep across
+        repeated matmuls — the loop backend advances them one sub-cycle
+        at a time, the vectorized backend in stacked chunks."""
         weights = rng.normal(size=(30, 20))
         engines = {}
         for backend in ("loop", "vectorized"):
             engine = CrossbarEngine(
-                small_config(backend=backend, device=NOISY_DEVICE), rng=3
+                small_config(backend=backend, device=device), rng=3
             )
             engine.prepare(weights)
             engines[backend] = engine
@@ -141,9 +161,10 @@ class TestBitExactEquivalence:
         batch=st.integers(min_value=1, max_value=5),
         noisy=st.booleans(),
         offset=st.booleans(),
+        transient=st.booleans(),
     )
     def test_property_random_configs(
-        self, seed, data_seed, rows, cols, batch, noisy, offset
+        self, seed, data_seed, rows, cols, batch, noisy, offset, transient
     ):
         data_rng = np.random.default_rng(data_seed)
         weights = data_rng.normal(size=(rows, cols))
@@ -151,6 +172,8 @@ class TestBitExactEquivalence:
         kwargs = {}
         if noisy:
             kwargs["device"] = NOISY_DEVICE
+        if transient:
+            kwargs["device"] = SOFT_DEVICE
         if offset:
             kwargs["mapping"] = WeightMapping(scheme="offset")
         assert_bit_identical(
@@ -183,8 +206,10 @@ class TestCollapsedFastPath:
             dict(device=NOISY_DEVICE),
             dict(device=IR_DEVICE),
             dict(adc_bits=3),
+            dict(device=UPSET_DEVICE),
+            dict(device=DRIFT_DEVICE),
         ],
-        ids=["noisy", "ir-drop", "lossy-adc"],
+        ids=["noisy", "ir-drop", "lossy-adc", "upset", "drift"],
     )
     def test_full_stack_used_when_not_provable(self, kwargs, rng):
         engine = CrossbarEngine(

@@ -119,6 +119,131 @@ class TestDeviceModel:
         assert np.std(noise) == pytest.approx(2.0, rel=0.05)
 
 
+class TestStuckFaultPersistence:
+    """Fault placement is a property of the array, not of one write."""
+
+    def test_mask_persists_across_reprograms(self):
+        device = DeviceConfig(stuck_off_rate=0.1, stuck_on_rate=0.1)
+        model = DeviceModel(device, rng=2)
+        first = model.apply_stuck_faults(np.full((50, 50), 7))
+        second = model.apply_stuck_faults(np.full((50, 50), 3))
+        np.testing.assert_array_equal(first == 0, second == 0)
+        np.testing.assert_array_equal(
+            first == device.levels - 1, second == device.levels - 1
+        )
+
+    def test_mask_persists_through_program_levels(self):
+        device = DeviceConfig(stuck_off_rate=0.15)
+        model = DeviceModel(device, rng=3)
+        first = model.program_levels(np.full((40, 40), 5))
+        second = model.program_levels(np.full((40, 40), 9))
+        np.testing.assert_array_equal(first == 0, second == 0)
+
+    def test_shape_change_raises_instead_of_redrawing(self):
+        # Regression: a reprogram at a different shape used to redraw
+        # the mask silently — physical defects cannot move.
+        device = DeviceConfig(stuck_off_rate=0.1)
+        model = DeviceModel(device, rng=4)
+        model.apply_stuck_faults(np.full((20, 20), 6))
+        with pytest.raises(ValueError, match="shape"):
+            model.apply_stuck_faults(np.full((10, 20), 6))
+
+    def test_nested_masks_across_rates(self):
+        # The cells broken at a low rate are a subset of those broken
+        # at a higher rate under the same seed (same fault stream).
+        low = DeviceModel(DeviceConfig(stuck_off_rate=0.05), rng=9)
+        high = DeviceModel(DeviceConfig(stuck_off_rate=0.25), rng=9)
+        levels = np.full((100, 100), 8)
+        low_mask = low.apply_stuck_faults(levels) == 0
+        high_mask = high.apply_stuck_faults(levels) == 0
+        assert np.all(high_mask[low_mask])
+
+    def test_fault_census_counts(self):
+        device = DeviceConfig(stuck_off_rate=0.2, stuck_on_rate=0.1)
+        model = DeviceModel(device, rng=4)
+        assert model.fault_census() == {
+            "cells": 0,
+            "stuck_off": 0,
+            "stuck_on": 0,
+        }
+        out = model.apply_stuck_faults(np.full((60, 60), 8))
+        census = model.fault_census()
+        assert census["cells"] == 3600
+        assert census["stuck_off"] == int(np.count_nonzero(out == 0))
+        assert census["stuck_on"] == int(
+            np.count_nonzero(out == device.levels - 1)
+        )
+
+
+class TestTransientFaults:
+    def test_upsets_zero_when_disabled(self):
+        model = DeviceModel(PIPELAYER_DEVICE, rng=0)
+        np.testing.assert_array_equal(
+            model.transient_upset_levels((4, 4)), np.zeros((4, 4))
+        )
+
+    def test_upset_rate_and_amplitude_bound(self):
+        device = DeviceConfig(upset_rate=0.05, upset_magnitude=3.0)
+        model = DeviceModel(device, rng=1)
+        impulses = model.transient_upset_levels((400, 400))
+        rate = np.mean(impulses != 0.0)
+        assert rate == pytest.approx(0.05, abs=0.005)
+        assert np.max(np.abs(impulses)) <= 3.0
+
+    def test_upset_magnitude_defaults_to_full_cell(self):
+        device = DeviceConfig(upset_rate=1.0, cell_bits=4)
+        assert device.upset_levels == 15.0
+
+    def test_upsets_are_fresh_per_read(self):
+        device = DeviceConfig(upset_rate=0.5)
+        model = DeviceModel(device, rng=2)
+        first = model.transient_upset_levels((30, 30))
+        second = model.transient_upset_levels((30, 30))
+        assert not np.array_equal(first, second)
+
+    def test_drift_decays_with_read_events(self):
+        device = DeviceConfig(drift_nu=0.1)
+        model = DeviceModel(device, rng=0)
+        factors = model.drift_factors(4)
+        np.testing.assert_allclose(
+            factors, (1.0 + np.arange(4)) ** -0.1
+        )
+        # The clock keeps counting across calls.
+        np.testing.assert_allclose(
+            model.drift_factors(2), (1.0 + np.array([4.0, 5.0])) ** -0.1
+        )
+
+    def test_program_resets_drift_clock(self):
+        device = DeviceConfig(drift_nu=0.2)
+        model = DeviceModel(device, rng=0)
+        model.drift_factors(5)
+        model.program_levels(np.full((4, 4), 3))
+        assert model.read_events == 0
+        assert model.drift_factors(1)[0] == 1.0
+
+    def test_drift_disabled_still_advances_clock(self):
+        model = DeviceModel(PIPELAYER_DEVICE, rng=0)
+        np.testing.assert_array_equal(model.drift_factors(3), np.ones(3))
+        assert model.read_events == 3
+
+    def test_has_transient_faults_property(self):
+        assert not PIPELAYER_DEVICE.has_transient_faults
+        assert DeviceConfig(upset_rate=0.01).has_transient_faults
+        assert DeviceConfig(drift_nu=0.05).has_transient_faults
+
+    def test_effects_draw_from_independent_streams(self):
+        # Enabling upsets must not shift read-noise draws: the streams
+        # are per-effect children of the same seed.
+        quiet = DeviceModel(DeviceConfig(read_noise=0.3), rng=7)
+        busy = DeviceModel(
+            DeviceConfig(read_noise=0.3, upset_rate=0.2), rng=7
+        )
+        busy.transient_upset_levels((8, 8))
+        np.testing.assert_array_equal(
+            quiet.read_noise_levels((16,)), busy.read_noise_levels((16,))
+        )
+
+
 class TestADC:
     def test_lossless_for_integers(self):
         adc = IntegrateFireADC(ADCConfig.lossless_for(128, 16))
