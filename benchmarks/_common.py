@@ -3,13 +3,17 @@
 Every benchmark regenerates one of the paper's tables or figures and
 records the series it produced under ``benchmarks/results/`` so the
 numbers survive pytest's output capturing (EXPERIMENTS.md is written
-from these files).
+from these files).  Benchmarks that track performance additionally
+record machine-readable ``BENCH_<name>.json`` documents (schema:
+:func:`repro.telemetry.bench_document`) next to the text tables, so
+the perf trajectory can be charted without parsing tables.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Dict, Iterable, List, Sequence, Union
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -24,6 +28,29 @@ def record(name: str, lines: Iterable[str]) -> str:
     (RESULTS_DIR / f"{name}.txt").write_text(text)
     print(f"\n=== {name} ===\n{text}")
     return text
+
+
+def record_json(
+    name: str, documents: Union[Dict, List[Dict]]
+) -> Path:
+    """Write validated bench records to ``results/BENCH_<name>.json``.
+
+    ``documents`` is one :func:`repro.telemetry.bench_document` (or a
+    list of them — one per measured configuration); each is validated
+    against the pinned schema before writing, so a drifting document
+    shape fails the benchmark rather than silently corrupting the
+    perf-trajectory record.
+    """
+    from repro.telemetry import validate_bench_document
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    if isinstance(documents, dict):
+        documents = [documents]
+    for document in documents:
+        validate_bench_document(document)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(documents, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> list:

@@ -18,7 +18,9 @@ from dataclasses import replace
 
 import numpy as np
 
-from benchmarks._common import format_table, record
+from benchmarks._common import format_table, record, record_json
+from repro.telemetry import Collector
+from repro.telemetry import bench_document as _bench_document
 from repro.xbar.device import PIPELAYER_DEVICE
 from repro.xbar.engine import CrossbarEngine, CrossbarEngineConfig
 
@@ -29,34 +31,45 @@ SEED = 1
 NOISY = replace(PIPELAYER_DEVICE, program_noise=0.05, read_noise=0.02)
 
 
-def _time_backend(backend: str, device, reps: int) -> float:
-    """Seconds per MVM-batch through the full datapath."""
+def _time_backend(backend: str, device, reps: int):
+    """(Seconds per MVM-batch, telemetry counters) for one backend."""
     rng = np.random.default_rng(0)
     weights = rng.normal(size=(ROWS, COLS))
     activations = rng.normal(size=(BATCH, ROWS))
     config = CrossbarEngineConfig(
         fast_ideal=False, backend=backend, device=device
     )
-    engine = CrossbarEngine(config, rng=SEED)
+    collector = Collector(record_spans=False)
+    engine = CrossbarEngine(config, rng=SEED, collector=collector)
     engine.prepare(weights)
     engine.matmul(activations)  # warm the per-prepare caches
     start = time.perf_counter()
     for _ in range(reps):
         engine.matmul(activations)
-    return (time.perf_counter() - start) / reps
+    seconds = (time.perf_counter() - start) / reps
+    counters = {
+        path: value
+        for path, value in collector.counters().items()
+        if "tile[" not in path
+    }
+    return seconds, counters
 
 
 def bench_engine_throughput():
     rows = []
     speedups = {}
+    documents = []
     for label, device, loop_reps, vec_reps in (
         ("ideal", PIPELAYER_DEVICE, 3, 20),
         ("noisy", NOISY, 2, 3),
     ):
-        loop_s = _time_backend("loop", device, loop_reps)
-        vec_s = _time_backend("vectorized", device, vec_reps)
+        loop_s, loop_counters = _time_backend("loop", device, loop_reps)
+        vec_s, vec_counters = _time_backend("vectorized", device, vec_reps)
         speedups[label] = loop_s / vec_s
-        for backend, seconds in (("loop", loop_s), ("vectorized", vec_s)):
+        for backend, seconds, counters in (
+            ("loop", loop_s, loop_counters),
+            ("vectorized", vec_s, vec_counters),
+        ):
             rows.append(
                 (
                     label,
@@ -64,6 +77,16 @@ def bench_engine_throughput():
                     seconds * 1e3,
                     1.0 / seconds,
                     BATCH / seconds,
+                )
+            )
+            documents.append(
+                _bench_document(
+                    bench="engine_throughput",
+                    workload=f"{ROWS}x{COLS}-{label}",
+                    backend=backend,
+                    wall_time_s=seconds,
+                    counters=counters,
+                    extra={"batch": BATCH, "mvms_per_s": BATCH / seconds},
                 )
             )
     lines = [
@@ -82,5 +105,6 @@ def bench_engine_throughput():
         "(per-sub-cycle noise + ADC physics cannot be collapsed)",
     ]
     record("engine_throughput", lines)
+    record_json("engine_throughput", documents)
     # The acceptance bar for the vectorized backend.
     assert speedups["ideal"] >= 10.0, speedups

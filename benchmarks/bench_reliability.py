@@ -9,8 +9,12 @@ campaign derives from one seed, so the recorded curve is reproducible
 bit for bit.
 """
 
-from benchmarks._common import format_table, record
+import time
+
+from benchmarks._common import format_table, record, record_json
 from repro.reliability import run_campaign
+from repro.telemetry import Collector
+from repro.telemetry import bench_document as _bench_document
 
 STUCK_RATES = (0.0, 0.002, 0.01, 0.05, 0.2)
 UPSET_RATES = (0.0, 0.001, 0.01, 0.05, 0.2)
@@ -25,13 +29,38 @@ CAMPAIGN = dict(
 )
 
 
-def run_axis(axis, rates):
-    return run_campaign(axis=axis, rates=rates, **CAMPAIGN)
+def run_axis(axis, rates, collector=None):
+    return run_campaign(
+        axis=axis, rates=rates, collector=collector, **CAMPAIGN
+    )
+
+
+def _run_axis_timed(axis, rates):
+    """(report, bench document) for one recorded campaign axis."""
+    collector = Collector(record_spans=False)
+    start = time.perf_counter()
+    report = run_axis(axis, rates, collector=collector)
+    wall_time_s = time.perf_counter() - start
+    counters = {
+        path: value
+        for path, value in collector.counters().items()
+        if "tile[" not in path
+    }
+    document = _bench_document(
+        bench="reliability",
+        workload=CAMPAIGN["workload"],
+        backend=report["backend"],
+        wall_time_s=wall_time_s,
+        counters=counters,
+        extra={"axis": axis, "rates": list(rates)},
+    )
+    return report, document
 
 
 def bench_reliability(benchmark):
-    stuck = run_axis("stuck", STUCK_RATES)
-    upset = run_axis("upset", UPSET_RATES)
+    stuck, stuck_doc = _run_axis_timed("stuck", STUCK_RATES)
+    upset, upset_doc = _run_axis_timed("upset", UPSET_RATES)
+    record_json("reliability", [stuck_doc, upset_doc])
 
     benchmark(run_axis, "stuck", (0.0, 0.05))
 

@@ -25,6 +25,10 @@ Subpackages
     AlexNet, VGG-16, four DCGANs).
 ``repro.datasets``
     Deterministic synthetic stand-ins for the paper's datasets.
+``repro.telemetry``
+    Hierarchical counters and timing spans threaded through the engine,
+    pipeline, training, and reliability layers (zero overhead when
+    disabled; exports JSON and Chrome-trace).
 
 ``repro.api``
     The curated facade: :class:`~repro.api.Simulator` wires workload
@@ -41,18 +45,21 @@ True
 
 __version__ = "1.0.0"
 
-from repro import arch, core, datasets, nn, workloads, xbar
+from repro import arch, core, datasets, nn, telemetry, workloads, xbar
 from repro.api import InferenceResult, Simulator, TrainResult
+from repro.telemetry import Collector
 
 __all__ = [
     "arch",
     "core",
     "datasets",
     "nn",
+    "telemetry",
     "workloads",
     "xbar",
     "Simulator",
     "InferenceResult",
     "TrainResult",
+    "Collector",
     "__version__",
 ]

@@ -56,6 +56,7 @@ from repro.nn.models import build_cifar_cnn, build_mlp, build_mnist_cnn
 from repro.nn.network import Sequential
 from repro.nn.optim import SGD
 from repro.nn.train import evaluate_classifier, train_classifier
+from repro.telemetry import NULL_COLLECTOR, SCHEMA_VERSION, TelemetryLike
 from repro.utils.rng import derive_seed, new_rng
 from repro.workloads import FIG4_EXAMPLE, regan_suite
 from repro.workloads.suite import NetworkSpec
@@ -92,6 +93,7 @@ class InferenceResult:
     def to_dict(self) -> Dict[str, Any]:
         """JSON-able view (outputs elided — they are bulk data)."""
         return {
+            "schema_version": SCHEMA_VERSION,
             "accuracy": self.accuracy,
             "count": self.count,
             "stats": dict(self.stats),
@@ -118,6 +120,7 @@ class TrainResult:
 
     def to_dict(self) -> Dict[str, Any]:
         return {
+            "schema_version": SCHEMA_VERSION,
             "final_accuracy": self.final_accuracy,
             "epochs": self.epochs,
             "final_loss": self.batch_losses[-1] if self.batch_losses else None,
@@ -154,6 +157,7 @@ class Simulator:
         seed: int,
         deployment: Optional[Deployment],
         flatten_inputs: bool = False,
+        collector: Optional[TelemetryLike] = None,
     ) -> None:
         self.name = name
         self.network = network
@@ -161,6 +165,7 @@ class Simulator:
         self.dataset = dataset
         self.seed = seed
         self.deployment = deployment
+        self.collector = collector
         self._flatten_inputs = flatten_inputs
 
     # -- construction -------------------------------------------------------
@@ -172,6 +177,7 @@ class Simulator:
         backend: Optional[str] = None,
         seed: int = 0,
         deploy: bool = True,
+        collector: Optional[TelemetryLike] = None,
     ) -> "Simulator":
         """Build a named workload and deploy it onto crossbar engines.
 
@@ -179,7 +185,13 @@ class Simulator:
         the engine evaluation backend (``"loop"`` or ``"vectorized"``)
         without rebuilding ``engine_config``; ``deploy=False`` keeps
         the network on exact float matmul (the GPU-baseline
-        counterpart).
+        counterpart).  ``collector`` attaches a
+        :class:`repro.telemetry.Collector` (or scoped view): the
+        per-layer engines write under ``engine/<layer>/...`` and the
+        journeys (:meth:`run_inference`, :meth:`train`) add their own
+        counters and timing spans.  Counter telemetry is deterministic
+        (part of the backend bit-identity contract); spans are
+        wall-clock.
         """
         if name not in cls.WORKLOADS:
             raise ValueError(
@@ -213,6 +225,7 @@ class Simulator:
                 engine_config,
                 rng=derive_seed(seed, "deploy"),
                 backend=backend,
+                collector=collector,
             )
         return cls(
             name=name,
@@ -222,6 +235,7 @@ class Simulator:
             seed=seed,
             deployment=deployment,
             flatten_inputs=flatten,
+            collector=collector,
         )
 
     # -- properties ---------------------------------------------------------
@@ -280,14 +294,18 @@ class Simulator:
         self, count: int = 64, batch: int = 32
     ) -> InferenceResult:
         """Forward synthetic inputs through the deployed datapath."""
+        tel = self.collector if self.collector is not None else NULL_COLLECTOR
         inputs, labels = self.make_inputs(count)
         outputs = []
-        for start in range(0, count, batch):
-            outputs.append(
-                self.network.forward(
-                    inputs[start : start + batch], training=False
+        with tel.span("inference"):
+            for start in range(0, count, batch):
+                outputs.append(
+                    self.network.forward(
+                        inputs[start : start + batch], training=False
+                    )
                 )
-            )
+        tel.count("inference.runs", 1)
+        tel.count("inference.inputs", count)
         logits = np.concatenate(outputs, axis=0)
         accuracy = float(np.mean(np.argmax(logits, axis=1) == labels))
         return InferenceResult(
@@ -313,24 +331,27 @@ class Simulator:
         cells) and the final accuracy is measured on the same hardware
         the network trained on.
         """
+        tel = self.collector if self.collector is not None else NULL_COLLECTOR
         images, labels, test_images, test_labels = make_train_test(
             train_count,
             test_count,
             shape=self.dataset,
             rng=derive_seed(self.seed, "train"),
         )
-        history = train_classifier(
-            self.network,
-            SGD(self.network.parameters(), lr=learning_rate),
-            self._inputs(images),
-            labels,
-            epochs=epochs,
-            batch_size=batch,
-            rng=new_rng(derive_seed(self.seed, "shuffle")),
-        )
-        accuracy = evaluate_classifier(
-            self.network, self._inputs(test_images), test_labels
-        )
+        with tel.span("train"):
+            history = train_classifier(
+                self.network,
+                SGD(self.network.parameters(), lr=learning_rate),
+                self._inputs(images),
+                labels,
+                epochs=epochs,
+                batch_size=batch,
+                rng=new_rng(derive_seed(self.seed, "shuffle")),
+                collector=tel.scope("train") if tel else None,
+            )
+            accuracy = evaluate_classifier(
+                self.network, self._inputs(test_images), test_labels
+            )
         return TrainResult(
             final_accuracy=accuracy,
             epochs=epochs,
@@ -349,40 +370,47 @@ class Simulator:
 
 
 # -- JSON-able report functions (the CLI's data layer) ----------------------
+# Every document carries ``schema_version`` (pinned by
+# tests/core/test_schema_version.py) so downstream consumers can detect
+# structural changes.
 def table1_report(batch: int = 32) -> Dict[str, Any]:
     """Table I rows as a plain dictionary."""
     rows = Simulator.table1(batch=batch)
-    return {name: _row_dict(row) for name, row in rows.items()}
+    document: Dict[str, Any] = {"schema_version": SCHEMA_VERSION}
+    document.update(
+        {name: _row_dict(row) for name, row in rows.items()}
+    )
+    return document
 
 
 def mapping_sweep(
     duplications: Sequence[int] = (1, 4, 16, 64, 256, 1024, 4096, 12544),
-) -> List[Dict[str, int]]:
+) -> Dict[str, Any]:
     """Fig. 4 mapping trade-off: duplication vs passes vs arrays."""
-    out = []
+    rows = []
     for duplication in duplications:
         mapping = balanced_mapping(FIG4_EXAMPLE, duplication)
-        out.append(
+        rows.append(
             {
                 "duplication": int(duplication),
                 "passes_per_image": mapping.passes_per_image,
                 "arrays": mapping.total_arrays,
             }
         )
-    return out
+    return {"schema_version": SCHEMA_VERSION, "rows": rows}
 
 
 def pipeline_sweep(
     layers: int = 8,
     batches: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128),
-) -> List[Dict[str, Any]]:
+) -> Dict[str, Any]:
     """Fig. 5 pipeline cycles: sequential vs pipelined training."""
-    out = []
+    rows = []
     for batch in batches:
         n_inputs = batch * 4
         sequential = training_cycles_sequential(layers, n_inputs, batch)
         pipelined = training_cycles_pipelined(layers, n_inputs, batch)
-        out.append(
+        rows.append(
             {
                 "batch": int(batch),
                 "sequential_cycles": sequential,
@@ -390,7 +418,11 @@ def pipeline_sweep(
                 "speedup": sequential / pipelined,
             }
         )
-    return out
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "layers": int(layers),
+        "rows": rows,
+    }
 
 
 def reliability_report(
@@ -404,6 +436,7 @@ def reliability_report(
     train_epochs: int = 5,
     train_count: int = 256,
     include_tiles: bool = True,
+    collector: Optional[TelemetryLike] = None,
 ) -> Dict[str, Any]:
     """Fault-injection campaign report (see :mod:`repro.reliability`).
 
@@ -426,17 +459,22 @@ def reliability_report(
         train_epochs=train_epochs,
         train_count=train_count,
         include_tiles=include_tiles,
+        collector=collector,
     )
 
 
-def gan_scheme_report(batch: int = 32) -> Dict[str, List[Dict[str, Any]]]:
+def gan_scheme_report(batch: int = 32) -> Dict[str, Any]:
     """Fig. 9 GAN pipeline schemes per ReGAN dataset."""
-    report = {}
+    datasets = {}
     for dataset, (generator, discriminator) in regan_suite().items():
-        report[dataset] = scheme_table(
+        datasets[dataset] = scheme_table(
             discriminator.depth, generator.depth, batch
         )
-    return report
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "batch": int(batch),
+        "datasets": datasets,
+    }
 
 
 def schedule_trace(
@@ -444,15 +482,28 @@ def schedule_trace(
     batch: int = 4,
     gan: bool = False,
     scheme: str = "sp_cs",
+    collector: Optional[TelemetryLike] = None,
 ) -> Dict[str, Any]:
-    """Cycle-accurate schedule of one pipeline run, with ASCII Gantt."""
+    """Cycle-accurate schedule of one pipeline run, with ASCII Gantt.
+
+    ``collector`` receives the schedule's occupancy counters under the
+    ``gan/...`` or ``pipeline/...`` subtree.
+    """
+    tel = collector if collector is not None else NULL_COLLECTOR
     if gan:
-        result = simulate_gan_iteration(layers, layers, batch, scheme)
+        result = simulate_gan_iteration(
+            layers, layers, batch, scheme,
+            collector=tel.scope("gan") if tel else None,
+        )
         rendered = render_gan_schedule(result)
     else:
-        result = simulate_training_pipeline(layers, batch * 2, batch)
+        result = simulate_training_pipeline(
+            layers, batch * 2, batch,
+            collector=tel.scope("pipeline") if tel else None,
+        )
         rendered = render_training_schedule(result)
     return {
+        "schema_version": SCHEMA_VERSION,
         "layers": layers,
         "batch": batch,
         "gan": gan,

@@ -20,17 +20,29 @@ Every subcommand accepts the shared ``--seed`` / ``--batch`` options
 and a ``--json`` flag that switches the output to a machine-readable
 document.  All result data comes from :mod:`repro.api` — the CLI is a
 thin presentation layer over the same facade library users import.
+
+``repro profile <subcommand> ...`` wraps any other subcommand in a
+:class:`repro.telemetry.Collector` and reports hierarchical counters,
+timing spans, and a Chrome-trace file on top of the wrapped workload.
 """
 
 from __future__ import annotations
 
 import argparse
+import io
 import json
 import sys
+import time
 from typing import Any, List, Optional
 
 from repro import api
 from repro.reliability import AXES, campaign_summary
+from repro.telemetry import (
+    SCHEMA_VERSION,
+    Collector,
+    profile_report,
+    validate_profile_report,
+)
 from repro.workloads import (
     alexnet_spec,
     mnist_cnn_spec,
@@ -46,8 +58,18 @@ _WORKLOADS = {
 
 
 def _emit(args: argparse.Namespace, document: Any, text: str) -> int:
-    """Print ``document`` as JSON or the human ``text`` rendering."""
+    """Print ``document`` as JSON or the human ``text`` rendering.
+
+    Every JSON document leaving the CLI carries ``schema_version``:
+    dictionaries that lack the field gain it, bare lists are wrapped as
+    ``{"schema_version": ..., "rows": [...]}``.
+    """
     if args.json:
+        if isinstance(document, dict):
+            if "schema_version" not in document:
+                document = {"schema_version": SCHEMA_VERSION, **document}
+        else:
+            document = {"schema_version": SCHEMA_VERSION, "rows": document}
         json.dump(document, sys.stdout, indent=2)
         sys.stdout.write("\n")
     else:
@@ -65,7 +87,7 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
     sweep = api.mapping_sweep()
     lines = ["Fig. 4 mapping trade-off (114x114x128 -> 112x112x256, 3x3):"]
     lines.append(f"{'X':>8s} {'passes/img':>12s} {'arrays':>10s}")
-    for row in sweep:
+    for row in sweep["rows"]:
         lines.append(
             f"{row['duplication']:>8d} {row['passes_per_image']:>12d} "
             f"{row['arrays']:>10d}"
@@ -79,7 +101,7 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
     lines.append(
         f"{'B':>6s} {'sequential':>12s} {'pipelined':>12s} {'speedup':>9s}"
     )
-    for row in sweep:
+    for row in sweep["rows"]:
         lines.append(
             f"{row['batch']:>6d} {row['sequential_cycles']:>12d} "
             f"{row['pipelined_cycles']:>12d} {row['speedup']:>8.2f}x"
@@ -94,7 +116,7 @@ def _cmd_fig9(args: argparse.Namespace) -> int:
         for name, (generator, discriminator) in regan_suite().items()
     }
     lines = []
-    for dataset, rows in report.items():
+    for dataset, rows in report["datasets"].items():
         l_g, l_d = depths[dataset]
         lines.append(f"{dataset} (L_G={l_g}, L_D={l_d}, B={args.batch}):")
         for row in rows:
@@ -131,6 +153,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         batch=args.batch,
         gan=args.gan,
         scheme=args.scheme,
+        collector=getattr(args, "collector", None),
     )
     if args.gan:
         header = (
@@ -232,13 +255,17 @@ def _cmd_reliability(args: argparse.Namespace) -> int:
         backend=args.backend,
         train_epochs=args.train_epochs,
         include_tiles=not args.no_tiles,
+        collector=getattr(args, "collector", None),
     )
     return _emit(args, report, campaign_summary(report))
 
 
 def _cmd_infer(args: argparse.Namespace) -> int:
     sim = api.Simulator.from_workload(
-        args.workload, backend=args.backend, seed=args.seed
+        args.workload,
+        backend=args.backend,
+        seed=args.seed,
+        collector=getattr(args, "collector", None),
     )
     result = sim.run_inference(count=args.count, batch=args.batch)
     return _emit(args, result.to_dict(), result.summary())
@@ -246,7 +273,10 @@ def _cmd_infer(args: argparse.Namespace) -> int:
 
 def _cmd_train(args: argparse.Namespace) -> int:
     sim = api.Simulator.from_workload(
-        args.workload, backend=args.backend, seed=args.seed
+        args.workload,
+        backend=args.backend,
+        seed=args.seed,
+        collector=getattr(args, "collector", None),
     )
     result = sim.train(
         epochs=args.epochs,
@@ -255,6 +285,87 @@ def _cmd_train(args: argparse.Namespace) -> int:
         test_count=args.test_count,
     )
     return _emit(args, result.to_dict(), result.summary())
+
+
+def _profile_summary(document: dict) -> str:
+    """Human rendering of a profile report (text mode)."""
+    counters = document["counters"]
+    lines = [
+        f"profiled `repro {' '.join(document['command'])}` in "
+        f"{document['wall_time_s']:.3f} s (exit {document['exit_code']}): "
+        f"{len(counters)} counters, {len(document['spans'])} spans"
+        + (
+            f" ({document['spans_dropped']} dropped)"
+            if document["spans_dropped"]
+            else ""
+        ),
+    ]
+    top = sorted(counters.items(), key=lambda kv: -abs(kv[1]))[:10]
+    width = max((len(path) for path, _ in top), default=0)
+    for path, value in top:
+        lines.append(f"  {path:<{width}s}  {value}")
+    if len(counters) > len(top):
+        lines.append(f"  ... {len(counters) - len(top)} more")
+    if "chrome_trace" in document:
+        lines.append(
+            f"chrome trace written to {document['chrome_trace']} "
+            "(load in chrome://tracing or ui.perfetto.dev)"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run any other subcommand under a telemetry collector."""
+    command = list(args.wrapped)
+    if command and command[0] == "--":
+        command = command[1:]
+    if not command:
+        print(
+            "profile: name a subcommand to wrap, e.g. "
+            "'repro profile infer mlp --json'",
+            file=sys.stderr,
+        )
+        return 2
+    if command[0] == "profile":
+        print("profile: cannot profile itself", file=sys.stderr)
+        return 2
+    parser = build_parser()
+    try:
+        inner = parser.parse_args(command)
+    except SystemExit:
+        return 2
+    collector = Collector()
+    inner.collector = collector
+    # The wrapped command prints its own report; capture it so the
+    # profile document is the only thing on stdout in JSON mode.
+    buffer = io.StringIO()
+    original_stdout = sys.stdout
+    sys.stdout = buffer
+    start = time.perf_counter()
+    try:
+        with collector.span(f"command[{command[0]}]"):
+            exit_code = inner.func(inner)
+    finally:
+        sys.stdout = original_stdout
+    wall_time_s = time.perf_counter() - start
+    collector.write_chrome_trace(args.trace_out)
+    document = profile_report(
+        collector,
+        command,
+        exit_code,
+        wall_time_s,
+        chrome_trace=args.trace_out,
+    )
+    validate_profile_report(document)
+    if args.json or getattr(inner, "json", False):
+        json.dump(document, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        wrapped_output = buffer.getvalue()
+        if wrapped_output:
+            sys.stdout.write(wrapped_output)
+        print(_profile_summary(document))
+    return exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -337,7 +448,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="run synthetic inference through the crossbar simulator",
     )
     p_infer.add_argument(
-        "workload", choices=api.Simulator.WORKLOADS
+        "workload",
+        nargs="?",
+        default="mlp",
+        choices=api.Simulator.WORKLOADS,
     )
     p_infer.add_argument(
         "--backend", choices=("loop", "vectorized"), default=None
@@ -385,7 +499,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="crossbar-in-the-loop training on a synthetic set",
     )
     p_train.add_argument(
-        "workload", choices=api.Simulator.WORKLOADS
+        "workload",
+        nargs="?",
+        default="mlp",
+        choices=api.Simulator.WORKLOADS,
     )
     p_train.add_argument(
         "--backend", choices=("loop", "vectorized"), default=None
@@ -394,6 +511,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--train-count", type=int, default=256)
     p_train.add_argument("--test-count", type=int, default=64)
     p_train.set_defaults(func=_cmd_train)
+
+    p_profile = sub.add_parser(
+        "profile",
+        parents=[shared],
+        help="run any subcommand under a telemetry collector",
+        description="Wrap another subcommand in a telemetry collector "
+        "and report hierarchical counters, timing spans, and a "
+        "Chrome-trace file.  The counter section is deterministic "
+        "(byte-identical across same-seed runs and across engine "
+        "backends); spans are wall-clock.",
+    )
+    p_profile.add_argument(
+        "--trace-out",
+        default="profile_trace.json",
+        help="Chrome-trace output path (default profile_trace.json)",
+    )
+    p_profile.add_argument(
+        "wrapped",
+        nargs=argparse.REMAINDER,
+        help="the subcommand to profile, with its own arguments",
+    )
+    p_profile.set_defaults(func=_cmd_profile)
     return parser
 
 

@@ -26,6 +26,7 @@ from repro.nn.layers import (
     MaxPool2D,
 )
 from repro.nn.network import Sequential
+from repro.telemetry import TelemetryLike
 from repro.utils.rng import RngLike, spawn_rngs
 from repro.workloads.specs import LayerSpec
 from repro.workloads.suite import NetworkSpec
@@ -159,6 +160,7 @@ def deploy_network(
     config: Optional[CrossbarEngineConfig] = None,
     rng: RngLike = None,
     backend: Optional[str] = None,
+    collector: Optional[TelemetryLike] = None,
 ) -> Deployment:
     """Attach crossbar engines to every Dense/Conv2D layer.
 
@@ -172,6 +174,12 @@ def deploy_network(
     evaluation backend of ``config`` without the caller having to
     rebuild the config — the two are bit-identical under a shared
     seed, so this is purely a throughput knob.
+
+    ``collector`` attaches a :class:`repro.telemetry.Collector` (or a
+    scoped view): each layer's engine writes its counters and timing
+    spans under ``engine/<layer name>/...``, giving one hierarchical
+    telemetry tree for the whole deployment.  Counter telemetry is
+    part of the backend bit-identity contract; spans are wall-clock.
 
     The engines are *lazy*: arrays are programmed at the first forward
     pass (when ``prepare`` first sees the weights).
@@ -189,7 +197,15 @@ def deploy_network(
     deployment = Deployment(network=network)
     rngs = iter(spawn_rngs(rng, len(targets)))
     for layer in targets:
-        engine = CrossbarEngine(config, rng=next(rngs))
+        engine = CrossbarEngine(
+            config,
+            rng=next(rngs),
+            collector=(
+                collector.scope(f"engine/{layer.name}")
+                if collector is not None
+                else None
+            ),
+        )
         layer.engine = engine
         deployment.engines[layer.name] = engine
     return deployment

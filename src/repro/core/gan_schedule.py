@@ -24,7 +24,7 @@ three dataflows share those resources:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.gan_pipeline import (
     SCHEMES,
@@ -33,6 +33,7 @@ from repro.core.gan_pipeline import (
     sweep_d_real,
     sweep_g,
 )
+from repro.telemetry import NULL_COLLECTOR, TelemetryLike
 from repro.utils.validation import check_choice, check_positive
 
 
@@ -176,19 +177,60 @@ def _d_backward(l_d: int, copy: str) -> List[Tuple[str, int]]:
     return [(copy, l_d + 1 + s) for s in range(l_d)]
 
 
+def _record_gan_telemetry(
+    tel: TelemetryLike, result: GanScheduleResult
+) -> None:
+    """Publish one executed GAN iteration's occupancy counters.
+
+    Per-resource busy cycles (``resource[<name>].busy_cycles``), event
+    and update totals, and the makespan gauge — all derived from the
+    deterministic event table.
+    """
+    if not tel:
+        return
+    busy: Dict[str, int] = {}
+    updates = 0
+    for event in result.events:
+        if event.stage >= 0:
+            busy[event.resource] = busy.get(event.resource, 0) + 1
+        elif event.dataflow.endswith("update"):
+            updates += 1
+    for resource in sorted(busy):
+        tel.count(f"resource[{resource}].busy_cycles", busy[resource])
+    tel.count("events", len(result.events))
+    tel.count("updates", updates)
+    tel.set("makespan_cycles", result.makespan)
+
+
 def simulate_gan_iteration(
-    l_d: int, l_g: int, batch: int, scheme: str
+    l_d: int,
+    l_g: int,
+    batch: int,
+    scheme: str,
+    collector: Optional[TelemetryLike] = None,
 ) -> GanScheduleResult:
     """Execute one GAN training iteration under ``scheme``.
 
     Returns the full event table; ``makespan`` equals
     :func:`repro.core.gan_pipeline.iteration_cycles` for every scheme
-    (asserted by the test suite).
+    (asserted by the test suite).  ``collector`` receives per-resource
+    occupancy counters and a ``simulate[<scheme>]`` timing span.
     """
     check_positive("l_d", l_d)
     check_positive("l_g", l_g)
     check_positive("batch", batch)
     check_choice("scheme", scheme, SCHEMES)
+    tel = collector if collector is not None else NULL_COLLECTOR
+    with tel.span(f"simulate[{scheme}]"):
+        result = _simulate_gan_iteration(l_d, l_g, batch, scheme)
+    _record_gan_telemetry(tel, result)
+    return result
+
+
+def _simulate_gan_iteration(
+    l_d: int, l_g: int, batch: int, scheme: str
+) -> GanScheduleResult:
+    """The schedule executor proper (validated args, no telemetry)."""
     events: List[GanEvent] = []
 
     d_real_chain = _d_chain(l_d, "D0")
@@ -290,13 +332,19 @@ def simulate_gan_iteration(
     return GanScheduleResult(events, scheme, l_d, l_g, batch)
 
 
-def verify_scheme(l_d: int, l_g: int, batch: int, scheme: str) -> Dict:
+def verify_scheme(
+    l_d: int,
+    l_g: int,
+    batch: int,
+    scheme: str,
+    collector: Optional[TelemetryLike] = None,
+) -> Dict:
     """Run one scheme and compare against the closed form.
 
     Returns a record with both cycle counts; raises on any structural
     violation.  Used by tests and the Fig. 8/9 benchmarks.
     """
-    result = simulate_gan_iteration(l_d, l_g, batch, scheme)
+    result = simulate_gan_iteration(l_d, l_g, batch, scheme, collector=collector)
     result.validate()
     formula = iteration_cycles(l_d, l_g, batch, scheme)
     return {

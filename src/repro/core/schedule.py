@@ -17,8 +17,9 @@ compute) are stages, the red dashed lines are our cycle boundaries.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
+from repro.telemetry import NULL_COLLECTOR, TelemetryLike
 from repro.utils.validation import check_positive
 
 
@@ -149,8 +150,38 @@ class ScheduleResult:
         self.check_batch_barrier()
 
 
+def _record_schedule_telemetry(
+    tel: TelemetryLike, result: ScheduleResult
+) -> None:
+    """Publish one executed schedule's occupancy counters.
+
+    Counter paths follow the component-path convention of
+    :mod:`repro.telemetry`: per-stage busy cycles
+    (``stage[<s>].busy_cycles``), event/update totals, and the
+    makespan gauge.  Everything here is derived from the deterministic
+    event table, so the counters inherit the simulator's determinism.
+    """
+    if not tel:
+        return
+    busy: Dict[int, int] = {}
+    updates = 0
+    for event in result.events:
+        if event.kind == "compute":
+            busy[event.stage] = busy.get(event.stage, 0) + 1
+        elif event.kind == "update":
+            updates += 1
+    for stage in sorted(busy):
+        tel.count(f"stage[{stage}].busy_cycles", busy[stage])
+    tel.count("events", len(result.events))
+    tel.count("updates", updates)
+    tel.set("makespan_cycles", result.makespan)
+
+
 def simulate_training_pipeline(
-    layers: int, n_inputs: int, batch: int
+    layers: int,
+    n_inputs: int,
+    batch: int,
+    collector: Optional[TelemetryLike] = None,
 ) -> ScheduleResult:
     """Execute the Fig. 5(b) pipelined training schedule.
 
@@ -158,41 +189,50 @@ def simulate_training_pipeline(
     loss/error stage, L backward); a new input enters every cycle
     within a batch; the weight update takes the cycle after the last
     input drains; the next batch starts the cycle after the update.
+    ``collector`` receives the per-stage occupancy counters and a
+    timing span (see :mod:`repro.telemetry`).
     """
     check_positive("layers", layers)
     check_positive("n_inputs", n_inputs)
     check_positive("batch", batch)
     if n_inputs % batch:
         raise ValueError("n_inputs must be a multiple of batch")
+    tel = collector if collector is not None else NULL_COLLECTOR
     stages = 2 * layers + 1
     events: List[ScheduleEvent] = []
-    batch_start = 0
-    for batch_index in range(n_inputs // batch):
-        last_drain = 0
-        for position in range(batch):
-            input_id = batch_index * batch + position
-            entry = batch_start + position
-            for stage in range(stages):
-                events.append(
-                    ScheduleEvent(
-                        cycle=entry + stage, stage=stage, input_id=input_id
+    with tel.span("simulate_training_pipeline"):
+        batch_start = 0
+        for batch_index in range(n_inputs // batch):
+            last_drain = 0
+            for position in range(batch):
+                input_id = batch_index * batch + position
+                entry = batch_start + position
+                for stage in range(stages):
+                    events.append(
+                        ScheduleEvent(
+                            cycle=entry + stage, stage=stage, input_id=input_id
+                        )
                     )
+                last_drain = entry + stages - 1
+            update_cycle = last_drain + 1
+            events.append(
+                ScheduleEvent(
+                    cycle=update_cycle, stage=-1, input_id=batch_index, kind="update"
                 )
-            last_drain = entry + stages - 1
-        update_cycle = last_drain + 1
-        events.append(
-            ScheduleEvent(
-                cycle=update_cycle, stage=-1, input_id=batch_index, kind="update"
             )
-        )
-        batch_start = update_cycle + 1
-    return ScheduleResult(
+            batch_start = update_cycle + 1
+    result = ScheduleResult(
         events=events, stages=stages, n_inputs=n_inputs, batch=batch
     )
+    _record_schedule_telemetry(tel, result)
+    return result
 
 
 def simulate_training_sequential(
-    layers: int, n_inputs: int, batch: int
+    layers: int,
+    n_inputs: int,
+    batch: int,
+    collector: Optional[TelemetryLike] = None,
 ) -> ScheduleResult:
     """Execute the unpipelined schedule: one input at a time."""
     check_positive("layers", layers)
@@ -200,41 +240,53 @@ def simulate_training_sequential(
     check_positive("batch", batch)
     if n_inputs % batch:
         raise ValueError("n_inputs must be a multiple of batch")
+    tel = collector if collector is not None else NULL_COLLECTOR
     stages = 2 * layers + 1
     events: List[ScheduleEvent] = []
-    cycle = 0
-    for batch_index in range(n_inputs // batch):
-        for position in range(batch):
-            input_id = batch_index * batch + position
-            for stage in range(stages):
-                events.append(
-                    ScheduleEvent(cycle=cycle, stage=stage, input_id=input_id)
+    with tel.span("simulate_training_sequential"):
+        cycle = 0
+        for batch_index in range(n_inputs // batch):
+            for position in range(batch):
+                input_id = batch_index * batch + position
+                for stage in range(stages):
+                    events.append(
+                        ScheduleEvent(cycle=cycle, stage=stage, input_id=input_id)
+                    )
+                    cycle += 1
+            events.append(
+                ScheduleEvent(
+                    cycle=cycle, stage=-1, input_id=batch_index, kind="update"
                 )
-                cycle += 1
-        events.append(
-            ScheduleEvent(
-                cycle=cycle, stage=-1, input_id=batch_index, kind="update"
             )
-        )
-        cycle += 1
-    return ScheduleResult(
+            cycle += 1
+    result = ScheduleResult(
         events=events, stages=stages, n_inputs=n_inputs, batch=batch
     )
+    _record_schedule_telemetry(tel, result)
+    return result
 
 
-def simulate_inference_pipeline(layers: int, n_inputs: int) -> ScheduleResult:
+def simulate_inference_pipeline(
+    layers: int,
+    n_inputs: int,
+    collector: Optional[TelemetryLike] = None,
+) -> ScheduleResult:
     """Execute the testing pipeline: L stages, no updates."""
     check_positive("layers", layers)
     check_positive("n_inputs", n_inputs)
-    events = [
-        ScheduleEvent(cycle=input_id + stage, stage=stage, input_id=input_id)
-        for input_id in range(n_inputs)
-        for stage in range(layers)
-    ]
-    return ScheduleResult(
+    tel = collector if collector is not None else NULL_COLLECTOR
+    with tel.span("simulate_inference_pipeline"):
+        events = [
+            ScheduleEvent(cycle=input_id + stage, stage=stage, input_id=input_id)
+            for input_id in range(n_inputs)
+            for stage in range(layers)
+        ]
+    result = ScheduleResult(
         events=events,
         stages=layers,
         n_inputs=n_inputs,
         batch=n_inputs,
         updates_expected=False,
     )
+    _record_schedule_telemetry(tel, result)
+    return result

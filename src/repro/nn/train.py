@@ -15,6 +15,7 @@ import numpy as np
 from repro.nn.losses import Loss, SoftmaxCrossEntropy, accuracy
 from repro.nn.network import Sequential
 from repro.nn.optim import Optimizer
+from repro.telemetry import NULL_COLLECTOR, TelemetryLike
 
 
 @dataclass
@@ -75,6 +76,7 @@ def train_classifier(
     eval_data: Optional[Tuple[np.ndarray, np.ndarray]] = None,
     rng: Optional[np.random.Generator] = None,
     on_batch: Optional[Callable[[int, float], None]] = None,
+    collector: Optional[TelemetryLike] = None,
 ) -> TrainHistory:
     """Train a classifier with batch-synchronous updates.
 
@@ -89,28 +91,38 @@ def train_classifier(
         Optional held-out ``(images, labels)`` evaluated per epoch.
     on_batch:
         Optional callback ``(batch_index, loss)`` for progress hooks.
+    collector:
+        Optional :class:`repro.telemetry.Collector` (or scoped view):
+        records ``epochs``/``batches``/``samples`` counters and a
+        per-epoch ``epoch[<i>]`` timing span.
     """
     loss = loss or SoftmaxCrossEntropy()
+    tel = collector if collector is not None else NULL_COLLECTOR
     history = TrainHistory()
     batch_index = 0
-    for _ in range(epochs):
-        for batch_images, batch_labels in iterate_batches(
-            images, labels, batch_size, rng=rng
-        ):
-            network.zero_grad()
-            value = network.train_step(batch_images, batch_labels, loss)
-            optimizer.step()
-            history.batch_losses.append(value)
-            if on_batch is not None:
-                on_batch(batch_index, value)
-            batch_index += 1
-        history.epoch_train_accuracy.append(
-            evaluate_classifier(network, images, labels, batch_size)
-        )
-        if eval_data is not None:
-            history.epoch_eval_accuracy.append(
-                evaluate_classifier(network, *eval_data, batch_size)
-            )
+    for epoch in range(epochs):
+        with tel.span(f"epoch[{epoch}]"):
+            for batch_images, batch_labels in iterate_batches(
+                images, labels, batch_size, rng=rng
+            ):
+                network.zero_grad()
+                value = network.train_step(batch_images, batch_labels, loss)
+                optimizer.step()
+                history.batch_losses.append(value)
+                tel.count("batches", 1)
+                tel.count("samples", int(batch_images.shape[0]))
+                if on_batch is not None:
+                    on_batch(batch_index, value)
+                batch_index += 1
+            with tel.span(f"epoch[{epoch}]/evaluate"):
+                history.epoch_train_accuracy.append(
+                    evaluate_classifier(network, images, labels, batch_size)
+                )
+                if eval_data is not None:
+                    history.epoch_eval_accuracy.append(
+                        evaluate_classifier(network, *eval_data, batch_size)
+                    )
+        tel.count("epochs", 1)
     return history
 
 

@@ -34,6 +34,7 @@ from repro.reliability.metrics import (
     output_metrics,
     weight_error,
 )
+from repro.telemetry import NULL_COLLECTOR, SCHEMA_VERSION, TelemetryLike
 from repro.utils.validation import check_choice, check_positive
 from repro.xbar.device import DeviceConfig
 from repro.xbar.engine import CrossbarEngineConfig
@@ -112,6 +113,7 @@ def _scenario_result(
     baseline_accuracy: float,
     batch: int,
     include_tiles: bool,
+    collector: Optional[TelemetryLike] = None,
 ) -> Dict[str, Any]:
     """Run one scenario through one backend and report its damage."""
     from repro.api import Simulator
@@ -119,7 +121,11 @@ def _scenario_result(
     device = scenario.device(base_config.device)
     config = replace(base_config, device=device)
     sim = Simulator.from_workload(
-        workload, engine_config=config, backend=backend, seed=seed
+        workload,
+        engine_config=config,
+        backend=backend,
+        seed=seed,
+        collector=collector,
     )
     # The scenario network inherits the golden network's (trained)
     # weights, so every divergence below is injected-fault damage.
@@ -174,6 +180,7 @@ def run_campaign(
     train_epochs: int = 5,
     train_count: int = 256,
     include_tiles: bool = True,
+    collector: Optional[TelemetryLike] = None,
 ) -> Dict[str, Any]:
     """Sweep one fault axis across a workload; return the full report.
 
@@ -201,54 +208,73 @@ def run_campaign(
         mismatch/error metrics carry signal).
     include_tiles:
         Attach the per-tile stuck-cell census to every layer record.
+    collector:
+        Optional :class:`repro.telemetry.Collector` (or scoped view):
+        the reference training run writes under ``reference/...``, each
+        scenario's engines under ``scenario[<name>]/...`` (prefixed by
+        ``backend[<name>]/`` in ``"both"`` mode so the two runs stay
+        separable), plus campaign-level ``scenarios`` counters and
+        per-scenario timing spans.
     """
     from repro.api import Simulator
 
     check_choice("backend", backend, BACKENDS)
     check_positive("count", count)
     check_positive("batch", batch)
+    tel = collector if collector is not None else NULL_COLLECTOR
     scenarios = scenarios_for(axis, rates)
     base_config = engine_config or CrossbarEngineConfig()
 
     # Golden model: exact float forward, trained on the float path.
-    reference = Simulator.from_workload(workload, seed=seed, deploy=False)
-    if train_epochs > 0:
-        reference.train(
-            epochs=train_epochs, batch=batch, train_count=train_count
+    with tel.span("reference"):
+        reference = Simulator.from_workload(
+            workload, seed=seed, deploy=False, collector=tel.scope("reference")
         )
-    inputs, labels = reference.make_inputs(count)
-    baseline_logits = np.concatenate(
-        [
-            reference.network.forward(
-                inputs[start : start + batch], training=False
+        if train_epochs > 0:
+            reference.train(
+                epochs=train_epochs, batch=batch, train_count=train_count
             )
-            for start in range(0, count, batch)
-        ],
-        axis=0,
-    )
-    baseline_accuracy = float(
-        np.mean(np.argmax(baseline_logits, axis=1) == labels)
-    )
+        inputs, labels = reference.make_inputs(count)
+        baseline_logits = np.concatenate(
+            [
+                reference.network.forward(
+                    inputs[start : start + batch], training=False
+                )
+                for start in range(0, count, batch)
+            ],
+            axis=0,
+        )
+        baseline_accuracy = float(
+            np.mean(np.argmax(baseline_logits, axis=1) == labels)
+        )
 
     backends = ("loop", "vectorized") if backend == "both" else (backend,)
     per_backend: Dict[str, List[Dict[str, Any]]] = {}
     for run_backend in backends:
-        per_backend[run_backend] = [
-            _scenario_result(
-                scenario,
-                workload,
-                seed,
-                base_config,
-                run_backend,
-                reference,
-                inputs,
-                labels,
-                baseline_accuracy,
-                batch,
-                include_tiles,
-            )
-            for scenario in scenarios
-        ]
+        scenario_results: List[Dict[str, Any]] = []
+        for scenario in scenarios:
+            scope = f"scenario[{scenario.name}]"
+            if backend == "both":
+                scope = f"backend[{run_backend}]/{scope}"
+            with tel.span(scope):
+                scenario_results.append(
+                    _scenario_result(
+                        scenario,
+                        workload,
+                        seed,
+                        base_config,
+                        run_backend,
+                        reference,
+                        inputs,
+                        labels,
+                        baseline_accuracy,
+                        batch,
+                        include_tiles,
+                        collector=tel.scope(scope) if tel else None,
+                    )
+                )
+            tel.count("scenarios", 1)
+        per_backend[run_backend] = scenario_results
     backends_match: Optional[bool] = None
     if backend == "both":
         for loop_result, vec_result in zip(
@@ -264,6 +290,7 @@ def run_campaign(
     results = per_backend[backends[-1]]
 
     report: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
         "workload": workload,
         "axis": axis,
         "rates": [scenario.rate for scenario in scenarios],

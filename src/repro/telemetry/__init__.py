@@ -1,0 +1,54 @@
+"""Hierarchical telemetry & profiling for the whole simulation stack.
+
+The accelerator's claims are counted events, so counting is a layer,
+not a logger: one :class:`Collector` threads through the crossbar
+engine (both backends, bit-identical counters), the pipeline schedule
+simulators, the training loop, and the reliability campaigns, keyed by
+``/``-separated component paths.  Timing :meth:`~Collector.span`\\ s
+ride along for profiling and export to the Chrome-trace format;
+they are wall-clock and excluded from every determinism contract.
+
+Quick start::
+
+    from repro import Simulator
+    from repro.telemetry import Collector
+
+    collector = Collector()
+    sim = Simulator.from_workload("mlp", seed=0, collector=collector)
+    sim.run_inference(count=32)
+    print(collector.counters())          # engine/<layer>/... hierarchy
+    collector.write_chrome_trace("trace.json")   # chrome://tracing
+
+CLI: ``repro profile <subcommand> ...`` runs any existing subcommand's
+workload under a collector and emits the report.
+"""
+
+from repro.telemetry.collector import (
+    DEFAULT_MAX_SPANS,
+    NULL_COLLECTOR,
+    SCHEMA_VERSION,
+    Collector,
+    ScopedCollector,
+    SpanRecord,
+    TelemetryLike,
+)
+from repro.telemetry.export import (
+    bench_document,
+    profile_report,
+    validate_bench_document,
+    validate_profile_report,
+)
+
+__all__ = [
+    "Collector",
+    "ScopedCollector",
+    "SpanRecord",
+    "TelemetryLike",
+    "NULL_COLLECTOR",
+    "SCHEMA_VERSION",
+    "DEFAULT_MAX_SPANS",
+    "profile_report",
+    "bench_document",
+    "validate_profile_report",
+    "validate_bench_document",
+]

@@ -1,0 +1,353 @@
+"""Hierarchical telemetry collector: counters and timing spans.
+
+The accelerator's headline numbers are *counted events* — spike-driver
+activations, I&F ADC conversions, crossbar reads and writes, pipeline
+cycle occupancy — so observability is a first-class layer here rather
+than a logger bolted on after the fact.  One :class:`Collector` holds
+
+* **counters** — deterministic integer/float accumulators keyed by a
+  ``/``-separated component path (``engine/fc1/tile[pos,0]/reads``,
+  ``pipeline/stage[2].busy_cycles``).  Counters follow the simulation
+  exactly: the loop and vectorized crossbar backends must produce
+  **identical** counter telemetry under a shared seed (the
+  bit-identity contract of :mod:`repro.xbar.engine`, extended to
+  observability and enforced by the backend-equivalence tests).
+* **timing spans** — wall-clock intervals opened with :meth:`span`.
+  Spans are *non-deterministic by construction* (they measure the
+  host, not the simulated hardware) and are therefore excluded from
+  every equality check; exporters keep them in a separate section.
+
+Component-path convention
+-------------------------
+Segments are joined with ``/`` and name the component hierarchy from
+the outside in; the leaf may carry a dotted metric name::
+
+    engine/<layer>/mvm_calls              engine-level totals
+    engine/<layer>/tile[<plane>,<slice>]/adc.conversions
+    pipeline/stage[<s>].busy_cycles       schedule occupancy
+    train/epoch[<i>]                      (span) one training epoch
+    reliability/scenario[stuck=0.01]/...  campaign sub-trees
+
+Zero overhead when disabled
+---------------------------
+Every mutator begins with an ``enabled`` check, and the module-level
+:data:`NULL_COLLECTOR` is a shared disabled instance: code paths take
+an ``Optional[Collector]`` and fall back to it, so uninstrumented runs
+execute one predictable-false branch per hook and allocate nothing.
+A disabled collector records no counters, records no spans, and never
+changes simulation outputs (pinned by tests).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+Number = Union[int, float]
+
+#: Version stamp of every JSON document the telemetry layer emits.
+SCHEMA_VERSION = 1
+
+#: Default bound on recorded spans: a long training run opens one span
+#: per epoch and per profiled call, and an unbounded list would grow
+#: without limit (same rationale as the bounded per-call history of
+#: ``XbarStats``).  Past the cap, spans are counted but not stored.
+DEFAULT_MAX_SPANS = 100_000
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One closed timing span (wall-clock, non-deterministic)."""
+
+    path: str
+    start_s: float
+    duration_s: float
+    depth: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "depth": self.depth,
+        }
+
+
+class Collector:
+    """Hierarchical counter + span store (see module docstring).
+
+    Parameters
+    ----------
+    enabled:
+        ``False`` turns every mutator into a no-op — the collector
+        records nothing and costs one branch per hook.
+    record_spans:
+        ``False`` keeps counters live but drops timing spans; the
+        crossbar engine's *private* collector (the one backing
+        ``engine.stats`` when no external collector is attached) runs
+        in this mode so hot matmul loops never accumulate span
+        records nobody asked for.
+    max_spans:
+        Bound on stored spans; further spans are timed but only
+        counted in :attr:`spans_dropped`.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        record_spans: bool = True,
+        max_spans: int = DEFAULT_MAX_SPANS,
+    ) -> None:
+        if max_spans < 0:
+            raise ValueError(f"max_spans must be >= 0, got {max_spans}")
+        self.enabled = enabled
+        self.record_spans = record_spans
+        self.max_spans = max_spans
+        self._counters: Dict[str, Number] = {}
+        self._spans: List[SpanRecord] = []
+        self._span_depth = 0
+        self._spans_dropped = 0
+        self._origin = time.perf_counter()
+
+    # -- counters -----------------------------------------------------------
+    def count(self, path: str, n: Number = 1) -> None:
+        """Add ``n`` to the counter at ``path`` (creating it at 0)."""
+        if not self.enabled:
+            return
+        self._counters[path] = self._counters.get(path, 0) + n
+
+    def set(self, path: str, value: Number) -> None:
+        """Set the counter at ``path`` to an absolute value (a gauge)."""
+        if not self.enabled:
+            return
+        self._counters[path] = value
+
+    def get(self, path: str, default: Number = 0) -> Number:
+        """Current value of the counter at ``path``."""
+        return self._counters.get(path, default)
+
+    def clear(self, path: str) -> None:
+        """Drop one counter (no-op if absent)."""
+        self._counters.pop(path, None)
+
+    def clear_tree(self, prefix: str) -> None:
+        """Drop every counter whose path starts with ``prefix``."""
+        for key in [k for k in self._counters if k.startswith(prefix)]:
+            del self._counters[key]
+
+    def counters(self) -> Dict[str, Number]:
+        """Flat path -> value map, sorted by path (deterministic)."""
+        return {path: self._counters[path] for path in sorted(self._counters)}
+
+    def counter_tree(self) -> Dict[str, Any]:
+        """Counters nested by ``/`` path segment.
+
+        A path that is both a node and a leaf keeps its leaf value
+        under the empty-string key of the node dict.
+        """
+        tree: Dict[str, Any] = {}
+        for path in sorted(self._counters):
+            node = tree
+            *parents, leaf = path.split("/")
+            for segment in parents:
+                child = node.get(segment)
+                if not isinstance(child, dict):
+                    child = {} if child is None else {"": child}
+                    node[segment] = child
+                node = child
+            existing = node.get(leaf)
+            if isinstance(existing, dict):
+                existing[""] = self._counters[path]
+            else:
+                node[leaf] = self._counters[path]
+        return tree
+
+    # -- spans --------------------------------------------------------------
+    @contextmanager
+    def span(self, path: str) -> Iterator[None]:
+        """Time a block of work as one wall-clock span at ``path``.
+
+        Nesting is recorded through ``depth``; spans are never part of
+        any determinism contract.
+        """
+        if not (self.enabled and self.record_spans):
+            yield
+            return
+        depth = self._span_depth
+        self._span_depth = depth + 1
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            duration = time.perf_counter() - start
+            self._span_depth = depth
+            if len(self._spans) < self.max_spans:
+                self._spans.append(
+                    SpanRecord(
+                        path=path,
+                        start_s=start - self._origin,
+                        duration_s=duration,
+                        depth=depth,
+                    )
+                )
+            else:
+                self._spans_dropped += 1
+
+    def spans(self) -> List[SpanRecord]:
+        """The recorded spans, in closing order."""
+        return list(self._spans)
+
+    @property
+    def spans_dropped(self) -> int:
+        """Spans timed but not stored because ``max_spans`` was hit."""
+        return self._spans_dropped
+
+    # -- lifecycle ----------------------------------------------------------
+    def reset(self) -> None:
+        """Drop all counters and spans; restart the time origin."""
+        self._counters.clear()
+        self._spans.clear()
+        self._span_depth = 0
+        self._spans_dropped = 0
+        self._origin = time.perf_counter()
+
+    def scope(self, prefix: str) -> "ScopedCollector":
+        """A view that prefixes every path with ``prefix + '/'``."""
+        return ScopedCollector(self, prefix)
+
+    def __bool__(self) -> bool:
+        """Truthy iff enabled — lets hooks guard optional aggregation."""
+        return self.enabled
+
+    def __repr__(self) -> str:
+        return (
+            f"Collector(enabled={self.enabled}, "
+            f"counters={len(self._counters)}, spans={len(self._spans)})"
+        )
+
+    # -- export -------------------------------------------------------------
+    def report(self) -> Dict[str, Any]:
+        """JSON-able document: counters (deterministic) + spans (not).
+
+        The counter section is byte-stable across runs with the same
+        seed and across engine backends; the span section measures the
+        host and is excluded from every equality check.
+        """
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "counters": self.counters(),
+            "counter_tree": self.counter_tree(),
+            "spans": [record.to_dict() for record in self._spans],
+            "spans_dropped": self._spans_dropped,
+        }
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """Spans as Chrome-trace / Perfetto "complete" (``X``) events.
+
+        Load the written file at ``chrome://tracing`` or
+        https://ui.perfetto.dev to see the span hierarchy on a
+        timeline.  Timestamps are microseconds since the collector's
+        origin; nesting falls out of the enclosing ts/dur intervals.
+        """
+        events: List[Dict[str, Any]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": 1,
+                "args": {"name": "repro.telemetry"},
+            }
+        ]
+        for record in self._spans:
+            events.append(
+                {
+                    "name": record.path,
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": 1,
+                    "ts": record.start_s * 1e6,
+                    "dur": record.duration_s * 1e6,
+                    "args": {"depth": record.depth},
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: Union[str, Path]) -> Path:
+        """Write :meth:`chrome_trace` to ``path``; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.chrome_trace(), indent=2) + "\n")
+        return path
+
+
+class ScopedCollector:
+    """A prefixing view onto a base collector.
+
+    Carries the same hook API (``count`` / ``set`` / ``get`` /
+    ``clear`` / ``span`` / ``scope``), rewriting every path to
+    ``prefix/path`` — this is how one collector threads through nested
+    components (simulator -> deployment -> engine -> tile) and ends up
+    with one coherent hierarchy.
+    """
+
+    def __init__(self, base: Collector, prefix: str) -> None:
+        if not prefix:
+            raise ValueError("scope prefix must be non-empty")
+        self._base = base
+        self._prefix = prefix.rstrip("/")
+
+    @property
+    def enabled(self) -> bool:
+        return self._base.enabled
+
+    @property
+    def prefix(self) -> str:
+        return self._prefix
+
+    @property
+    def base(self) -> Collector:
+        """The root collector this view writes into."""
+        return self._base
+
+    def _path(self, path: str) -> str:
+        return f"{self._prefix}/{path}"
+
+    def count(self, path: str, n: Number = 1) -> None:
+        self._base.count(self._path(path), n)
+
+    def set(self, path: str, value: Number) -> None:
+        self._base.set(self._path(path), value)
+
+    def get(self, path: str, default: Number = 0) -> Number:
+        return self._base.get(self._path(path), default)
+
+    def clear(self, path: str) -> None:
+        self._base.clear(self._path(path))
+
+    def clear_tree(self, prefix: str) -> None:
+        self._base.clear_tree(self._path(prefix))
+
+    def span(self, path: str):
+        return self._base.span(self._path(path))
+
+    def scope(self, prefix: str) -> "ScopedCollector":
+        return ScopedCollector(self._base, self._path(prefix))
+
+    def __bool__(self) -> bool:
+        return self._base.enabled
+
+    def __repr__(self) -> str:
+        return f"ScopedCollector({self._prefix!r} -> {self._base!r})"
+
+
+#: Any object honouring the collector hook API (a :class:`Collector`
+#: or a :class:`ScopedCollector` view).
+TelemetryLike = Union[Collector, ScopedCollector]
+
+#: Shared disabled collector: the ``collector or NULL_COLLECTOR``
+#: fallback that makes every instrumentation hook a cheap no-op when
+#: telemetry is off.  Never enable or write through this instance.
+NULL_COLLECTOR = Collector(enabled=False)

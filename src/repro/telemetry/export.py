@@ -1,0 +1,143 @@
+"""Stable JSON documents built from a telemetry collector.
+
+Two document kinds leave this module:
+
+* **profile reports** — what ``repro profile <subcommand> --json``
+  emits: the wrapped command, its exit code and wall time, the full
+  hierarchical counter map (deterministic: byte-identical across
+  backends and across same-seed runs), the timing spans
+  (non-deterministic, separate section), and the path of the written
+  Chrome-trace file.
+* **benchmark documents** — the machine-readable ``BENCH_*.json``
+  files the benchmark harness records next to its text tables, seeding
+  the perf trajectory (workload, backend, wall time, key counters).
+
+Both carry ``schema_version`` and have a structural validator here so
+CI can assert the schema without external dependencies.
+"""
+
+from __future__ import annotations
+
+from numbers import Number as _NumberABC
+from typing import Any, Dict, Optional, Sequence
+
+from repro.telemetry.collector import SCHEMA_VERSION, Collector
+
+_PROFILE_REQUIRED = {
+    "schema_version": int,
+    "kind": str,
+    "command": list,
+    "exit_code": int,
+    "wall_time_s": _NumberABC,
+    "counters": dict,
+    "counter_tree": dict,
+    "spans": list,
+    "spans_dropped": int,
+}
+
+_BENCH_REQUIRED = {
+    "schema_version": int,
+    "kind": str,
+    "bench": str,
+    "workload": str,
+    "backend": str,
+    "wall_time_s": _NumberABC,
+    "counters": dict,
+}
+
+
+def profile_report(
+    collector: Collector,
+    command: Sequence[str],
+    exit_code: int,
+    wall_time_s: float,
+    chrome_trace: Optional[str] = None,
+) -> Dict[str, Any]:
+    """The ``repro profile`` JSON document for one wrapped command."""
+    document: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "profile",
+        "command": list(command),
+        "exit_code": int(exit_code),
+        "wall_time_s": float(wall_time_s),
+        "counters": collector.counters(),
+        "counter_tree": collector.counter_tree(),
+        "spans": [record.to_dict() for record in collector.spans()],
+        "spans_dropped": collector.spans_dropped,
+    }
+    if chrome_trace is not None:
+        document["chrome_trace"] = str(chrome_trace)
+    return document
+
+
+def bench_document(
+    bench: str,
+    workload: str,
+    backend: str,
+    wall_time_s: float,
+    counters: Dict[str, Any],
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One machine-readable benchmark record (``BENCH_*.json``)."""
+    document: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "bench",
+        "bench": str(bench),
+        "workload": str(workload),
+        "backend": str(backend),
+        "wall_time_s": float(wall_time_s),
+        "counters": dict(counters),
+    }
+    if extra:
+        document.update(extra)
+    return document
+
+
+def _check_fields(document: Dict[str, Any], required: Dict[str, type],
+                  kind: str) -> None:
+    if not isinstance(document, dict):
+        raise ValueError(f"{kind} document must be a dict, got "
+                         f"{type(document).__name__}")
+    for field, field_type in required.items():
+        if field not in document:
+            raise ValueError(f"{kind} document missing field {field!r}")
+        if field_type is int and isinstance(document[field], bool):
+            raise ValueError(f"{kind} field {field!r} must be an int")
+        if not isinstance(document[field], field_type):
+            raise ValueError(
+                f"{kind} field {field!r} must be "
+                f"{getattr(field_type, '__name__', field_type)}, got "
+                f"{type(document[field]).__name__}"
+            )
+    if document["schema_version"] != SCHEMA_VERSION:
+        raise ValueError(
+            f"{kind} schema_version {document['schema_version']!r} != "
+            f"{SCHEMA_VERSION}"
+        )
+
+
+def validate_profile_report(document: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``document`` is a valid profile report."""
+    _check_fields(document, _PROFILE_REQUIRED, "profile")
+    if document["kind"] != "profile":
+        raise ValueError(f"profile kind {document['kind']!r} != 'profile'")
+    for path, value in document["counters"].items():
+        if not isinstance(path, str) or isinstance(value, bool) or \
+                not isinstance(value, _NumberABC):
+            raise ValueError(f"counter {path!r} -> {value!r} is not a "
+                             "string path with a numeric value")
+    for span in document["spans"]:
+        for field in ("path", "start_s", "duration_s", "depth"):
+            if field not in span:
+                raise ValueError(f"span record missing field {field!r}")
+        if span["duration_s"] < 0 or span["depth"] < 0:
+            raise ValueError(f"span record out of range: {span!r}")
+
+
+def validate_bench_document(document: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``document`` is a valid bench record."""
+    _check_fields(document, _BENCH_REQUIRED, "bench")
+    if document["kind"] != "bench":
+        raise ValueError(f"bench kind {document['kind']!r} != 'bench'")
+    if document["wall_time_s"] < 0:
+        raise ValueError("bench wall_time_s must be >= 0")

@@ -52,12 +52,14 @@ Two interchangeable backends evaluate the full datapath:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.nn.engine import MatmulEngine
+from repro.telemetry import Collector, TelemetryLike
 from repro.utils.rng import RngLike, derive_seed, new_rng
 from repro.utils.validation import check_choice, check_positive
 from repro.xbar.adc import ADCConfig, quantize_levels
@@ -177,8 +179,30 @@ class CrossbarEngineConfig:
         )
 
 
+#: Engine-level counter paths surfaced as ``XbarStats`` attributes.
+_STAT_FIELDS = (
+    "mvm_calls",
+    "subcycles",
+    "array_reads",
+    "array_programs",
+    "adc_conversions",
+    "weights_programmed",
+    "fast_ideal_calls",
+)
+
+
 class XbarStats:
     """Operation counters consumed by the energy/latency models.
+
+    Since the telemetry subsystem landed this is a *thin view* over a
+    :class:`repro.telemetry.Collector`: the engine writes every
+    operation count through its collector (engine-level totals plus
+    per-tile ``tile[<plane>,<slice>]/...`` paths), and the attributes
+    here (``mvm_calls``, ``array_reads``, ...) are properties reading
+    the engine-level counters back.  The public attribute API is
+    unchanged; *assigning* to a counter attribute still works but is
+    deprecated — mutate through the collector instead (the same
+    curated-surface migration pattern as ``repro.core``).
 
     The per-call sub-cycle history is **opt-in** (``track_per_call``)
     and bounded by ``per_call_limit``: a training run makes one matmul
@@ -189,32 +213,62 @@ class XbarStats:
     """
 
     def __init__(
-        self, track_per_call: bool = False, per_call_limit: int = 4096
+        self,
+        track_per_call: bool = False,
+        per_call_limit: int = 4096,
+        collector: Optional[TelemetryLike] = None,
     ) -> None:
         check_positive("per_call_limit", per_call_limit)
         self.track_per_call = track_per_call
         self.per_call_limit = per_call_limit
-        self.reset()
+        self.telemetry: TelemetryLike = (
+            collector
+            if collector is not None
+            else Collector(record_spans=False)
+        )
+        self.per_call_subcycles: List[int] = []
 
     def reset(self) -> None:
-        """Zero all counters (also the one code path ``__init__`` uses)."""
-        self.mvm_calls = 0
-        self.subcycles = 0
-        self.array_reads = 0
-        self.array_programs = 0
-        self.adc_conversions = 0
-        self.weights_programmed = 0
-        self.fast_ideal_calls = 0
-        self.per_call_subcycles: List[int] = []
+        """Drop all engine counters (including per-tile sub-trees)."""
+        for field in _STAT_FIELDS:
+            self.telemetry.clear(field)
+        self.telemetry.clear_tree("tile[")
+        self.per_call_subcycles = []
 
     def record_call(self, subcycles: int) -> None:
         """Account one full-path matmul call of ``subcycles`` sub-cycles."""
-        self.subcycles += subcycles
+        self.telemetry.count("subcycles", subcycles)
         if (
             self.track_per_call
             and len(self.per_call_subcycles) < self.per_call_limit
         ):
             self.per_call_subcycles.append(subcycles)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Engine-level counters as a plain name -> value dict."""
+        return {field: getattr(self, field) for field in _STAT_FIELDS}
+
+
+def _stat_property(field: str) -> property:
+    def getter(self: XbarStats) -> int:
+        return int(self.telemetry.get(field))
+
+    def setter(self: XbarStats, value: int) -> None:
+        warnings.warn(
+            f"assigning XbarStats.{field} directly is deprecated; "
+            "operation counters live in the telemetry Collector — "
+            "mutate via stats.telemetry.count()/set() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.telemetry.set(field, value)
+
+    return property(getter, setter, doc=f"Engine-level {field!r} counter.")
+
+
+for _field in _STAT_FIELDS:
+    setattr(XbarStats, _field, _stat_property(_field))
+del _field
 
 
 @dataclass
@@ -263,12 +317,27 @@ class CrossbarEngine(MatmulEngine):
         config: Optional[CrossbarEngineConfig] = None,
         rng: RngLike = None,
         track_per_call: bool = False,
+        collector: Optional[TelemetryLike] = None,
     ) -> None:
         self.config = config or CrossbarEngineConfig()
         self._rng = new_rng(rng)
-        self.stats = XbarStats(track_per_call=track_per_call)
+        # Counters always flow through a collector; without an external
+        # one the engine owns a private, span-free instance so stats
+        # work exactly as before at the same cost.  An attached
+        # collector (usually a per-layer scope from deploy_network)
+        # additionally receives prepare/matmul timing spans and the
+        # per-tile counter hierarchy.
+        self.telemetry: TelemetryLike = (
+            collector
+            if collector is not None
+            else Collector(record_spans=False)
+        )
+        self.stats = XbarStats(
+            track_per_call=track_per_call, collector=self.telemetry
+        )
         self._sliced: Optional[SlicedWeights] = None
         self._tiles: Dict[Tuple[str, int], TiledCrossbar] = {}
+        self._tile_paths: Dict[Tuple[str, int], str] = {}
         self._cached_weights: Optional[np.ndarray] = None
         self._quantized: Optional[np.ndarray] = None
         self._coder = SpikeCoder(self.config.encoding)
@@ -313,6 +382,7 @@ class CrossbarEngine(MatmulEngine):
             # — the cells, and in particular their stuck-fault masks,
             # persist across weight updates like real hardware.
             self._tiles = {}
+            self._tile_paths = {}
             for plane_name, slices in planes:
                 for slice_index in range(len(slices)):
                     self._tiles[(plane_name, slice_index)] = TiledCrossbar(
@@ -326,12 +396,24 @@ class CrossbarEngine(MatmulEngine):
                             self._rng, f"{plane_name}:{slice_index}"
                         ),
                     )
-        for plane_name, slices in planes:
-            for slice_index, level_plane in enumerate(slices):
-                tile = self._tiles[(plane_name, slice_index)]
-                tile.program(level_plane)
-                self.stats.array_programs += tile.array_count
-        self.stats.weights_programmed += int(weights.size)
+                    # Component paths are built once: the matmul hot
+                    # loops only ever do dict increments.
+                    self._tile_paths[(plane_name, slice_index)] = (
+                        f"tile[{plane_name},{slice_index}]"
+                    )
+        tel = self.telemetry
+        with tel.span("prepare"):
+            for plane_name, slices in planes:
+                for slice_index, level_plane in enumerate(slices):
+                    tile = self._tiles[(plane_name, slice_index)]
+                    tile.program(level_plane)
+                    tel.count("array_programs", tile.array_count)
+                    tel.count(
+                        self._tile_paths[(plane_name, slice_index)]
+                        + "/programs",
+                        tile.array_count,
+                    )
+            tel.count("weights_programmed", int(weights.size))
         # program() changed the physical state: both derived caches
         # (effective matrix, stacked conductance tensor) are stale.
         self._effective = None
@@ -420,7 +502,8 @@ class CrossbarEngine(MatmulEngine):
                 f"activations width {activations.shape[1]} != weight rows "
                 f"{self._cached_weights.shape[0]}"
             )
-        self.stats.mvm_calls += 1
+        tel = self.telemetry
+        tel.count("mvm_calls", 1)
 
         max_abs = self.config.activation_range
         if max_abs is None:
@@ -435,7 +518,7 @@ class CrossbarEngine(MatmulEngine):
         )
 
         if self.config.fast_ideal and self.config.is_ideal:
-            self.stats.fast_ideal_calls += 1
+            tel.count("fast_ideal_calls", 1)
             signed = (pos_int - neg_int).astype(np.float64)
             return signed @ self._quantized * (a_scale * self._sliced.scale)
         if self.config.fast_linear and self.config.is_linear:
@@ -447,12 +530,13 @@ class CrossbarEngine(MatmulEngine):
             # *approximation* (typically a few percent under 5%
             # programming noise), intended for fast crossbar-in-the-
             # loop training studies.
-            self.stats.fast_ideal_calls += 1
+            tel.count("fast_ideal_calls", 1)
             signed = (pos_int - neg_int).astype(np.float64)
             return signed @ self.effective_weights() * a_scale
-        if self.config.backend == "vectorized":
-            return self._full_path_vectorized(pos_int, neg_int, a_scale)
-        return self._full_path_loop(pos_int, neg_int, a_scale)
+        with tel.span("matmul"):
+            if self.config.backend == "vectorized":
+                return self._full_path_vectorized(pos_int, neg_int, a_scale)
+            return self._full_path_loop(pos_int, neg_int, a_scale)
 
     def _full_path_loop(
         self, pos_int: np.ndarray, neg_int: np.ndarray, a_scale: float
@@ -469,6 +553,7 @@ class CrossbarEngine(MatmulEngine):
         cols = self._cached_weights.shape[1]
         accumulator = np.zeros((batch, cols))
         call_subcycles = 0
+        tel = self.telemetry
 
         for input_sign, integers in ((1.0, pos_int), (-1.0, neg_int)):
             if not np.any(integers):
@@ -494,8 +579,18 @@ class CrossbarEngine(MatmulEngine):
                         * radix**slice_index
                         * partial
                     )
-                    self.stats.array_reads += tile.array_count * batch
-                    self.stats.adc_conversions += batch * tile.logical_cols
+                    tile_path = self._tile_paths[(plane_name, slice_index)]
+                    tel.count("array_reads", tile.array_count * batch)
+                    tel.count(
+                        tile_path + "/reads", tile.array_count * batch
+                    )
+                    tel.count(
+                        "adc_conversions", batch * tile.logical_cols
+                    )
+                    tel.count(
+                        tile_path + "/adc.conversions",
+                        batch * tile.logical_cols,
+                    )
             if sliced.mapping.scheme == "offset":
                 # Remove the stored offset: offset * sum_i(x_i), digital.
                 row_sums = integers.sum(axis=1, keepdims=True).astype(np.float64)
@@ -769,12 +864,26 @@ class CrossbarEngine(MatmulEngine):
                 )
                 accumulator -= input_sign * sliced.offset_int * row_sums
 
-        # Mirror the loop backend's operation accounting exactly.
+        # Mirror the loop backend's operation accounting exactly —
+        # engine totals, per-tile telemetry paths, and per-array
+        # read/conversion counters all match the bit-serial schedule.
+        tel = self.telemetry
         arrays_total = state.n_planes * state.grid_rows * state.grid_cols
-        self.stats.array_reads += call_subcycles * arrays_total * batch
-        self.stats.adc_conversions += (
-            call_subcycles * state.n_planes * batch * logical_cols
+        tel.count("array_reads", call_subcycles * arrays_total * batch)
+        tel.count(
+            "adc_conversions",
+            call_subcycles * state.n_planes * batch * logical_cols,
         )
+        for key, tile in self._tiles.items():
+            tile_path = self._tile_paths[key]
+            tel.count(
+                tile_path + "/reads",
+                call_subcycles * tile.array_count * batch,
+            )
+            tel.count(
+                tile_path + "/adc.conversions",
+                call_subcycles * batch * tile.logical_cols,
+            )
         reads = call_subcycles * batch
         conversions = call_subcycles * batch * self.config.array_cols
         for tile_arrays in state.arrays:

@@ -102,16 +102,21 @@ class TestSimulator:
 class TestReportFunctions:
     def test_mapping_sweep_shape(self):
         sweep = mapping_sweep(duplications=(1, 4))
-        assert [row["duplication"] for row in sweep] == [1, 4]
-        assert sweep[0]["passes_per_image"] > sweep[1]["passes_per_image"]
+        rows = sweep["rows"]
+        assert [row["duplication"] for row in rows] == [1, 4]
+        assert rows[0]["passes_per_image"] > rows[1]["passes_per_image"]
 
     def test_pipeline_sweep_speedup_grows(self):
         sweep = pipeline_sweep(layers=6, batches=(1, 32))
-        assert sweep[-1]["speedup"] > sweep[0]["speedup"]
+        rows = sweep["rows"]
+        assert rows[-1]["speedup"] > rows[0]["speedup"]
+        assert sweep["layers"] == 6
 
     def test_gan_scheme_report_has_all_datasets(self):
         report = gan_scheme_report(batch=8)
-        assert set(report) == {"mnist", "cifar10", "celeba", "lsun"}
+        assert set(report["datasets"]) == {
+            "mnist", "cifar10", "celeba", "lsun"
+        }
 
     def test_schedule_trace_json_able(self):
         document = schedule_trace(layers=2, batch=2)
@@ -164,17 +169,17 @@ class TestCliJson:
 
     def test_fig4_json(self, capsys):
         document = self._json_out(capsys, ["fig4", "--json"])
-        assert document[0]["duplication"] == 1
+        assert document["rows"][0]["duplication"] == 1
 
     def test_fig5_json(self, capsys):
         document = self._json_out(
             capsys, ["fig5", "--layers", "3", "--json"]
         )
-        assert {"batch", "speedup"} <= set(document[0])
+        assert {"batch", "speedup"} <= set(document["rows"][0])
 
     def test_fig9_json(self, capsys):
         document = self._json_out(capsys, ["fig9", "--batch", "8", "--json"])
-        assert "mnist" in document
+        assert "mnist" in document["datasets"]
 
     def test_summary_json(self, capsys):
         document = self._json_out(capsys, ["summary", "mnist", "--json"])

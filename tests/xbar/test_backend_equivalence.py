@@ -2,12 +2,14 @@
 
 The vectorized backend's contract is not "close": under a shared seed
 it must reproduce the loop backend's outputs *exactly* (bit-identical
-float64) and report identical operation statistics, across every input
-mode, mapping scheme, device non-ideality, and ADC configuration.
-These tests pin that contract with parametrized fixed-seed cases and a
+float64) and report identical operation statistics — including the
+full hierarchical telemetry counter tree — across every input mode,
+mapping scheme, device non-ideality, and ADC configuration.  These
+tests pin that contract with parametrized fixed-seed cases and a
 hypothesis sweep over random weights, activations, and seeds.
 """
 
+import json
 from dataclasses import replace
 
 import numpy as np
@@ -16,6 +18,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.telemetry import Collector
 from repro.xbar.device import NOISY_DEVICE, PIPELAYER_DEVICE
 from repro.xbar.engine import CrossbarEngine, CrossbarEngineConfig, XbarStats
 from repro.xbar.mapping import WeightMapping
@@ -44,8 +47,11 @@ def run_both(config_kwargs, weights, activations, seed=11):
     """Evaluate the same MVM on both backends with identical seeds."""
     results = {}
     for backend in ("loop", "vectorized"):
+        collector = Collector(record_spans=False)
         engine = CrossbarEngine(
-            small_config(backend=backend, **config_kwargs), rng=seed
+            small_config(backend=backend, **config_kwargs),
+            rng=seed,
+            collector=collector,
         )
         engine.prepare(weights)
         out = engine.matmul(activations)
@@ -57,18 +63,25 @@ def run_both(config_kwargs, weights, activations, seed=11):
                 engine.stats.adc_conversions,
                 engine.stats.mvm_calls,
             ),
+            collector.counters(),
         )
     return results
 
 
 def assert_bit_identical(results):
-    loop_out, loop_stats = results["loop"]
-    vec_out, vec_stats = results["vectorized"]
+    loop_out, loop_stats, loop_counters = results["loop"]
+    vec_out, vec_stats, vec_counters = results["vectorized"]
     # Bit-for-bit: array_equal, not allclose.
     assert np.array_equal(loop_out, vec_out), (
         f"max abs diff {np.max(np.abs(loop_out - vec_out))}"
     )
     assert loop_stats == vec_stats
+    # The telemetry contract extends bit-identity to the full
+    # hierarchical counter map, byte-for-byte once serialized.
+    assert loop_counters == vec_counters
+    assert json.dumps(loop_counters, sort_keys=True) == json.dumps(
+        vec_counters, sort_keys=True
+    )
 
 
 CASES = {
@@ -243,11 +256,70 @@ class TestXbarStatsHistory:
     def test_reset_shares_init_state(self):
         stats = XbarStats(track_per_call=True)
         stats.record_call(7)
-        stats.mvm_calls = 3
+        with pytest.warns(DeprecationWarning, match="mvm_calls"):
+            stats.mvm_calls = 3
         stats.reset()
         fresh = XbarStats(track_per_call=True)
-        assert vars(stats) == vars(fresh)
+        assert stats.as_dict() == fresh.as_dict()
+        assert stats.per_call_subcycles == fresh.per_call_subcycles
 
     def test_invalid_limit_rejected(self):
         with pytest.raises(ValueError):
             XbarStats(per_call_limit=0)
+
+
+class TestTelemetryThroughEngine:
+    """The collector contract at engine granularity."""
+
+    def test_counters_cover_every_tile(self, rng):
+        collector = Collector()
+        engine = CrossbarEngine(small_config(), rng=0, collector=collector)
+        engine.prepare(rng.normal(size=(40, 24)))
+        engine.matmul(rng.normal(size=(3, 40)))
+        counters = collector.counters()
+        tiles = {path for path in counters if path.startswith("tile[")}
+        # 16x16 arrays under a 40x24 logical matmul: 3 row slices per
+        # differential plane, each with program + read + adc counters.
+        assert any(path.endswith("/reads") for path in tiles)
+        assert any(path.endswith("/adc.conversions") for path in tiles)
+        assert any(path.endswith("/programs") for path in tiles)
+        assert counters["mvm_calls"] == 1
+
+    def test_stats_view_matches_collector(self, rng):
+        collector = Collector()
+        engine = CrossbarEngine(small_config(), rng=0, collector=collector)
+        engine.prepare(rng.normal(size=(20, 12)))
+        engine.matmul(rng.normal(size=(2, 20)))
+        assert engine.stats.array_reads == collector.get("array_reads")
+        assert engine.stats.adc_conversions == collector.get(
+            "adc_conversions"
+        )
+        assert engine.stats.mvm_calls == collector.get("mvm_calls")
+
+    def test_disabled_collector_records_nothing(self, rng):
+        disabled = Collector(enabled=False)
+        engine = CrossbarEngine(small_config(), rng=0, collector=disabled)
+        engine.prepare(rng.normal(size=(20, 12)))
+        engine.matmul(rng.normal(size=(2, 20)))
+        assert disabled.counters() == {}
+        assert disabled.spans() == []
+
+    def test_disabled_collector_outputs_bit_identical(self, rng):
+        """Telemetry off must not perturb the simulation in any way."""
+        weights = rng.normal(size=(30, 20))
+        activations = rng.normal(size=(4, 30))
+        outputs = {}
+        for name, collector in (
+            ("none", None),
+            ("disabled", Collector(enabled=False)),
+            ("enabled", Collector()),
+        ):
+            engine = CrossbarEngine(
+                small_config(device=NOISY_DEVICE),
+                rng=7,
+                collector=collector,
+            )
+            engine.prepare(weights)
+            outputs[name] = engine.matmul(activations)
+        assert np.array_equal(outputs["none"], outputs["disabled"])
+        assert np.array_equal(outputs["none"], outputs["enabled"])
