@@ -40,7 +40,13 @@ def record_json(
     against the pinned schema before writing, so a drifting document
     shape fails the benchmark rather than silently corrupting the
     perf-trajectory record.
+
+    Under the unified runner (``repro bench``) the documents are also
+    handed to :func:`repro.bench.runner.record_documents`, which
+    collects them into the executing bench's outcome; outside a runner
+    execution that hook is a no-op.
     """
+    from repro.bench.runner import record_documents
     from repro.telemetry import validate_bench_document
 
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -50,6 +56,7 @@ def record_json(
         validate_bench_document(document)
     path = RESULTS_DIR / f"BENCH_{name}.json"
     path.write_text(json.dumps(documents, indent=2, sort_keys=True) + "\n")
+    record_documents(name, documents)
     return path
 
 

@@ -10,9 +10,13 @@ Four sweeps, all on the AlexNet deployment at batch 32:
   the weight-update bubble).
 """
 
-from benchmarks._common import format_table, record
+import time
+
+from benchmarks._common import format_table, record, record_json
+from repro.bench import register
 from repro.core import PipeLayerModel
 from repro.core.mapping import MappingConfig
+from repro.telemetry import bench_document as _bench_document
 from repro.workloads import alexnet_spec
 
 
@@ -97,11 +101,14 @@ def sweep_batch():
     return rows
 
 
+@register(suite="quick")
 def bench_ablation(benchmark):
+    start = time.perf_counter()
     array_rows = sweep_array_size()
     bits_rows = sweep_activation_bits()
     budget_rows = benchmark(sweep_budget)
     batch_rows = sweep_batch()
+    wall_time_s = time.perf_counter() - start
 
     lines = ["[array size]"]
     lines += format_table(
@@ -124,6 +131,25 @@ def bench_ablation(benchmark):
         coding_rows,
     )
     record("ablation", lines)
+    record_json(
+        "ablation",
+        _bench_document(
+            bench="ablation",
+            workload="ablation",
+            backend="model",
+            wall_time_s=wall_time_s,
+            counters={},
+            extra={
+                "metrics": {
+                    "speedup_budget_min": budget_rows[0][2],
+                    "speedup_budget_max": budget_rows[-1][2],
+                    "speedup_b128": batch_rows[-1][1],
+                    "rate_over_weighted_16b": coding_rows[-1][4],
+                    "cycle_us_8b": bits_rows[1][1],
+                }
+            },
+        ),
+    )
 
     # Weighted spike coding's advantage grows exponentially with bits.
     ratios = [row[4] for row in coding_rows]

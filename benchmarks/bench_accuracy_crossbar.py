@@ -7,10 +7,14 @@ then evaluates it through the full simulated datapath across weight
 resolutions, recording the accuracy knee.
 """
 
+import time
+
 import numpy as np
 
-from benchmarks._common import format_table, record
+from benchmarks._common import format_table, record, record_json
+from repro.bench import register
 from repro.core import deploy_network
+from repro.telemetry import bench_document as _bench_document
 from repro.datasets import make_train_test
 from repro.nn import Adam, build_mnist_cnn, evaluate_classifier, train_classifier
 from repro.xbar import CrossbarEngineConfig, InputEncoding, WeightMapping
@@ -46,7 +50,9 @@ def evaluate_at(network, x_test, y_test, weight_bits):
     return accuracy
 
 
+@register(suite="full")
 def bench_accuracy_crossbar(benchmark):
+    start = time.perf_counter()
     network, x_test, y_test = prepare()
     float_accuracy = evaluate_classifier(network, x_test, y_test)
 
@@ -60,9 +66,26 @@ def bench_accuracy_crossbar(benchmark):
         )
 
     benchmark(evaluate_at, network, x_test, y_test, 16)
+    wall_time_s = time.perf_counter() - start
 
     lines = format_table(("weights", "accuracy"), rows)
     record("accuracy_crossbar", lines)
+    record_json(
+        "accuracy_crossbar",
+        _bench_document(
+            bench="accuracy_crossbar",
+            workload="mnist_cnn",
+            backend="sim",
+            wall_time_s=wall_time_s,
+            counters={},
+            extra={
+                "metrics": {
+                    f"accuracy_{label}": accuracy
+                    for label, accuracy in rows
+                }
+            },
+        ),
+    )
 
     accuracies = dict(rows)
     assert accuracies["float"] > 0.9            # the model trained

@@ -14,11 +14,15 @@ Three sweeps:
   endurance ratings.
 """
 
+import time
+
 import numpy as np
 import pytest
 
-from benchmarks._common import format_table, record
+from benchmarks._common import format_table, record, record_json
 from repro.arch import training_lifetime
+from repro.bench import register
+from repro.telemetry import bench_document as _bench_document
 from repro.core import PipeLayerModel
 from repro.core.training_sim import compare_noise_aware
 from repro.datasets import make_train_test
@@ -110,10 +114,13 @@ def endurance_rows():
     return rows
 
 
+@register(suite="quick")
 def bench_device_effects(benchmark):
+    start = time.perf_counter()
     ir_rows = benchmark(ir_drop_rows)
     na_rows = noise_aware_rows()
     end_rows = endurance_rows()
+    wall_time_s = time.perf_counter() - start
 
     lines = ["[noise-aware training: fixed stuck cells]"]
     lines += format_table(
@@ -126,6 +133,30 @@ def bench_device_effects(benchmark):
         ("network", "endurance", "examples", "days"), end_rows
     )
     record("device_effects", lines)
+    err_by_size = {
+        size: error
+        for size, wire_resistance, error in ir_rows
+        if wire_resistance == 5.0
+    }
+    record_json(
+        "device_effects",
+        _bench_document(
+            bench="device_effects",
+            workload="device_effects",
+            backend="sim",
+            wall_time_s=wall_time_s,
+            counters={},
+            extra={
+                "metrics": {
+                    "in_loop_accuracy_heavy": na_rows[-1][3],
+                    "recovery_heavy": na_rows[-1][4],
+                    "ir_rel_err_32_r5": err_by_size[32],
+                    "ir_rel_err_128_r5": err_by_size[128],
+                    "lifetime_examples_1e9": end_rows[1][2],
+                }
+            },
+        ),
+    )
 
     # Noise-aware training recovers accuracy at the heavier fault rate.
     heavy = na_rows[-1]

@@ -8,9 +8,13 @@ measures the simulated-pipeline throughput and records the fidelity
 single-array and multi-array regimes.
 """
 
+import time
+
 import numpy as np
 
-from benchmarks._common import format_table, record
+from benchmarks._common import format_table, record, record_json
+from repro.bench import register
+from repro.telemetry import bench_document as _bench_document
 from repro.xbar import CrossbarEngine, CrossbarEngineConfig
 
 SIZES = [(64, 64), (128, 128), (512, 256), (1152, 256)]  # last = Fig. 4
@@ -20,6 +24,7 @@ def run_mvm(engine, activations):
     return engine.matmul(activations)
 
 
+@register(suite="quick")
 def bench_fig3_crossbar(benchmark):
     rng = np.random.default_rng(0)
     rows = []
@@ -40,10 +45,29 @@ def bench_fig3_crossbar(benchmark):
 
     # Benchmark the Fig. 4-sized tiled MVM (the paper's worked shape).
     engine, activations = engines[(1152, 256)]
+    start = time.perf_counter()
     benchmark(run_mvm, engine, activations)
+    wall_time_s = time.perf_counter() - start
 
     lines = format_table(("matrix", "arrays", "max_rel_err"), rows)
     record("fig3_crossbar", lines)
+    record_json(
+        "fig3_crossbar",
+        _bench_document(
+            bench="fig3_crossbar",
+            workload="fig3",
+            backend="sim",
+            wall_time_s=wall_time_s,
+            counters={},
+            extra={
+                "metrics": {
+                    f"max_rel_err_{matrix}": rel
+                    for matrix, _, rel in rows
+                }
+                | {"arrays_1152x256": rows[-1][1]},
+            },
+        ),
+    )
 
     # Fidelity: every size is within 16-bit/8-bit quantization error.
     assert all(rel < 0.01 for _, _, rel in rows)

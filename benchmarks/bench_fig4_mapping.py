@@ -9,8 +9,12 @@ X = 256).  The benchmark sweeps X over the paper's range and records
 the passes-vs-arrays trade-off curve.
 """
 
-from benchmarks._common import format_table, record
+import time
+
+from benchmarks._common import format_table, record, record_json
+from repro.bench import register
 from repro.core.mapping import balanced_mapping, naive_mapping
+from repro.telemetry import bench_document as _bench_document
 from repro.workloads import FIG4_EXAMPLE
 
 X_SWEEP = [1, 4, 16, 64, 256, 1024, 4096, 12544]
@@ -31,12 +35,36 @@ def sweep():
     return rows
 
 
+@register(suite="quick")
 def bench_fig4_mapping(benchmark):
+    start = time.perf_counter()
     rows = benchmark(sweep)
+    wall_time_s = time.perf_counter() - start
     lines = format_table(
         ("X", "passes/img", "arrays", "Mcells"), rows
     )
     record("fig4_mapping", lines)
+    by_x = {row[0]: row for row in rows}
+    record_json(
+        "fig4_mapping",
+        _bench_document(
+            bench="fig4_mapping",
+            workload="fig4",
+            backend="analytic",
+            wall_time_s=wall_time_s,
+            counters={},
+            extra={
+                "metrics": {
+                    "naive_passes": naive_mapping(
+                        FIG4_EXAMPLE
+                    ).passes_per_image,
+                    "passes_x256": by_x[256][1],
+                    "arrays_x256": by_x[256][2],
+                    "passes_x12544": by_x[12544][1],
+                }
+            },
+        ),
+    )
 
     by_x = {row[0]: row for row in rows}
     # The paper's anchor points.

@@ -8,13 +8,17 @@ event-driven schedule simulator, and records the speedup series
 for large B).
 """
 
-from benchmarks._common import format_table, record
+import time
+
+from benchmarks._common import format_table, record, record_json
+from repro.bench import register
 from repro.core.pipeline import (
     asymptotic_training_speedup,
     training_cycles_pipelined,
     training_cycles_sequential,
 )
 from repro.core.schedule import simulate_training_pipeline
+from repro.telemetry import bench_document as _bench_document
 
 LAYERS = 8          # AlexNet's weighted-layer depth
 BATCHES = [1, 2, 4, 8, 16, 32, 64, 128]
@@ -42,8 +46,11 @@ def sweep():
     return rows
 
 
+@register(suite="quick")
 def bench_fig5_pipeline(benchmark):
+    start = time.perf_counter()
     rows = benchmark(sweep)
+    wall_time_s = time.perf_counter() - start
     lines = format_table(
         ("B", "seq_cycles", "pipe_cycles", "sim_cycles", "speedup"), rows
     )
@@ -52,6 +59,26 @@ def bench_fig5_pipeline(benchmark):
         f"at B=128: {asymptotic_training_speedup(LAYERS, 128):.2f}x"
     )
     record("fig5_pipeline", lines)
+    by_batch = {row[0]: row for row in rows}
+    record_json(
+        "fig5_pipeline",
+        _bench_document(
+            bench="fig5_pipeline",
+            workload="fig5",
+            backend="analytic",
+            wall_time_s=wall_time_s,
+            counters={},
+            extra={
+                "metrics": {
+                    "speedup_b1": by_batch[1][4],
+                    "speedup_b128": by_batch[128][4],
+                    "sequential_cycles_b128": by_batch[128][1],
+                    "pipelined_cycles_b128": by_batch[128][2],
+                    "asymptote": 2 * LAYERS + 1,
+                }
+            },
+        ),
+    )
 
     for batch, sequential, pipelined, simulated, speedup in rows:
         assert pipelined == simulated          # formula == execution

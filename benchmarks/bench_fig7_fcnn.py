@@ -9,9 +9,13 @@ fraction (zeros in the extended map) per generator stage — the cost
 ReGAN accepts to reuse convolution hardware.
 """
 
+import time
+
 import numpy as np
 
-from benchmarks._common import format_table, record
+from benchmarks._common import format_table, record, record_json
+from repro.bench import register
+from repro.telemetry import bench_document as _bench_document
 from repro.core.fcnn import (
     fcnn_backward_strided_conv,
     fcnn_forward_zero_insertion,
@@ -37,6 +41,7 @@ def forward_all(layers, inputs_list):
     ]
 
 
+@register(suite="quick")
 def bench_fig7_fcnn(benchmark):
     rng = np.random.default_rng(0)
     layers, inputs_list, rows = [], [], []
@@ -70,12 +75,33 @@ def bench_fig7_fcnn(benchmark):
             )
         )
 
+    start = time.perf_counter()
     benchmark(forward_all, layers, inputs_list)
+    wall_time_s = time.perf_counter() - start
 
     lines = format_table(
         ("stage", "fwd_max_err", "bwd_max_err", "zero_frac"), rows
     )
     record("fig7_fcnn", lines)
+    record_json(
+        "fig7_fcnn",
+        _bench_document(
+            bench="fig7_fcnn",
+            workload="fig7",
+            backend="analytic",
+            wall_time_s=wall_time_s,
+            counters={},
+            extra={
+                # Zero fractions are closed-form geometry; the float
+                # equivalence errors stay out of `metrics` (they sit at
+                # machine epsilon, where relative bands are meaningless).
+                "metrics": {
+                    f"zero_frac_{size}": zero_fraction((size, size), 4, 2, 1)
+                    for _, _, size in STAGES
+                }
+            },
+        ),
+    )
 
     # Both identities hold to numerical precision on every stage.
     assert all(row[1] < 1e-9 and row[2] < 1e-9 for row in rows)

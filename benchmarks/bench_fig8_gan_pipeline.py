@@ -7,7 +7,11 @@ sweeps batch size for the CelebA-sized DCGAN (L_D = L_G = 5) and
 records the cycle counts and speedups.
 """
 
-from benchmarks._common import format_table, record
+import time
+
+from benchmarks._common import format_table, record, record_json
+from repro.bench import register
+from repro.telemetry import bench_document as _bench_document
 from repro.core.gan_pipeline import (
     d_training_cycles_pipelined,
     d_training_cycles_unpipelined,
@@ -33,14 +37,36 @@ def sweep():
     return rows
 
 
+@register(suite="quick")
 def bench_fig8_gan_pipeline(benchmark):
+    start = time.perf_counter()
     rows = benchmark(sweep)
+    wall_time_s = time.perf_counter() - start
     lines = format_table(
         ("B", "D_seq", "D_pipe", "D_speedup", "G_seq", "G_pipe",
          "G_speedup"),
         rows,
     )
     record("fig8_gan_pipeline", lines)
+    by_batch = {row[0]: row for row in rows}
+    record_json(
+        "fig8_gan_pipeline",
+        _bench_document(
+            bench="fig8_gan_pipeline",
+            workload="fig8",
+            backend="analytic",
+            wall_time_s=wall_time_s,
+            counters={},
+            extra={
+                "metrics": {
+                    "d_pipelined_cycles_b32": by_batch[32][2],
+                    "g_pipelined_cycles_b32": by_batch[32][5],
+                    "d_speedup_b128": by_batch[128][3],
+                    "g_speedup_b128": by_batch[128][6],
+                }
+            },
+        ),
+    )
 
     for batch, d_seq, d_pipe, d_speedup, g_seq, g_pipe, g_speedup in rows:
         # Exact paper formulas.

@@ -8,8 +8,12 @@ across all five schemes for the four ReGAN datasets and records the
 cycles, speedup, and hardware price of each scheme.
 """
 
-from benchmarks._common import format_table, record
+import time
+
+from benchmarks._common import format_table, record, record_json
+from repro.bench import register
 from repro.core.gan_pipeline import SCHEME_COSTS, SCHEMES, iteration_cycles
+from repro.telemetry import bench_document as _bench_document
 from repro.workloads import regan_suite
 
 BATCH = 32
@@ -36,13 +40,33 @@ def sweep():
     return rows
 
 
+@register(suite="quick")
 def bench_fig9_sp_cs(benchmark):
+    start = time.perf_counter()
     rows = benchmark(sweep)
+    wall_time_s = time.perf_counter() - start
     lines = format_table(
         ("dataset", "scheme", "cycles", "speedup", "D_copies", "storage_x"),
         rows,
     )
     record("fig9_sp_cs", lines)
+    by_key = {(row[0], row[1]): row for row in rows}
+    record_json(
+        "fig9_sp_cs",
+        _bench_document(
+            bench="fig9_sp_cs",
+            workload="fig9",
+            backend="analytic",
+            wall_time_s=wall_time_s,
+            counters={},
+            extra={
+                "metrics": {
+                    f"celeba_{scheme}_cycles": by_key[("celeba", scheme)][2]
+                    for scheme in SCHEMES
+                }
+            },
+        ),
+    )
 
     by_key = {(row[0], row[1]): row for row in rows}
     for dataset in ("mnist", "cifar10", "celeba", "lsun"):

@@ -12,6 +12,7 @@ bit for bit.
 import time
 
 from benchmarks._common import format_table, record, record_json
+from repro.bench import register
 from repro.reliability import run_campaign
 from repro.telemetry import Collector
 from repro.telemetry import bench_document as _bench_document
@@ -46,17 +47,29 @@ def _run_axis_timed(axis, rates):
         for path, value in collector.counters().items()
         if "tile[" not in path
     }
+    # Accuracy/mismatch numbers are bit-reproducible (one master seed
+    # drives the whole campaign), so they are baseline-gated metrics.
+    heaviest = report["scenarios"][-1]
     document = _bench_document(
         bench="reliability",
         workload=CAMPAIGN["workload"],
         backend=report["backend"],
         wall_time_s=wall_time_s,
         counters=counters,
-        extra={"axis": axis, "rates": list(rates)},
+        extra={
+            "axis": axis,
+            "rates": list(rates),
+            "metrics": {
+                f"{axis}_baseline_accuracy": report["baseline_accuracy"],
+                f"{axis}_heaviest_accuracy": heaviest["accuracy"],
+                f"{axis}_heaviest_mismatch": heaviest["mismatch_rate"],
+            },
+        },
     )
     return report, document
 
 
+@register(suite="quick")
 def bench_reliability(benchmark):
     stuck, stuck_doc = _run_axis_timed("stuck", STUCK_RATES)
     upset, upset_doc = _run_axis_timed("upset", UPSET_RATES)

@@ -10,9 +10,13 @@ paper's qualitative conclusions hold at *every* corner:
 3. ReGAN's benefit exceeds PipeLayer's.
 """
 
-from benchmarks._common import format_table, record
+import time
+
+from benchmarks._common import format_table, record, record_json
 from repro.arch.sensitivity import conclusion_robustness, tech_sensitivity
+from repro.bench import register
 from repro.core.estimator import pipelayer_table1, regan_table1
+from repro.telemetry import bench_document as _bench_document
 
 
 def pipelayer_speedup(tech):
@@ -30,8 +34,11 @@ def sweep():
     }
 
 
+@register(suite="quick")
 def bench_sensitivity(benchmark):
+    start = time.perf_counter()
     sweeps = benchmark(sweep)
+    wall_time_s = time.perf_counter() - start
 
     lines = []
     for metric_name, rows in sweeps.items():
@@ -81,9 +88,32 @@ def bench_sensitivity(benchmark):
     for name, ok in held.items():
         lines.append(f"  {name}: {'HELD' if ok else 'VIOLATED'}")
     record("sensitivity", lines)
+    speedup_rows = {row.field: row for row in sweeps["speedup"]}
+    record_json(
+        "sensitivity",
+        _bench_document(
+            bench="sensitivity",
+            workload="table1",
+            backend="model",
+            wall_time_s=wall_time_s,
+            counters={},
+            extra={
+                "metrics": {
+                    "speedup_nominal": speedup_rows[
+                        "subcycle_time"
+                    ].metric_nominal,
+                    "subcycle_time_swing": speedup_rows[
+                        "subcycle_time"
+                    ].swing,
+                    "conclusions_held": sum(
+                        1 for ok in held.values() if ok
+                    ),
+                }
+            },
+        ),
+    )
 
     # Structural expectations of the model itself.
-    speedup_rows = {row.field: row for row in sweeps["speedup"]}
     # Speedup depends only on timing, not on any energy constant.
     assert speedup_rows["subcycle_time"].swing > 0.5
     for field in (

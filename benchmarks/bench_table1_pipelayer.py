@@ -9,20 +9,27 @@ and geometric-mean speedup/energy-saving, recording the table to
 ``benchmarks/results/table1_pipelayer.txt``.
 """
 
-from benchmarks._common import format_table, record
+import time
+
+from benchmarks._common import format_table, record, record_json
+from repro.bench import register
 from repro.core import pipelayer_table1
 from repro.core.estimator import (
     PAPER_PIPELAYER_ENERGY,
     PAPER_PIPELAYER_SPEEDUP,
 )
+from repro.telemetry import bench_document as _bench_document
 
 
 def compute_row():
     return pipelayer_table1(batch=32)
 
 
+@register(suite="quick")
 def bench_table1_pipelayer(benchmark):
+    start = time.perf_counter()
     row = benchmark(compute_row)
+    wall_time_s = time.perf_counter() - start
     rows = [
         (name, speedup, energy)
         for name, speedup, energy in row.per_workload
@@ -33,6 +40,22 @@ def bench_table1_pipelayer(benchmark):
         ("workload", "speedup_x", "energy_saving_x"), rows
     )
     record("table1_pipelayer", lines)
+    record_json(
+        "table1_pipelayer",
+        _bench_document(
+            bench="table1_pipelayer",
+            workload="table1",
+            backend="pipelayer",
+            wall_time_s=wall_time_s,
+            counters={},
+            extra={
+                "metrics": {
+                    "speedup_geomean": row.speedup,
+                    "energy_saving_geomean": row.energy_saving,
+                }
+            },
+        ),
+    )
 
     # Shape assertions: PipeLayer wins big on time, modestly on energy.
     assert row.speedup > 10

@@ -57,10 +57,13 @@ from repro.nn.network import Sequential
 from repro.nn.optim import SGD
 from repro.nn.train import evaluate_classifier, train_classifier
 from repro.telemetry import NULL_COLLECTOR, SCHEMA_VERSION, TelemetryLike
+from repro.utils.logging import get_logger
 from repro.utils.rng import derive_seed, new_rng
 from repro.workloads import FIG4_EXAMPLE, regan_suite
 from repro.workloads.suite import NetworkSpec
 from repro.xbar.engine import CrossbarEngineConfig
+
+_log = get_logger("api")
 
 #: Small flat-input stand-in driven by the "mlp" workload.
 _TOY_SHAPE = DatasetShape("toy", 1, 8, 4)
@@ -218,6 +221,13 @@ class Simulator:
             network = build_cifar_cnn(rng=net_rng, classes=dataset.classes)
             input_shape = dataset.image_shape
             flatten = False
+        _log.info(
+            "building workload %s (seed=%d, backend=%s, deploy=%s)",
+            name,
+            seed,
+            backend or "default",
+            deploy,
+        )
         deployment = None
         if deploy:
             deployment = deploy_network(
@@ -295,6 +305,12 @@ class Simulator:
     ) -> InferenceResult:
         """Forward synthetic inputs through the deployed datapath."""
         tel = self.collector if self.collector is not None else NULL_COLLECTOR
+        _log.info(
+            "inference on %s: %d inputs in batches of %d",
+            self.name,
+            count,
+            batch,
+        )
         inputs, labels = self.make_inputs(count)
         outputs = []
         with tel.span("inference"):
@@ -332,6 +348,14 @@ class Simulator:
         the network trained on.
         """
         tel = self.collector if self.collector is not None else NULL_COLLECTOR
+        _log.info(
+            "training %s: %d epochs over %d samples (batch=%d, lr=%g)",
+            self.name,
+            epochs,
+            train_count,
+            batch,
+            learning_rate,
+        )
         images, labels, test_images, test_labels = make_train_test(
             train_count,
             test_count,

@@ -1,0 +1,146 @@
+"""Benchmark registry: one catalogue for every ``bench_*`` module.
+
+The repository's benchmarks live in ``benchmarks/bench_<name>.py`` as
+pytest-collectable functions (``pytest benchmarks/`` still works, with
+the pytest-benchmark fixture).  This module adds the registry the
+unified runner (:mod:`repro.bench.runner`, CLI ``repro bench``) drives
+them through: each bench module decorates its entry point with
+:func:`register`, declaring a name and a suite tier, and
+:func:`discover` imports every ``bench_*`` module under a directory so
+the registrations execute.
+
+Suite tiers
+-----------
+``quick``
+    Seconds-scale benches, safe for every CI run (the default).
+``full``
+    Everything in ``quick`` plus the minutes-scale benches; selected
+    with ``repro bench --suite full``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+SUITES = ("quick", "full")
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One registered benchmark entry point."""
+
+    name: str
+    func: Callable
+    suite: str
+    module: str
+    source: str
+    #: Whether the entry point takes the (pytest-)benchmark fixture as
+    #: its first argument; the runner passes a shim when it does.
+    wants_fixture: bool = field(default=False)
+
+    def selected_by(self, suite: str) -> bool:
+        """Whether a run of ``suite`` includes this bench."""
+        if suite == "full":
+            return True
+        return self.suite == "quick"
+
+
+_REGISTRY: Dict[str, BenchSpec] = {}
+
+
+def register(
+    func: Optional[Callable] = None,
+    *,
+    name: Optional[str] = None,
+    suite: str = "quick",
+):
+    """Register a benchmark entry point (decorator).
+
+    Returns the function unchanged, so pytest collection of the same
+    function keeps working.  ``name`` defaults to the function name
+    with a leading ``bench_`` stripped; ``suite`` is the smallest
+    suite tier that includes the bench.
+    """
+    if suite not in SUITES:
+        raise ValueError(f"suite must be one of {SUITES}, got {suite!r}")
+
+    def wrap(target: Callable) -> Callable:
+        bench_name = name or target.__name__
+        if bench_name.startswith("bench_"):
+            bench_name = bench_name[len("bench_"):]
+        parameters = inspect.signature(target).parameters
+        _REGISTRY[bench_name] = BenchSpec(
+            name=bench_name,
+            func=target,
+            suite=suite,
+            module=target.__module__,
+            source=inspect.getsourcefile(target) or "",
+            wants_fixture=len(parameters) > 0,
+        )
+        return target
+
+    if func is not None:
+        return wrap(func)
+    return wrap
+
+
+def registered() -> Dict[str, BenchSpec]:
+    """All registrations seen so far (name -> spec), sorted by name."""
+    return {name: _REGISTRY[name] for name in sorted(_REGISTRY)}
+
+
+def clear_registry() -> None:
+    """Drop every registration (test isolation helper)."""
+    _REGISTRY.clear()
+
+
+def default_bench_dir() -> Path:
+    """The repository's ``benchmarks/`` directory, if findable.
+
+    Prefers ``./benchmarks`` relative to the working directory (the
+    normal checkout layout); falls back to the directory next to this
+    installed package's repository root.
+    """
+    cwd_dir = Path.cwd() / "benchmarks"
+    if cwd_dir.is_dir():
+        return cwd_dir
+    repo_root = Path(__file__).resolve().parents[3]
+    return repo_root / "benchmarks"
+
+
+def discover(bench_dir: Optional[Path] = None) -> List[BenchSpec]:
+    """Import every ``bench_*.py`` under ``bench_dir`` and collect specs.
+
+    The directory must be an importable package (``__init__.py``); its
+    parent is added to ``sys.path`` when needed.  Returns the specs
+    whose source file lives under ``bench_dir`` — registrations from
+    other directories (earlier discoveries, inline test registrations)
+    are left in the registry but not returned.
+    """
+    bench_dir = Path(bench_dir or default_bench_dir()).resolve()
+    if not bench_dir.is_dir():
+        raise FileNotFoundError(
+            f"benchmark directory {bench_dir} does not exist"
+        )
+    if not (bench_dir / "__init__.py").is_file():
+        raise FileNotFoundError(
+            f"benchmark directory {bench_dir} is not a package "
+            "(missing __init__.py)"
+        )
+    parent = str(bench_dir.parent)
+    if parent not in sys.path:
+        sys.path.insert(0, parent)
+    package = bench_dir.name
+    for module_file in sorted(bench_dir.glob("bench_*.py")):
+        importlib.import_module(f"{package}.{module_file.stem}")
+    specs = [
+        spec
+        for spec in _REGISTRY.values()
+        if spec.source and Path(spec.source).resolve().parent == bench_dir
+    ]
+    return sorted(specs, key=lambda spec: spec.name)

@@ -1,0 +1,340 @@
+"""Unified benchmark runner behind ``repro bench``.
+
+Executes the registered benchmarks (:mod:`repro.bench.registry`) in
+one process, without pytest:
+
+* a :class:`BenchmarkShim` stands in for the pytest-benchmark fixture
+  (calls the measured function once and times it);
+* every validated bench document a bench records through
+  ``benchmarks._common.record_json`` is captured for the run (see
+  :func:`record_documents`), and the documents' deterministic
+  ``metrics`` maps become the run's comparable numbers;
+* each run appends a record to the top-level ``BENCH_trajectory.json``
+  history, so the perf trajectory of the repository is machine
+  readable across commits;
+* the run is compared against the committed baselines
+  (:mod:`repro.bench.baseline`); any out-of-band metric or failed
+  bench makes :meth:`SuiteRun.exit_code` non-zero.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import logging
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.bench import baseline as baseline_mod
+from repro.bench.registry import BenchSpec, discover
+from repro.telemetry import SCHEMA_VERSION, validate_bench_document
+
+_log = logging.getLogger("repro.bench")
+
+#: Default location of the run-history file, relative to the
+#: benchmark directory's parent (the repository root in a checkout).
+TRAJECTORY_NAME = "BENCH_trajectory.json"
+
+
+class BenchmarkShim:
+    """Minimal stand-in for the pytest-benchmark fixture.
+
+    Benches call ``benchmark(fn, *args)`` (or ``benchmark.pedantic``)
+    and use the return value; under the unified runner the function
+    runs exactly once and its wall time is kept on the shim.
+    """
+
+    def __init__(self) -> None:
+        self.timings: List[float] = []
+
+    def __call__(self, fn: Callable, *args: Any, **kwargs: Any) -> Any:
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        self.timings.append(time.perf_counter() - start)
+        return result
+
+    def pedantic(
+        self,
+        fn: Callable,
+        args: Sequence[Any] = (),
+        kwargs: Optional[Dict[str, Any]] = None,
+        **_: Any,
+    ) -> Any:
+        return self(fn, *args, **(kwargs or {}))
+
+
+# -- document capture -------------------------------------------------------
+_ACTIVE_DOCUMENTS: Optional[List[Dict[str, Any]]] = None
+
+
+def record_documents(name: str, documents: List[Dict[str, Any]]) -> None:
+    """Capture hook called by ``benchmarks._common.record_json``.
+
+    Outside a runner execution this is a no-op (pytest runs of the
+    bench modules are unaffected); inside, every recorded bench
+    document joins the currently executing bench's outcome.
+    """
+    if _ACTIVE_DOCUMENTS is not None:
+        _ACTIVE_DOCUMENTS.extend(documents)
+
+
+def _document_metrics(documents: List[Dict[str, Any]]) -> Dict[str, float]:
+    """Flatten the deterministic ``metrics`` maps of bench documents.
+
+    Keys are ``<workload>/<backend>/<metric>`` so one bench may record
+    several configurations without collisions.
+    """
+    metrics: Dict[str, float] = {}
+    for document in documents:
+        prefix = f"{document['workload']}/{document['backend']}"
+        for name, value in (document.get("metrics") or {}).items():
+            key = f"{prefix}/{name}"
+            if key in metrics and metrics[key] != value:
+                _log.warning(
+                    "metric %s recorded twice with differing values "
+                    "(%r then %r); keeping the last", key,
+                    metrics[key], value,
+                )
+            metrics[key] = float(value)
+    return metrics
+
+
+@dataclass
+class BenchOutcome:
+    """One bench's execution inside a suite run."""
+
+    name: str
+    suite: str
+    status: str  # "ok" | "failed"
+    wall_time_s: float
+    error: Optional[str] = None
+    documents: List[Dict[str, Any]] = field(default_factory=list)
+    metrics: Dict[str, float] = field(default_factory=dict)
+    baseline_status: str = "no-baseline"  # | "ok" | "regression"
+    deviations: List[baseline_mod.Deviation] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[baseline_mod.Deviation]:
+        return [d for d in self.deviations if d.status != "ok"]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "suite": self.suite,
+            "status": self.status,
+            "error": self.error,
+            "wall_time_s": self.wall_time_s,
+            "metrics": dict(sorted(self.metrics.items())),
+            "document_count": len(self.documents),
+            "baseline_status": self.baseline_status,
+            "regressions": [d.describe() for d in self.regressions],
+        }
+
+
+@dataclass
+class SuiteRun:
+    """The outcome of one ``repro bench`` invocation."""
+
+    suite: str
+    filter: Optional[str]
+    benches: List[BenchOutcome]
+    wall_time_s: float
+
+    @property
+    def failure_count(self) -> int:
+        return sum(1 for b in self.benches if b.status != "ok")
+
+    @property
+    def regression_count(self) -> int:
+        return sum(len(b.regressions) for b in self.benches)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if (self.failure_count or self.regression_count) else 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "bench_run",
+            "suite": self.suite,
+            "filter": self.filter,
+            "wall_time_s": self.wall_time_s,
+            "benches": [b.to_dict() for b in self.benches],
+            "failure_count": self.failure_count,
+            "regression_count": self.regression_count,
+            "exit_code": self.exit_code,
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"suite {self.suite!r}: {len(self.benches)} benches in "
+            f"{self.wall_time_s:.2f} s, {self.failure_count} failed, "
+            f"{self.regression_count} regression(s)"
+        ]
+        width = max((len(b.name) for b in self.benches), default=0)
+        for bench in self.benches:
+            lines.append(
+                f"  {bench.name:<{width}s}  {bench.status:<6s} "
+                f"{bench.wall_time_s:>8.3f} s  "
+                f"{len(bench.metrics):>3d} metrics  "
+                f"baseline {bench.baseline_status}"
+            )
+            if bench.error:
+                first_line = bench.error.strip().splitlines()[-1]
+                lines.append(f"    {first_line}")
+            for deviation in bench.regressions:
+                lines.append(f"    REGRESSION {deviation.describe()}")
+        return "\n".join(lines)
+
+
+def _run_one(spec: BenchSpec) -> BenchOutcome:
+    """Execute one registered bench, capturing documents and errors."""
+    global _ACTIVE_DOCUMENTS
+    documents: List[Dict[str, Any]] = []
+    _ACTIVE_DOCUMENTS = documents
+    _log.info("bench %s: starting (suite=%s)", spec.name, spec.suite)
+    start = time.perf_counter()
+    status, error = "ok", None
+    try:
+        if spec.wants_fixture:
+            spec.func(BenchmarkShim())
+        else:
+            spec.func()
+        for document in documents:
+            validate_bench_document(document)
+    except Exception:
+        status = "failed"
+        error = traceback.format_exc()
+        _log.warning("bench %s failed:\n%s", spec.name, error)
+    finally:
+        _ACTIVE_DOCUMENTS = None
+    wall_time_s = time.perf_counter() - start
+    outcome = BenchOutcome(
+        name=spec.name,
+        suite=spec.suite,
+        status=status,
+        wall_time_s=wall_time_s,
+        error=error,
+        documents=documents,
+        metrics=_document_metrics(documents) if status == "ok" else {},
+    )
+    _log.info(
+        "bench %s: %s in %.3f s (%d metrics)",
+        spec.name, status, wall_time_s, len(outcome.metrics),
+    )
+    return outcome
+
+
+def run_suite(
+    suite: str = "quick",
+    filter: Optional[str] = None,
+    bench_dir: Optional[Path] = None,
+    baseline_dir: Optional[Path] = None,
+    trajectory_path: Optional[Path] = None,
+    update_baselines: bool = False,
+    rel_tol: float = baseline_mod.DEFAULT_REL_TOL,
+) -> SuiteRun:
+    """Discover, execute, gate, and record one benchmark suite run.
+
+    ``filter`` is an fnmatch glob over bench names.  With
+    ``update_baselines`` the committed baselines are rewritten from
+    this run instead of being compared (the run then never reports
+    regressions).  ``trajectory_path=None`` derives
+    ``<bench_dir>/../BENCH_trajectory.json``; pass an explicit path to
+    redirect, e.g. in tests.
+    """
+    bench_dir = Path(bench_dir) if bench_dir else None
+    specs = discover(bench_dir)
+    if bench_dir is None:
+        from repro.bench.registry import default_bench_dir
+
+        bench_dir = default_bench_dir()
+    if baseline_dir is None:
+        baseline_dir = bench_dir / "baselines"
+    if trajectory_path is None:
+        trajectory_path = bench_dir.parent / TRAJECTORY_NAME
+
+    selected = [spec for spec in specs if spec.selected_by(suite)]
+    if filter:
+        selected = [
+            spec for spec in selected if fnmatch.fnmatch(spec.name, filter)
+        ]
+    start = time.perf_counter()
+    benches = [_run_one(spec) for spec in selected]
+    for outcome in benches:
+        if outcome.status != "ok":
+            continue
+        if update_baselines:
+            if outcome.metrics:
+                baseline_mod.write_baseline(
+                    baseline_dir, outcome.name, outcome.metrics, rel_tol
+                )
+                outcome.baseline_status = "updated"
+            continue
+        committed = baseline_mod.load_baseline(baseline_dir, outcome.name)
+        if committed is None:
+            outcome.baseline_status = "no-baseline"
+            continue
+        outcome.deviations = baseline_mod.compare_metrics(
+            outcome.name, outcome.metrics, committed
+        )
+        outcome.baseline_status = (
+            "regression" if outcome.regressions else "ok"
+        )
+    run = SuiteRun(
+        suite=suite,
+        filter=filter,
+        benches=benches,
+        wall_time_s=time.perf_counter() - start,
+    )
+    append_trajectory(trajectory_path, run)
+    return run
+
+
+# -- the trajectory file ----------------------------------------------------
+def load_trajectory(path: Path) -> Dict[str, Any]:
+    """The run-history document at ``path`` (fresh skeleton if absent)."""
+    path = Path(path)
+    if path.is_file():
+        document = json.loads(path.read_text())
+        if document.get("kind") != "bench_trajectory":
+            raise ValueError(
+                f"{path} is not a bench trajectory document"
+            )
+        return document
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "bench_trajectory",
+        "runs": [],
+    }
+
+
+def append_trajectory(path: Path, run: SuiteRun) -> Path:
+    """Append one suite run's record to the history at ``path``."""
+    path = Path(path)
+    document = load_trajectory(path)
+    document["runs"].append(
+        {
+            "timestamp": time.time(),
+            "suite": run.suite,
+            "filter": run.filter,
+            "wall_time_s": run.wall_time_s,
+            "failure_count": run.failure_count,
+            "regression_count": run.regression_count,
+            "benches": [
+                {
+                    "name": b.name,
+                    "status": b.status,
+                    "wall_time_s": b.wall_time_s,
+                    "baseline_status": b.baseline_status,
+                    "metrics": dict(sorted(b.metrics.items())),
+                }
+                for b in run.benches
+            ],
+        }
+    )
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path

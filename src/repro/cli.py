@@ -24,6 +24,14 @@ thin presentation layer over the same facade library users import.
 ``repro profile <subcommand> ...`` wraps any other subcommand in a
 :class:`repro.telemetry.Collector` and reports hierarchical counters,
 timing spans, and a Chrome-trace file on top of the wrapped workload.
+``repro report`` renders the *derived* metrics — stage utilization,
+bubbles, ADC conversions per MAC — from a saved profile JSON or a
+freshly run subcommand.  ``repro bench`` drives the whole benchmark
+suite through one registry and gates on the committed baselines.
+
+The global ``--log-level`` / ``-v`` flags wire Python ``logging``
+through the stack (component-prefixed ``repro.*`` loggers); the
+default is WARNING, so unflagged output is byte-identical.
 """
 
 from __future__ import annotations
@@ -33,22 +41,32 @@ import io
 import json
 import sys
 import time
-from typing import Any, List, Optional
+from pathlib import Path
+from typing import Any, List, Optional, Tuple
 
 from repro import api
 from repro.reliability import AXES, campaign_summary
 from repro.telemetry import (
     SCHEMA_VERSION,
     Collector,
+    analyze_counters,
+    counters_from,
     profile_report,
+    render_analysis_report,
+    validate_analysis_report,
     validate_profile_report,
 )
+from repro.utils.logging import configure as _configure_logging
 from repro.workloads import (
     alexnet_spec,
     mnist_cnn_spec,
     regan_suite,
     vggnet_spec,
 )
+
+#: Subcommands that may not be wrapped by profile/report (they are
+#: wrappers or whole-suite drivers themselves).
+_UNWRAPPABLE = ("profile", "report", "bench")
 
 _WORKLOADS = {
     "mnist": mnist_cnn_spec,
@@ -314,30 +332,49 @@ def _profile_summary(document: dict) -> str:
     return "\n".join(lines)
 
 
-def _cmd_profile(args: argparse.Namespace) -> int:
-    """Run any other subcommand under a telemetry collector."""
+def _parse_wrapped(
+    args: argparse.Namespace, wrapper: str
+) -> Tuple[Optional[List[str]], Optional[argparse.Namespace], int]:
+    """Parse the remainder arguments of a wrapper subcommand.
+
+    Returns ``(command, inner_namespace, exit_code)``; on usage errors
+    ``command``/``inner_namespace`` are ``None`` and ``exit_code`` is
+    the code to return.
+    """
     command = list(args.wrapped)
     if command and command[0] == "--":
         command = command[1:]
     if not command:
         print(
-            "profile: name a subcommand to wrap, e.g. "
-            "'repro profile infer mlp --json'",
+            f"{wrapper}: name a subcommand to wrap, e.g. "
+            f"'repro {wrapper} infer mlp --json'",
             file=sys.stderr,
         )
-        return 2
-    if command[0] == "profile":
-        print("profile: cannot profile itself", file=sys.stderr)
-        return 2
+        return None, None, 2
+    if command[0] in _UNWRAPPABLE:
+        print(
+            f"{wrapper}: cannot wrap {command[0]!r}", file=sys.stderr
+        )
+        return None, None, 2
     parser = build_parser()
     try:
         inner = parser.parse_args(command)
     except SystemExit:
-        return 2
+        return None, None, 2
+    return command, inner, 0
+
+
+def _run_wrapped(
+    command: List[str], inner: argparse.Namespace
+) -> Tuple[Collector, int, float, str]:
+    """Run a parsed subcommand under a fresh telemetry collector.
+
+    The wrapped command prints its own report; stdout is captured so
+    the wrapper's document can be the only thing on stdout.  Returns
+    ``(collector, exit_code, wall_time_s, captured_stdout)``.
+    """
     collector = Collector()
     inner.collector = collector
-    # The wrapped command prints its own report; capture it so the
-    # profile document is the only thing on stdout in JSON mode.
     buffer = io.StringIO()
     original_stdout = sys.stdout
     sys.stdout = buffer
@@ -348,6 +385,17 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     finally:
         sys.stdout = original_stdout
     wall_time_s = time.perf_counter() - start
+    return collector, exit_code, wall_time_s, buffer.getvalue()
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run any other subcommand under a telemetry collector."""
+    command, inner, code = _parse_wrapped(args, "profile")
+    if command is None:
+        return code
+    collector, exit_code, wall_time_s, wrapped_output = _run_wrapped(
+        command, inner
+    )
     collector.write_chrome_trace(args.trace_out)
     document = profile_report(
         collector,
@@ -361,11 +409,113 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         json.dump(document, sys.stdout, indent=2)
         sys.stdout.write("\n")
     else:
-        wrapped_output = buffer.getvalue()
         if wrapped_output:
             sys.stdout.write(wrapped_output)
         print(_profile_summary(document))
     return exit_code
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Derived-metrics analysis of a profile JSON or a fresh run."""
+    if args.profile_path:
+        if args.wrapped and [w for w in args.wrapped if w != "--"]:
+            print(
+                "report: pass either --profile or a subcommand to run, "
+                "not both",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            with open(args.profile_path) as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"report: cannot read profile: {error}", file=sys.stderr)
+            return 2
+        try:
+            counters = counters_from(document)
+        except TypeError as error:
+            print(f"report: {error}", file=sys.stderr)
+            return 2
+        source = args.profile_path
+        exit_code = 0
+    else:
+        command, inner, code = _parse_wrapped(args, "report")
+        if command is None:
+            return code
+        collector, exit_code, _, _ = _run_wrapped(command, inner)
+        counters = collector.counters()
+        source = "repro " + " ".join(command)
+    analysis = analyze_counters(counters, source_name=source)
+    validate_analysis_report(analysis)
+    return _emit(args, analysis, render_analysis_report(analysis))
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Unified benchmark runner with baseline regression gating."""
+    from repro import bench as bench_mod
+
+    bench_dir = args.bench_dir
+    if args.list_benches:
+        try:
+            specs = bench_mod.discover(bench_dir)
+        except FileNotFoundError as error:
+            print(f"bench: {error}", file=sys.stderr)
+            return 2
+        width = max((len(spec.name) for spec in specs), default=0)
+        for spec in specs:
+            print(f"{spec.name:<{width}s}  suite={spec.suite}")
+        return 0
+    # Benches print their result tables as they run; capture them so
+    # the runner's summary (or JSON document) is the only output.
+    buffer = io.StringIO()
+    original_stdout = sys.stdout
+    sys.stdout = buffer
+    try:
+        run = bench_mod.run_suite(
+            suite=args.suite,
+            filter=args.filter,
+            bench_dir=bench_dir,
+            baseline_dir=args.baseline_dir,
+            trajectory_path=args.trajectory,
+            update_baselines=args.update_baselines,
+            rel_tol=(
+                args.rel_tol
+                if args.rel_tol is not None
+                else bench_mod.DEFAULT_REL_TOL
+            ),
+        )
+    except FileNotFoundError as error:
+        sys.stdout = original_stdout
+        print(f"bench: {error}", file=sys.stderr)
+        return 2
+    finally:
+        sys.stdout = original_stdout
+    _emit(args, run.to_dict(), run.summary())
+    return run.exit_code
+
+
+def _add_logging_flags(parser: argparse.ArgumentParser, **kwargs) -> None:
+    """Attach the global logging flags to ``parser``.
+
+    The flags live on the main parser (with real defaults) AND on the
+    shared subcommand parent with ``default=argparse.SUPPRESS`` — a
+    subparser otherwise overwrites the main parser's value with its own
+    default, which would discard ``repro -v infer``.
+    """
+    parser.add_argument(
+        "--log-level",
+        choices=("critical", "error", "warning", "info", "debug"),
+        help="logging threshold for the repro.* loggers "
+        "(default warning; overrides -v)",
+        **kwargs,
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        help="increase log verbosity (-v info, -vv debug)",
+        **kwargs,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -382,12 +532,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit a machine-readable JSON document instead of text",
     )
+    _add_logging_flags(shared, default=argparse.SUPPRESS)
 
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate results from 'ReRAM-based Accelerator "
         "for Deep Learning' (DATE 2018).",
     )
+    _add_logging_flags(parser)
+    parser.set_defaults(log_level=None, verbose=0)
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_table1 = sub.add_parser(
@@ -533,6 +686,94 @@ def build_parser() -> argparse.ArgumentParser:
         help="the subcommand to profile, with its own arguments",
     )
     p_profile.set_defaults(func=_cmd_profile)
+
+    p_report = sub.add_parser(
+        "report",
+        parents=[shared],
+        help="derived metrics (utilization, bubbles, ADC/MAC) from "
+        "telemetry",
+        description="Turn a telemetry counter tree into derived "
+        "metrics: per-stage pipeline utilization and bubble cycles, "
+        "per-tile crossbar occupancy, and ADC conversions per MAC.  "
+        "Reads a saved `repro profile --json` document (--profile) or "
+        "runs a subcommand fresh and analyses its counters.",
+    )
+    p_report.add_argument(
+        "--profile",
+        dest="profile_path",
+        default=None,
+        metavar="FILE",
+        help="analyse a saved profile/analysis JSON instead of running "
+        "a subcommand",
+    )
+    p_report.add_argument(
+        "wrapped",
+        nargs=argparse.REMAINDER,
+        help="the subcommand to run and analyse, with its arguments",
+    )
+    p_report.set_defaults(func=_cmd_report)
+
+    p_bench = sub.add_parser(
+        "bench",
+        parents=[shared],
+        help="run the benchmark suite and gate on committed baselines",
+        description="Discover benchmarks/bench_*.py through the "
+        "repro.bench registry, execute the selected suite, append the "
+        "run to BENCH_trajectory.json, and compare deterministic "
+        "metrics against benchmarks/baselines/*.json.  Exits non-zero "
+        "on any bench failure or out-of-tolerance metric.",
+    )
+    p_bench.add_argument(
+        "--suite",
+        choices=("quick", "full"),
+        default="quick",
+        help="suite tier to run (default quick; full includes slow "
+        "benches)",
+    )
+    p_bench.add_argument(
+        "--filter",
+        default=None,
+        metavar="GLOB",
+        help="fnmatch glob over bench names, e.g. 'fig*'",
+    )
+    p_bench.add_argument(
+        "--bench-dir",
+        type=Path,
+        default=None,
+        help="benchmark directory (default: ./benchmarks or the "
+        "checkout's)",
+    )
+    p_bench.add_argument(
+        "--baseline-dir",
+        type=Path,
+        default=None,
+        help="baseline directory (default: <bench-dir>/baselines)",
+    )
+    p_bench.add_argument(
+        "--trajectory",
+        type=Path,
+        default=None,
+        help="run-history file (default: <bench-dir>/../"
+        "BENCH_trajectory.json)",
+    )
+    p_bench.add_argument(
+        "--update-baselines",
+        action="store_true",
+        help="rewrite the baselines from this run instead of comparing",
+    )
+    p_bench.add_argument(
+        "--rel-tol",
+        type=float,
+        default=None,
+        help="relative tolerance for --update-baselines bands",
+    )
+    p_bench.add_argument(
+        "--list",
+        dest="list_benches",
+        action="store_true",
+        help="list the registered benches and exit",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
     return parser
 
 
@@ -540,6 +781,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.log_level or args.verbose:
+        _configure_logging(args.log_level, args.verbose)
     return args.func(args)
 
 

@@ -8,23 +8,43 @@ simulators, the training loop, and the reliability campaigns, keyed by
 ride along for profiling and export to the Chrome-trace format;
 they are wall-clock and excluded from every determinism contract.
 
+Raw counters are *consumed* by :mod:`repro.telemetry.analysis`, which
+derives the paper-level efficiency metrics (stage utilization and
+bubbles for the Fig. 5 / Fig. 8 pipelines, ADC conversions per MAC and
+tile occupancy for the engine) from any counter map.
+
 Quick start::
 
     from repro import Simulator
-    from repro.telemetry import Collector
+    from repro.telemetry import Collector, analyze_counters
 
     collector = Collector()
     sim = Simulator.from_workload("mlp", seed=0, collector=collector)
     sim.run_inference(count=32)
     print(collector.counters())          # engine/<layer>/... hierarchy
+    report = analyze_counters(collector)  # derived metrics document
     collector.write_chrome_trace("trace.json")   # chrome://tracing
 
 CLI: ``repro profile <subcommand> ...`` runs any existing subcommand's
-workload under a collector and emits the report.
+workload under a collector and emits the raw report; ``repro report``
+renders the derived-metrics analysis of a profile (or of a freshly
+run subcommand).
 """
 
+from repro.telemetry.analysis import (
+    analyze_counters,
+    counters_from,
+    engine_metrics,
+    engine_prefixes,
+    gan_prefixes,
+    render_analysis_report,
+    resource_utilization,
+    schedule_prefixes,
+    stage_utilization,
+)
 from repro.telemetry.collector import (
     DEFAULT_MAX_SPANS,
+    DROPPED_SPANS_COUNTER,
     NULL_COLLECTOR,
     SCHEMA_VERSION,
     Collector,
@@ -35,6 +55,7 @@ from repro.telemetry.collector import (
 from repro.telemetry.export import (
     bench_document,
     profile_report,
+    validate_analysis_report,
     validate_bench_document,
     validate_profile_report,
 )
@@ -47,8 +68,19 @@ __all__ = [
     "NULL_COLLECTOR",
     "SCHEMA_VERSION",
     "DEFAULT_MAX_SPANS",
+    "DROPPED_SPANS_COUNTER",
     "profile_report",
     "bench_document",
     "validate_profile_report",
     "validate_bench_document",
+    "validate_analysis_report",
+    "analyze_counters",
+    "counters_from",
+    "engine_metrics",
+    "engine_prefixes",
+    "gan_prefixes",
+    "render_analysis_report",
+    "resource_utilization",
+    "schedule_prefixes",
+    "stage_utilization",
 ]

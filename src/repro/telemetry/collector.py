@@ -41,6 +41,7 @@ changes simulation outputs (pinned by tests).
 from __future__ import annotations
 
 import json
+import logging
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -57,6 +58,13 @@ SCHEMA_VERSION = 1
 #: without limit (same rationale as the bounded per-call history of
 #: ``XbarStats``).  Past the cap, spans are counted but not stored.
 DEFAULT_MAX_SPANS = 100_000
+
+#: Counter path under which a collector accounts spans it had to drop
+#: because ``max_spans`` was reached — the overflow is *visible* in
+#: every counter report instead of silently truncating the timeline.
+DROPPED_SPANS_COUNTER = "telemetry/dropped_spans"
+
+_log = logging.getLogger("repro.telemetry")
 
 
 @dataclass(frozen=True)
@@ -111,6 +119,7 @@ class Collector:
         self._spans: List[SpanRecord] = []
         self._span_depth = 0
         self._spans_dropped = 0
+        self._drop_warned = False
         self._origin = time.perf_counter()
 
     # -- counters -----------------------------------------------------------
@@ -195,7 +204,21 @@ class Collector:
                     )
                 )
             else:
+                # Surface the overflow instead of discarding silently:
+                # account the drop as a counter (visible in every
+                # report) and warn once per collector.
                 self._spans_dropped += 1
+                self._counters[DROPPED_SPANS_COUNTER] = (
+                    self._counters.get(DROPPED_SPANS_COUNTER, 0) + 1
+                )
+                if not self._drop_warned:
+                    self._drop_warned = True
+                    _log.warning(
+                        "span buffer full (max_spans=%d): dropping "
+                        "further spans; drops are counted under %r",
+                        self.max_spans,
+                        DROPPED_SPANS_COUNTER,
+                    )
 
     def spans(self) -> List[SpanRecord]:
         """The recorded spans, in closing order."""
@@ -213,6 +236,7 @@ class Collector:
         self._spans.clear()
         self._span_depth = 0
         self._spans_dropped = 0
+        self._drop_warned = False
         self._origin = time.perf_counter()
 
     def scope(self, prefix: str) -> "ScopedCollector":

@@ -1,6 +1,6 @@
 """Stable JSON documents built from a telemetry collector.
 
-Two document kinds leave this module:
+Three document kinds leave this module:
 
 * **profile reports** — what ``repro profile <subcommand> --json``
   emits: the wrapped command, its exit code and wall time, the full
@@ -10,9 +10,14 @@ Two document kinds leave this module:
   Chrome-trace file.
 * **benchmark documents** — the machine-readable ``BENCH_*.json``
   files the benchmark harness records next to its text tables, seeding
-  the perf trajectory (workload, backend, wall time, key counters).
+  the perf trajectory (workload, backend, wall time, key counters,
+  and an optional deterministic ``metrics`` map the baseline
+  comparison of :mod:`repro.bench` gates on).
+* **analysis reports** — derived metrics
+  (:func:`repro.telemetry.analyze_counters`) that ``repro report``
+  emits: stage utilization, bubbles, ADC-per-MAC over a counter map.
 
-Both carry ``schema_version`` and have a structural validator here so
+All carry ``schema_version`` and have a structural validator here so
 CI can assert the schema without external dependencies.
 """
 
@@ -141,3 +146,73 @@ def validate_bench_document(document: Dict[str, Any]) -> None:
         raise ValueError(f"bench kind {document['kind']!r} != 'bench'")
     if document["wall_time_s"] < 0:
         raise ValueError("bench wall_time_s must be >= 0")
+    metrics = document.get("metrics")
+    if metrics is not None:
+        if not isinstance(metrics, dict):
+            raise ValueError("bench metrics must be a dict")
+        for name, value in metrics.items():
+            if not isinstance(name, str) or isinstance(value, bool) or \
+                    not isinstance(value, _NumberABC):
+                raise ValueError(
+                    f"bench metric {name!r} -> {value!r} is not a string "
+                    "name with a numeric value"
+                )
+
+
+_ANALYSIS_REQUIRED = {
+    "schema_version": int,
+    "kind": str,
+    "source": str,
+    "pipelines": list,
+    "gan_pipelines": list,
+    "engines": list,
+    "totals": dict,
+}
+
+
+def validate_analysis_report(document: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``document`` is a valid analysis report.
+
+    The analysis report is what :func:`repro.telemetry.analyze_counters`
+    builds and ``repro report --json`` prints: derived metrics
+    (utilization, bubbles, ADC-per-MAC) over a counter map.
+    """
+    _check_fields(document, _ANALYSIS_REQUIRED, "analysis")
+    if document["kind"] != "analysis":
+        raise ValueError(
+            f"analysis kind {document['kind']!r} != 'analysis'"
+        )
+    for pipeline in document["pipelines"]:
+        for field in ("prefix", "makespan_cycles", "stage_count",
+                      "stages", "total_busy_cycles", "total_bubble_cycles",
+                      "parallelism", "mean_utilization"):
+            if field not in pipeline:
+                raise ValueError(
+                    f"analysis pipeline missing field {field!r}"
+                )
+        makespan = pipeline["makespan_cycles"]
+        for stage in pipeline["stages"]:
+            if not 0.0 <= stage["utilization"] <= 1.0:
+                raise ValueError(
+                    f"stage utilization out of [0, 1]: {stage!r}"
+                )
+            if stage["busy_cycles"] + stage["bubble_cycles"] != makespan:
+                raise ValueError(
+                    f"stage busy+bubble != makespan {makespan}: {stage!r}"
+                )
+    for gan in document["gan_pipelines"]:
+        for field in ("prefix", "makespan_cycles", "resources",
+                      "parallelism"):
+            if field not in gan:
+                raise ValueError(f"analysis GAN missing field {field!r}")
+    for engine in document["engines"]:
+        for field in ("prefix", "layers", "totals"):
+            if field not in engine:
+                raise ValueError(
+                    f"analysis engine missing field {field!r}"
+                )
+        for layer in engine["layers"]:
+            if "layer" not in layer or "mvm_calls" not in layer:
+                raise ValueError(
+                    f"analysis engine layer record incomplete: {layer!r}"
+                )

@@ -1,5 +1,8 @@
-"""Shared utilities: RNG management, quantization, im2col, validation."""
+"""Shared utilities: RNG management, quantization, im2col, validation,
+component-prefixed logging."""
 
+from repro.utils.logging import configure as configure_logging
+from repro.utils.logging import get_logger
 from repro.utils.rng import new_rng, spawn_rngs
 from repro.utils.quant import (
     QuantSpec,
@@ -23,6 +26,8 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "configure_logging",
+    "get_logger",
     "new_rng",
     "spawn_rngs",
     "QuantSpec",

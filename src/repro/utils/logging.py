@@ -1,0 +1,77 @@
+"""Structured, component-prefixed logging for the simulation stack.
+
+Every component logs through ``logging.getLogger("repro.<component>")``
+(:func:`get_logger`); nothing is emitted unless the application
+configures the ``repro`` logger tree.  The CLI does that through the
+global ``--log-level`` / ``-v`` flags (:func:`configure`), attaching
+one stderr handler with a ``LEVEL component: message`` format, so
+default runs stay byte-identical (WARNING and above only, which the
+stack reserves for genuinely anomalous events such as span-buffer
+overflow) while ``-v`` / ``-vv`` surface INFO / DEBUG progress from
+:mod:`repro.api`, the crossbar engine backends, and the benchmark
+runner.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, Union
+
+ROOT_NAME = "repro"
+
+_LEVELS = ("critical", "error", "warning", "info", "debug")
+
+
+def get_logger(component: str) -> logging.Logger:
+    """The logger for one component (``repro.<component>``)."""
+    if component.startswith(ROOT_NAME):
+        return logging.getLogger(component)
+    return logging.getLogger(f"{ROOT_NAME}.{component}")
+
+
+def resolve_level(
+    log_level: Optional[str] = None, verbosity: int = 0
+) -> int:
+    """Numeric level from an explicit name or a ``-v`` count.
+
+    An explicit ``--log-level`` wins; otherwise each ``-v`` steps from
+    the WARNING default down to INFO then DEBUG.
+    """
+    if log_level:
+        name = log_level.lower()
+        if name not in _LEVELS:
+            raise ValueError(
+                f"log level must be one of {_LEVELS}, got {log_level!r}"
+            )
+        return getattr(logging, name.upper())
+    return max(logging.WARNING - 10 * verbosity, logging.DEBUG)
+
+
+def configure(
+    level: Union[int, str, None] = None,
+    verbosity: int = 0,
+    stream=None,
+) -> logging.Logger:
+    """Attach one stream handler to the ``repro`` logger tree.
+
+    Idempotent: reconfiguring replaces the handler installed by a
+    previous call instead of stacking duplicates.  Returns the root
+    ``repro`` logger.
+    """
+    if isinstance(level, str) or level is None:
+        level = resolve_level(level, verbosity)
+    root = logging.getLogger(ROOT_NAME)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_cli_handler", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    handler._repro_cli_handler = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.setLevel(level)
+    # Don't duplicate through the root logger's lastResort handler.
+    root.propagate = False
+    return root

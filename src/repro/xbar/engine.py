@@ -60,6 +60,7 @@ import numpy as np
 
 from repro.nn.engine import MatmulEngine
 from repro.telemetry import Collector, TelemetryLike
+from repro.utils.logging import get_logger
 from repro.utils.rng import RngLike, derive_seed, new_rng
 from repro.utils.validation import check_choice, check_positive
 from repro.xbar.adc import ADCConfig, quantize_levels
@@ -73,6 +74,8 @@ from repro.xbar.dac import (
 from repro.xbar.device import PIPELAYER_DEVICE, DeviceConfig
 from repro.xbar.mapping import SlicedWeights, WeightMapping, map_weights
 from repro.xbar.tile import TiledCrossbar
+
+_log = get_logger("engine")
 
 
 @dataclass(frozen=True)
@@ -376,6 +379,15 @@ class CrossbarEngine(MatmulEngine):
         if sliced.mapping.scheme == "differential":
             planes.append(("neg", sliced.neg_slices))
         rows, cols = weights.shape
+        _log.debug(
+            "programming %dx%d weights onto %d slice plane group(s) "
+            "(backend=%s, reuse_tiles=%s)",
+            rows,
+            cols,
+            len(planes),
+            self.config.backend,
+            reuse_tiles,
+        )
         if not reuse_tiles:
             # First deployment (or a reshape): build the physical
             # arrays.  Subsequent prepares *reprogram the same arrays*
@@ -504,6 +516,16 @@ class CrossbarEngine(MatmulEngine):
             )
         tel = self.telemetry
         tel.count("mvm_calls", 1)
+        # Multiply-accumulates of this call, counted in the shared
+        # dispatch so both backends (and the fast-ideal collapse)
+        # report identical work — the denominator of the ADC-per-MAC
+        # efficiency metric in repro.telemetry.analysis.
+        tel.count(
+            "macs",
+            activations.shape[0]
+            * self._cached_weights.shape[0]
+            * self._cached_weights.shape[1],
+        )
 
         max_abs = self.config.activation_range
         if max_abs is None:

@@ -1,0 +1,182 @@
+"""Runner behaviour: execution, baseline gating, trajectory history."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BenchmarkShim,
+    compare_metrics,
+    load_baseline,
+    load_trajectory,
+    run_suite,
+    validate_baseline,
+    write_baseline,
+)
+
+from tests.bench.conftest import FAILING_BENCH, FULL_ONLY_BENCH, GOOD_BENCH
+
+
+def _run(bench_dir, tmp_path, **kwargs):
+    kwargs.setdefault("baseline_dir", bench_dir / "baselines")
+    kwargs.setdefault("trajectory_path", tmp_path / "traj.json")
+    return run_suite(bench_dir=bench_dir, **kwargs)
+
+
+class TestBenchmarkShim:
+    def test_times_one_call_and_returns_result(self):
+        shim = BenchmarkShim()
+        assert shim(lambda x: x + 1, 41) == 42
+        assert shim.pedantic(lambda x: x * 2, args=(21,)) == 42
+        assert len(shim.timings) == 2
+        assert all(t >= 0 for t in shim.timings)
+
+
+class TestRunSuite:
+    def test_captures_documents_and_metrics(self, make_bench_dir,
+                                            tmp_path):
+        bench_dir = make_bench_dir(bench_good=GOOD_BENCH)
+        run = _run(bench_dir, tmp_path)
+        (outcome,) = run.benches
+        assert outcome.status == "ok"
+        assert outcome.metrics == {"w/b/answer": 42.0, "w/b/cycles": 7.0}
+        assert outcome.documents[0]["kind"] == "bench"
+        assert outcome.baseline_status == "no-baseline"
+        assert run.exit_code == 0
+
+    def test_failure_sets_exit_code(self, make_bench_dir, tmp_path):
+        bench_dir = make_bench_dir(
+            bench_good=GOOD_BENCH, bench_bad=FAILING_BENCH
+        )
+        run = _run(bench_dir, tmp_path)
+        statuses = {b.name: b.status for b in run.benches}
+        assert statuses == {"alpha": "ok", "boom": "failed"}
+        boom = next(b for b in run.benches if b.name == "boom")
+        assert "kaboom" in boom.error
+        assert run.failure_count == 1
+        assert run.exit_code == 1
+        assert "failed" in run.summary()
+
+    def test_suite_and_filter_selection(self, make_bench_dir, tmp_path):
+        bench_dir = make_bench_dir(
+            bench_good=GOOD_BENCH, bench_full=FULL_ONLY_BENCH
+        )
+        quick = _run(bench_dir, tmp_path, suite="quick")
+        assert [b.name for b in quick.benches] == ["alpha"]
+        full = _run(bench_dir, tmp_path, suite="full")
+        assert [b.name for b in full.benches] == ["alpha", "slow"]
+        filtered = _run(bench_dir, tmp_path, suite="full", filter="sl*")
+        assert [b.name for b in filtered.benches] == ["slow"]
+
+    def test_update_then_compare_clean(self, make_bench_dir, tmp_path):
+        bench_dir = make_bench_dir(bench_good=GOOD_BENCH)
+        first = _run(bench_dir, tmp_path, update_baselines=True)
+        assert first.benches[0].baseline_status == "updated"
+        baseline = load_baseline(bench_dir / "baselines", "alpha")
+        validate_baseline(baseline)
+        assert baseline["metrics"]["w/b/answer"]["value"] == 42.0
+        second = _run(bench_dir, tmp_path)
+        assert second.benches[0].baseline_status == "ok"
+        assert second.exit_code == 0
+
+    def test_perturbed_baseline_regresses(self, make_bench_dir,
+                                          tmp_path):
+        """The acceptance check: nudge a committed baseline outside
+        its band and the run exits non-zero."""
+        bench_dir = make_bench_dir(bench_good=GOOD_BENCH)
+        _run(bench_dir, tmp_path, update_baselines=True)
+        path = bench_dir / "baselines" / "alpha.json"
+        document = json.loads(path.read_text())
+        document["metrics"]["w/b/answer"]["value"] = 43.0
+        path.write_text(json.dumps(document))
+        run = _run(bench_dir, tmp_path)
+        (outcome,) = run.benches
+        assert outcome.baseline_status == "regression"
+        (deviation,) = outcome.regressions
+        assert deviation.metric == "w/b/answer"
+        assert deviation.status == "regression"
+        assert run.exit_code == 1
+        assert "REGRESSION" in run.summary()
+
+    def test_missing_metric_is_regression(self, make_bench_dir,
+                                          tmp_path):
+        bench_dir = make_bench_dir(bench_good=GOOD_BENCH)
+        _run(bench_dir, tmp_path, update_baselines=True)
+        path = bench_dir / "baselines" / "alpha.json"
+        document = json.loads(path.read_text())
+        document["metrics"]["w/b/vanished"] = {"value": 1.0}
+        path.write_text(json.dumps(document))
+        run = _run(bench_dir, tmp_path)
+        (deviation,) = run.benches[0].regressions
+        assert deviation.status == "missing"
+        assert "did not produce" in deviation.describe()
+        assert run.exit_code == 1
+
+    def test_run_only_metrics_ignored(self):
+        baseline = {
+            "schema_version": 1,
+            "kind": "bench_baseline",
+            "bench": "x",
+            "metrics": {"a": {"value": 1.0}},
+        }
+        deviations = compare_metrics(
+            "x", {"a": 1.0, "brand_new": 99.0}, baseline
+        )
+        assert [d.status for d in deviations] == ["ok"]
+
+    def test_abs_tol_band(self):
+        baseline = {
+            "schema_version": 1,
+            "kind": "bench_baseline",
+            "bench": "x",
+            "metrics": {"a": {"value": 0.0, "abs_tol": 0.5}},
+        }
+        (ok,) = compare_metrics("x", {"a": 0.4}, baseline)
+        assert ok.status == "ok"
+        (bad,) = compare_metrics("x", {"a": 0.6}, baseline)
+        assert bad.status == "regression"
+
+
+class TestTrajectory:
+    def test_appends_runs(self, make_bench_dir, tmp_path):
+        bench_dir = make_bench_dir(bench_good=GOOD_BENCH)
+        trajectory = tmp_path / "traj.json"
+        _run(bench_dir, tmp_path)
+        _run(bench_dir, tmp_path)
+        document = load_trajectory(trajectory)
+        assert document["kind"] == "bench_trajectory"
+        assert len(document["runs"]) == 2
+        record = document["runs"][0]["benches"][0]
+        assert record["name"] == "alpha"
+        assert record["metrics"]["w/b/answer"] == 42.0
+
+    def test_rejects_foreign_document(self, tmp_path):
+        path = tmp_path / "traj.json"
+        path.write_text(json.dumps({"kind": "something_else"}))
+        with pytest.raises(ValueError, match="not a bench trajectory"):
+            load_trajectory(path)
+
+
+class TestBaselineValidation:
+    def test_write_baseline_roundtrip(self, tmp_path):
+        path = write_baseline(tmp_path, "demo", {"m": 3.5}, rel_tol=1e-3)
+        document = json.loads(path.read_text())
+        validate_baseline(document)
+        assert document["metrics"]["m"] == {
+            "value": 3.5, "rel_tol": 1e-3
+        }
+
+    @pytest.mark.parametrize(
+        "mutation, message",
+        [
+            ({"kind": "bench"}, "kind"),
+            ({"schema_version": 99}, "schema_version"),
+            ({"metrics": {"m": 3.5}}, "dict with 'value'"),
+        ],
+    )
+    def test_rejects_malformed(self, tmp_path, mutation, message):
+        write_baseline(tmp_path, "demo", {"m": 3.5})
+        document = json.loads((tmp_path / "demo.json").read_text())
+        document.update(mutation)
+        with pytest.raises(ValueError, match=message):
+            validate_baseline(document)

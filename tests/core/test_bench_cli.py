@@ -1,0 +1,93 @@
+"""Tests for ``repro bench`` — the CLI face of the unified runner.
+
+These drive :func:`repro.cli.main` against a throwaway benchmark
+package (see ``tests/bench/conftest.py``) so the full path —
+argument parsing, suite execution, baseline gate, trajectory append,
+exit code — is covered without running the real benchmark suite.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import clear_registry
+from repro.cli import main
+
+from tests.bench.conftest import GOOD_BENCH, build_bench_dir
+
+
+@pytest.fixture()
+def bench_dir(tmp_path):
+    clear_registry()
+    yield build_bench_dir(tmp_path, bench_good=GOOD_BENCH)
+    clear_registry()
+
+
+def _bench(capsys, bench_dir, tmp_path, *extra):
+    argv = [
+        "bench",
+        "--bench-dir", str(bench_dir),
+        "--baseline-dir", str(bench_dir / "baselines"),
+        "--trajectory", str(tmp_path / "traj.json"),
+        *extra,
+    ]
+    code = main(argv)
+    return code, capsys.readouterr()
+
+
+class TestBenchCommand:
+    def test_list(self, capsys, bench_dir, tmp_path):
+        code, captured = _bench(capsys, bench_dir, tmp_path, "--list")
+        assert code == 0
+        assert "alpha" in captured.out
+        assert "suite=quick" in captured.out
+
+    def test_run_update_then_clean(self, capsys, bench_dir, tmp_path):
+        code, captured = _bench(
+            capsys, bench_dir, tmp_path, "--update-baselines"
+        )
+        assert code == 0
+        assert "baseline updated" in captured.out
+        code, captured = _bench(capsys, bench_dir, tmp_path)
+        assert code == 0
+        assert "1 benches" in captured.out
+        assert "0 failed, 0 regression(s)" in captured.out
+        assert "baseline ok" in captured.out
+        trajectory = json.loads((tmp_path / "traj.json").read_text())
+        assert len(trajectory["runs"]) == 2
+
+    def test_json_document(self, capsys, bench_dir, tmp_path):
+        code, captured = _bench(capsys, bench_dir, tmp_path, "--json")
+        assert code == 0
+        document = json.loads(captured.out)
+        assert document["kind"] == "bench_run"
+        assert document["benches"][0]["name"] == "alpha"
+        assert document["benches"][0]["metrics"]["w/b/answer"] == 42.0
+
+    def test_perturbed_baseline_exits_nonzero(self, capsys, bench_dir,
+                                              tmp_path):
+        code, _ = _bench(
+            capsys, bench_dir, tmp_path, "--update-baselines"
+        )
+        assert code == 0
+        baseline = bench_dir / "baselines" / "alpha.json"
+        document = json.loads(baseline.read_text())
+        document["metrics"]["w/b/answer"]["value"] = 41.0
+        baseline.write_text(json.dumps(document))
+        code, captured = _bench(capsys, bench_dir, tmp_path)
+        assert code == 1
+        assert "REGRESSION" in captured.out
+
+    def test_missing_dir_errors(self, capsys, tmp_path):
+        code = main(["bench", "--bench-dir", str(tmp_path / "nope")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "bench:" in captured.err
+
+    def test_filter_excludes_everything(self, capsys, bench_dir,
+                                        tmp_path):
+        code, captured = _bench(
+            capsys, bench_dir, tmp_path, "--filter", "zzz*"
+        )
+        assert code == 0
+        assert "0 benches" in captured.out

@@ -108,7 +108,7 @@ class TestProfileCommand:
 
     def test_profile_cannot_nest(self, capsys):
         assert main(["profile", "profile", "infer"]) == 2
-        assert "cannot profile itself" in capsys.readouterr().err
+        assert "cannot wrap" in capsys.readouterr().err
 
     def test_profile_rejects_bad_wrapped_command(self, capsys):
         assert main(["profile", "no_such_command"]) == 2

@@ -1,0 +1,112 @@
+"""Tests for ``repro report`` — derived metrics at the CLI surface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.schedule import simulate_training_pipeline
+from repro.telemetry import validate_analysis_report
+
+
+def _report(capsys, argv):
+    code = main(["report"] + argv)
+    return code, capsys.readouterr()
+
+
+class TestReportWrappedRun:
+    def test_trace_utilization_matches_simulator(self, capsys):
+        """Acceptance: per-stage utilization over a Fig. 5 pipeline
+        profile is consistent with the schedule simulator's cycles."""
+        code, captured = _report(
+            capsys,
+            ["--json", "trace", "--layers", "3", "--batch", "4"],
+        )
+        assert code == 0
+        document = json.loads(captured.out)
+        validate_analysis_report(document)
+        (pipeline,) = document["pipelines"]
+        result = simulate_training_pipeline(3, 8, 4)
+        assert pipeline["makespan_cycles"] == result.makespan
+        assert pipeline["stage_count"] == 7
+        for stage in pipeline["stages"]:
+            assert (
+                stage["busy_cycles"] + stage["bubble_cycles"]
+                == result.makespan
+            )
+        busy = sum(s["busy_cycles"] for s in pipeline["stages"])
+        assert pipeline["parallelism"] == pytest.approx(
+            busy / result.makespan
+        )
+
+    def test_text_rendering(self, capsys):
+        code, captured = _report(
+            capsys, ["trace", "--layers", "2", "--batch", "2"]
+        )
+        assert code == 0
+        assert "pipeline pipeline" in captured.out
+        assert "utilization" in captured.out
+        # The wrapped command's own output is swallowed.
+        assert "Gantt" not in captured.out
+
+    def test_engine_subtree_from_infer(self, capsys):
+        code, captured = _report(
+            capsys, ["--json", "infer", "mlp", "--count", "4"]
+        )
+        assert code == 0
+        document = json.loads(captured.out)
+        validate_analysis_report(document)
+        (engine,) = document["engines"]
+        assert engine["prefix"] == "engine"
+        assert all(
+            layer["macs"] > 0 and layer["mvm_calls"] > 0
+            for layer in engine["layers"]
+        )
+
+    def test_rejects_wrapping_wrappers(self, capsys):
+        for wrapped in ("profile", "report", "bench"):
+            code, captured = _report(capsys, [wrapped])
+            assert code == 2
+            assert "cannot wrap" in captured.err
+
+    def test_requires_a_subcommand(self, capsys):
+        code, captured = _report(capsys, [])
+        assert code == 2
+        assert "name a subcommand" in captured.err
+
+
+class TestReportFromProfile:
+    @pytest.fixture()
+    def profile_path(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        assert main(
+            ["profile", "--trace-out", str(trace), "trace",
+             "--layers", "3", "--batch", "4", "--json"]
+        ) == 0
+        path = tmp_path / "profile.json"
+        path.write_text(capsys.readouterr().out)
+        return path
+
+    def test_reads_saved_profile(self, capsys, profile_path):
+        code, captured = _report(
+            capsys, ["--profile", str(profile_path), "--json"]
+        )
+        assert code == 0
+        document = json.loads(captured.out)
+        validate_analysis_report(document)
+        assert document["source"] == str(profile_path)
+        assert document["pipelines"]
+
+    def test_missing_file(self, capsys, tmp_path):
+        code, captured = _report(
+            capsys, ["--profile", str(tmp_path / "absent.json")]
+        )
+        assert code == 2
+        assert "cannot read profile" in captured.err
+
+    def test_profile_xor_subcommand(self, capsys, profile_path):
+        code, captured = _report(
+            capsys, ["--profile", str(profile_path), "trace"]
+        )
+        assert code == 2
+        assert "not both" in captured.err

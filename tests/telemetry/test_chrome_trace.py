@@ -1,0 +1,82 @@
+"""Chrome-trace export round-trip.
+
+``Collector.write_chrome_trace`` must produce a file that parses back
+with one complete (``X``) event per recorded span, and the nesting
+relationship between parent and child spans must be recoverable from
+the event intervals (child inside parent, child depth = parent + 1).
+"""
+
+import json
+import time
+
+from repro.telemetry import Collector
+
+
+def _nested_workload(collector):
+    with collector.span("outer"):
+        with collector.span("inner_a"):
+            time.sleep(0.001)
+        with collector.span("inner_b"):
+            with collector.span("leaf"):
+                time.sleep(0.001)
+
+
+class TestChromeTraceRoundTrip:
+    def test_event_count_matches_span_count(self, tmp_path):
+        collector = Collector()
+        _nested_workload(collector)
+        path = collector.write_chrome_trace(tmp_path / "trace.json")
+        loaded = json.loads(path.read_text())
+        complete = [
+            event for event in loaded["traceEvents"]
+            if event["ph"] == "X"
+        ]
+        assert len(complete) == len(collector.spans()) == 4
+        assert {event["name"] for event in complete} == {
+            "outer", "inner_a", "inner_b", "leaf"
+        }
+
+    def test_nesting_recoverable_from_intervals(self, tmp_path):
+        collector = Collector()
+        _nested_workload(collector)
+        path = collector.write_chrome_trace(tmp_path / "trace.json")
+        loaded = json.loads(path.read_text())
+        events = {
+            event["name"]: event
+            for event in loaded["traceEvents"]
+            if event["ph"] == "X"
+        }
+
+        def contains(parent, child):
+            return (
+                parent["ts"] <= child["ts"]
+                and child["ts"] + child["dur"]
+                <= parent["ts"] + parent["dur"] + 1e-3
+            )
+
+        outer = events["outer"]
+        for name in ("inner_a", "inner_b", "leaf"):
+            assert contains(outer, events[name]), name
+        assert contains(events["inner_b"], events["leaf"])
+        # Depth annotations mirror the parent/child ordering.
+        assert events["outer"]["args"]["depth"] == 0
+        assert events["inner_a"]["args"]["depth"] == 1
+        assert events["inner_b"]["args"]["depth"] == 1
+        assert events["leaf"]["args"]["depth"] == 2
+        # Siblings do not overlap.
+        a, b = events["inner_a"], events["inner_b"]
+        assert a["ts"] + a["dur"] <= b["ts"] + 1e-3
+
+    def test_metadata_event_present(self, tmp_path):
+        collector = Collector()
+        _nested_workload(collector)
+        loaded = json.loads(
+            collector.write_chrome_trace(
+                tmp_path / "trace.json"
+            ).read_text()
+        )
+        metadata = [
+            event for event in loaded["traceEvents"]
+            if event["ph"] == "M"
+        ]
+        assert metadata and metadata[0]["name"] == "process_name"

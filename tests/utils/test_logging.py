@@ -1,0 +1,113 @@
+"""Component logging: level resolution, configure(), CLI wiring."""
+
+import io
+import logging
+
+import pytest
+
+from repro.cli import main
+from repro.utils.logging import ROOT_NAME, configure, get_logger, resolve_level
+
+
+@pytest.fixture(autouse=True)
+def _pristine_repro_logger():
+    """Restore the ``repro`` logger tree after each test: drop any
+    CLI-installed handler and re-enable propagation so later tests
+    (and caplog) see the default state."""
+    root = logging.getLogger(ROOT_NAME)
+    yield
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_cli_handler", False):
+            root.removeHandler(handler)
+    root.setLevel(logging.NOTSET)
+    root.propagate = True
+
+
+class TestGetLogger:
+    def test_prefixes_component(self):
+        assert get_logger("api").name == "repro.api"
+
+    def test_keeps_already_prefixed_names(self):
+        assert get_logger("repro.bench").name == "repro.bench"
+
+
+class TestResolveLevel:
+    def test_default_is_warning(self):
+        assert resolve_level() == logging.WARNING
+
+    def test_each_v_steps_down(self):
+        assert resolve_level(verbosity=1) == logging.INFO
+        assert resolve_level(verbosity=2) == logging.DEBUG
+        assert resolve_level(verbosity=9) == logging.DEBUG  # floor
+
+    def test_explicit_name_wins_over_verbosity(self):
+        assert resolve_level("error", verbosity=3) == logging.ERROR
+
+    def test_rejects_unknown_name(self):
+        with pytest.raises(ValueError, match="log level"):
+            resolve_level("loud")
+
+
+class TestConfigure:
+    def test_installs_single_handler_and_level(self):
+        stream = io.StringIO()
+        root = configure("info", stream=stream)
+        assert root.level == logging.INFO
+        get_logger("api").info("hello from the facade")
+        assert "INFO repro.api: hello from the facade" in stream.getvalue()
+
+    def test_reconfigure_replaces_instead_of_stacking(self):
+        configure("info", stream=io.StringIO())
+        root = configure("debug", stream=io.StringIO())
+        cli_handlers = [
+            h for h in root.handlers
+            if getattr(h, "_repro_cli_handler", False)
+        ]
+        assert len(cli_handlers) == 1
+        assert root.level == logging.DEBUG
+
+    def test_default_level_suppresses_info(self):
+        stream = io.StringIO()
+        configure(stream=stream)
+        get_logger("engine").info("progress chatter")
+        get_logger("engine").warning("anomaly")
+        output = stream.getvalue()
+        assert "progress chatter" not in output
+        assert "anomaly" in output
+
+
+class TestCliWiring:
+    def _run(self, capsys, argv):
+        code = main(argv)
+        assert code == 0
+        return capsys.readouterr()
+
+    def test_verbose_before_subcommand(self, capsys):
+        captured = self._run(
+            capsys, ["-v", "infer", "mlp", "--count", "4"]
+        )
+        assert "INFO repro.api: building workload mlp" in captured.err
+        assert "INFO repro.api: inference on mlp" in captured.err
+
+    def test_verbose_after_subcommand(self, capsys):
+        captured = self._run(
+            capsys, ["infer", "mlp", "--count", "4", "-v"]
+        )
+        assert "INFO repro.api:" in captured.err
+
+    def test_log_level_debug_reaches_engine(self, capsys):
+        captured = self._run(
+            capsys,
+            ["infer", "mlp", "--count", "4", "--log-level", "debug"],
+        )
+        assert "DEBUG repro.engine: programming" in captured.err
+
+    def test_default_run_output_is_unchanged(self, capsys):
+        """Unflagged runs emit nothing on stderr and identical stdout:
+        the logging satellite must not disturb existing output."""
+        quiet = self._run(capsys, ["infer", "mlp", "--count", "4"])
+        verbose = self._run(
+            capsys, ["-v", "infer", "mlp", "--count", "4"]
+        )
+        assert quiet.err == ""
+        assert quiet.out == verbose.out
