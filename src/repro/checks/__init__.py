@@ -1,0 +1,60 @@
+"""``repro.checks`` — the determinism & contract linter.
+
+An AST-based static-analysis subsystem that machine-checks the
+repo-specific invariants every reproducibility claim rests on:
+randomness routes through :mod:`repro.utils.rng` (RNG001), wall-clock
+never touches a simulation path (DET001), emitted JSON documents are
+stamped with ``schema_version`` (SCHEMA001), telemetry paths follow
+the counter grammar (TEL001), deprecated ``repro.core`` shims are not
+used internally (API001), plus generic hygiene (PY001 mutable
+defaults, PY002 float equality).
+
+Run it as ``repro check [--format json] [--select RULES]`` or from
+Python::
+
+    from repro import checks
+
+    findings = checks.check_paths()        # the installed package
+    findings = checks.check_source(code, path="repro/x.py")
+
+Suppress one finding with ``# repro: noqa[RULE]`` on the flagged line
+(bare ``# repro: noqa`` suppresses every rule there).  The committed
+tree is self-hosting: ``repro check`` must report zero findings
+(pinned by ``tests/checks/test_selfhost.py``).
+"""
+
+from repro.checks.engine import (
+    RULES,
+    SCHEMA_VERSION,
+    CheckConfig,
+    FileContext,
+    Finding,
+    Rule,
+    canonical_path,
+    check_paths,
+    check_report,
+    check_source,
+    default_root,
+    register,
+    render_findings,
+    suppressions,
+)
+from repro.checks.rules import rule_table
+
+__all__ = [
+    "RULES",
+    "SCHEMA_VERSION",
+    "CheckConfig",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "canonical_path",
+    "check_paths",
+    "check_report",
+    "check_source",
+    "default_root",
+    "register",
+    "render_findings",
+    "rule_table",
+    "suppressions",
+]

@@ -12,6 +12,7 @@ Usage::
     repro infer mnist_cnn --backend vectorized
     repro train mlp --epochs 2
     repro reliability mlp --axis stuck --backend both
+    repro check --format json          # determinism/contract linter
 
 (``python -m repro.cli ...`` works identically when the console script
 is not installed.)
@@ -65,8 +66,9 @@ from repro.workloads import (
 )
 
 #: Subcommands that may not be wrapped by profile/report (they are
-#: wrappers or whole-suite drivers themselves).
-_UNWRAPPABLE = ("profile", "report", "bench")
+#: wrappers, whole-suite drivers, or — like the linter — not
+#: simulations at all).
+_UNWRAPPABLE = ("profile", "report", "bench", "check")
 
 _WORKLOADS = {
     "mnist": mnist_cnn_spec,
@@ -450,6 +452,47 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return _emit(args, analysis, render_analysis_report(analysis))
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    """The determinism & contract linter (``repro.checks``)."""
+    from repro import checks
+
+    select = None
+    if args.select:
+        select = [
+            rule.strip()
+            for rule in args.select.split(",")
+            if rule.strip()
+        ]
+    if args.list_rules:
+        width = max(len(rule_id) for rule_id in checks.RULES)
+        for rule_id, (summary, allow) in checks.rule_table().items():
+            if select is not None and rule_id not in select:
+                continue
+            suffix = f"  [allowed: {', '.join(allow)}]" if allow else ""
+            print(f"{rule_id:<{width}s}  {summary}{suffix}")
+        return 0
+    config = checks.CheckConfig(select=select)
+    try:
+        findings = checks.check_paths(
+            [Path(p) for p in args.paths] or None, config=config
+        )
+    except (ValueError, FileNotFoundError) as error:
+        print(f"check: {error}", file=sys.stderr)
+        return 2
+    targets = args.paths or [str(checks.default_root())]
+    if args.format == "json" or args.json:
+        document = checks.check_report(findings, targets, select)
+        json.dump(document, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        print(
+            checks.render_findings(
+                findings, select if select is not None else checks.RULES
+            )
+        )
+    return 1 if findings else 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Unified benchmark runner with baseline regression gating."""
     from repro import bench as bench_mod
@@ -774,6 +817,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the registered benches and exit",
     )
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_check = sub.add_parser(
+        "check",
+        help="AST-based determinism & contract linter over the package",
+        description="Run the repro.checks rules (RNG001 randomness "
+        "routing, DET001 wall-clock isolation, SCHEMA001 schema_version "
+        "stamping, TEL001 telemetry path grammar, API001 deprecated "
+        "shim imports, PY001/PY002 hygiene) over the installed package "
+        "or the given paths.  Exits 1 on findings, 0 when clean.  "
+        "Suppress one line with '# repro: noqa[RULE]'.",
+    )
+    p_check.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to check (default: the installed "
+        "repro package)",
+    )
+    p_check.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default text)",
+    )
+    p_check.add_argument(
+        "--json",
+        action="store_true",
+        help="shorthand for --format json",
+    )
+    p_check.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids to run, e.g. RNG001,DET001 "
+        "(default: all)",
+    )
+    p_check.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+    p_check.set_defaults(func=_cmd_check)
     return parser
 
 

@@ -155,7 +155,7 @@ def compare_noise_aware(
         labels,
         epochs=epochs,
         batch_size=batch_size,
-        rng=np.random.default_rng(train_rng_seed),
+        rng=new_rng(train_rng_seed),
     )
     float_accuracy = evaluate_classifier(network_a, *eval_data)
     deployment_a = deploy_network(
@@ -175,7 +175,7 @@ def compare_noise_aware(
         eval_data,
         epochs=epochs,
         batch_size=batch_size,
-        rng=np.random.default_rng(train_rng_seed),
+        rng=new_rng(train_rng_seed),
         deploy_rng=deploy_rng,
         backend=backend,
     )

@@ -46,7 +46,7 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Union
+from typing import Any, ContextManager, Dict, Iterator, List, Optional, Union
 
 Number = Union[int, float]
 
@@ -354,7 +354,7 @@ class ScopedCollector:
     def clear_tree(self, prefix: str) -> None:
         self._base.clear_tree(self._path(prefix))
 
-    def span(self, path: str):
+    def span(self, path: str) -> ContextManager[None]:
         return self._base.span(self._path(path))
 
     def scope(self, prefix: str) -> "ScopedCollector":

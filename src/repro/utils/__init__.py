@@ -1,27 +1,27 @@
 """Shared utilities: RNG management, quantization, im2col, validation,
 component-prefixed logging."""
 
-from repro.utils.logging import configure as configure_logging
-from repro.utils.logging import get_logger
-from repro.utils.rng import new_rng, spawn_rngs
-from repro.utils.quant import (
-    QuantSpec,
-    quantize_uniform,
-    dequantize_uniform,
-    quantize_symmetric,
-    clip_to_range,
-)
 from repro.utils.im2col import (
-    im2col,
     col2im,
     conv_output_size,
+    im2col,
     insert_zeros,
     pad_nchw,
 )
+from repro.utils.logging import configure as configure_logging
+from repro.utils.logging import get_logger
+from repro.utils.quant import (
+    QuantSpec,
+    clip_to_range,
+    dequantize_uniform,
+    quantize_symmetric,
+    quantize_uniform,
+)
+from repro.utils.rng import new_rng, spawn_rngs
 from repro.utils.validation import (
-    check_positive,
-    check_non_negative,
     check_in_range,
+    check_non_negative,
+    check_positive,
     check_shape,
 )
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import logging
 import sys
-from typing import Optional, Union
+from typing import IO, Optional, Union
 
 ROOT_NAME = "repro"
 
@@ -51,7 +51,7 @@ def resolve_level(
 def configure(
     level: Union[int, str, None] = None,
     verbosity: int = 0,
-    stream=None,
+    stream: Optional[IO[str]] = None,
 ) -> logging.Logger:
     """Attach one stream handler to the ``repro`` logger tree.
 

@@ -59,7 +59,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.nn.engine import MatmulEngine
-from repro.telemetry import Collector, TelemetryLike
+from repro.telemetry import SCHEMA_VERSION, Collector, TelemetryLike
 from repro.utils.logging import get_logger
 from repro.utils.rng import RngLike, derive_seed, new_rng
 from repro.utils.validation import check_choice, check_positive
@@ -445,7 +445,7 @@ class CrossbarEngine(MatmulEngine):
             "arrays": self.array_count,
         }
 
-    def fault_report(self) -> dict:
+    def fault_report(self) -> Dict[str, object]:
         """Per-tile stuck-fault census across every programmed plane.
 
         One entry per (sign plane, weight slice) tile with its array
@@ -470,7 +470,7 @@ class CrossbarEngine(MatmulEngine):
             )
             for key in totals:
                 totals[key] += census[key]
-        return {**totals, "tiles": tiles}
+        return {"schema_version": SCHEMA_VERSION, **totals, "tiles": tiles}
 
     def quantized_weights(self) -> np.ndarray:
         """The integer weight matrix the crossbars represent (scaled)."""
