@@ -5,8 +5,9 @@ pipelines, estimators); this module is the curated front door that
 wires them together for the common journeys:
 
 >>> from repro import Simulator
+>>> from repro.api import InferenceJob
 >>> sim = Simulator.from_workload("mnist_cnn", seed=7)
->>> result = sim.run_inference(count=32)
+>>> result = sim.run(InferenceJob(workload="mnist_cnn", seed=7, count=32))
 >>> result.stats["mvm_calls"] > 0
 True
 
@@ -14,11 +15,22 @@ True
   named workload and deploy it onto simulated crossbar engines
   (``backend="vectorized"`` or ``"loop"``, see
   :class:`repro.xbar.engine.CrossbarEngineConfig`);
-* :meth:`Simulator.run_inference` — drive synthetic inputs through the
-  deployed datapath and collect accuracy plus operation counters;
-* :meth:`Simulator.train` — crossbar-in-the-loop training on the
-  matching synthetic dataset;
+* :meth:`Simulator.run` — execute a frozen job spec
+  (:class:`~repro.serve.jobs.InferenceJob` /
+  :class:`~repro.serve.jobs.TrainingJob`) against this instance; the
+  legacy kwarg journeys (:meth:`Simulator.run_inference`,
+  :meth:`Simulator.train`) remain as thin deprecated wrappers;
+* :func:`run_job` — one-shot entry point: build the right simulator
+  for any job spec (including
+  :class:`~repro.serve.jobs.ReliabilityJob`) and execute it;
 * :meth:`Simulator.table1` — the paper's headline Table I rows.
+
+:func:`weights_hash` / :func:`device_config_hash` (re-exported from
+:mod:`repro.xbar.engine`) form the programmed-crossbar cache key: the
+engines skip reprogramming on an unchanged key for in-process calls,
+and :class:`repro.serve.cache.ProgrammedStateCache` reuses whole
+deployed simulators across server jobs on the same
+``(weights_hash, device_config_hash)``.
 
 The module-level report functions (:func:`table1_report`,
 :func:`reliability_report`, :func:`mapping_sweep`,
@@ -29,8 +41,10 @@ routes every subcommand through them.
 
 from __future__ import annotations
 
+import hashlib
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -56,12 +70,23 @@ from repro.nn.models import build_cifar_cnn, build_mlp, build_mnist_cnn
 from repro.nn.network import Sequential
 from repro.nn.optim import SGD
 from repro.nn.train import evaluate_classifier, train_classifier
+from repro.serve.jobs import (
+    InferenceJob,
+    JobSpec,
+    ReliabilityJob,
+    TrainingJob,
+    job_from_dict,
+)
 from repro.telemetry import NULL_COLLECTOR, SCHEMA_VERSION, TelemetryLike
 from repro.utils.logging import get_logger
 from repro.utils.rng import derive_seed, new_rng
-from repro.workloads import FIG4_EXAMPLE, regan_suite
+from repro.workloads import FIG4_EXAMPLE, RUNNABLE_WORKLOADS, regan_suite
 from repro.workloads.suite import NetworkSpec
-from repro.xbar.engine import CrossbarEngineConfig
+from repro.xbar.engine import (
+    CrossbarEngineConfig,
+    device_config_hash,
+    weights_hash,
+)
 
 _log = get_logger("api")
 
@@ -149,7 +174,7 @@ class Simulator:
     two evaluation backends are bit-identical under the same seed.
     """
 
-    WORKLOADS = ("mlp", "mnist_cnn", "cifar_cnn")
+    WORKLOADS = RUNNABLE_WORKLOADS
 
     def __init__(
         self,
@@ -277,59 +302,154 @@ class Simulator:
             return images.reshape(images.shape[0], -1)
         return images
 
-    def make_inputs(self, count: int = 64) -> Tuple[np.ndarray, np.ndarray]:
-        """The deterministic evaluation set of this simulator.
+    def make_inputs(
+        self, count: int = 64, input_seed: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """A deterministic evaluation set of this simulator.
 
-        Returns ``(inputs, labels)`` shaped for :meth:`run_inference`'s
-        forward pass.  Derived from the instance seed with the same
-        salt ``run_inference`` uses, so external evaluation harnesses
-        (e.g. :mod:`repro.reliability`) see exactly the inputs an
-        inference run would.
+        Returns ``(inputs, labels)`` shaped for the inference forward
+        pass.  With ``input_seed=None`` this is the *canonical*
+        evaluation set — derived from the instance seed with the same
+        salt the inference journey uses, so external evaluation
+        harnesses (e.g. :mod:`repro.reliability`) see exactly the
+        inputs an inference run would.  An explicit ``input_seed``
+        draws an independent input stream (labels, jitter, noise) over
+        the same class templates — distinct evaluation data for the
+        same model, used by the serve layer's per-job
+        ``InferenceJob.input_seed``.
 
-        The class *templates* come from the ``"train"`` stream — the
-        same template family :meth:`train` fits — while labels, jitter
-        and noise come from the ``"infer"`` stream.  Inference after
-        training therefore measures generalisation on held-out draws
-        of the trained task, not performance on an unrelated one.
+        The class *templates* always come from the ``"train"`` stream
+        — the same template family :meth:`train` fits — so inference
+        after training measures generalisation on held-out draws of
+        the trained task, not performance on an unrelated one.
         """
         images, labels = make_classification_images(
             count,
             shape=self.dataset,
-            rng=derive_seed(self.seed, "infer"),
+            rng=(
+                derive_seed(self.seed, "infer")
+                if input_seed is None
+                else input_seed
+            ),
             template_rng=derive_seed(self.seed, "train"),
         )
         return self._inputs(images), labels
 
-    def run_inference(
-        self, count: int = 64, batch: int = 32
-    ) -> InferenceResult:
-        """Forward synthetic inputs through the deployed datapath."""
+    # -- the JobSpec entry point ---------------------------------------------
+    def run(
+        self, job: JobSpec
+    ) -> Union[InferenceResult, TrainResult]:
+        """Execute a frozen job spec against this deployed instance.
+
+        The spec must describe *this* simulator: ``job.workload`` and
+        ``job.seed`` have to match (the spec is the determinism
+        contract — silently running a mismatched spec would detach the
+        result from its description).  Accepts
+        :class:`~repro.serve.jobs.InferenceJob` and
+        :class:`~repro.serve.jobs.TrainingJob`;
+        :class:`~repro.serve.jobs.ReliabilityJob` builds its own
+        simulators — route it through :func:`run_job`.
+        """
+        if not isinstance(job, (InferenceJob, TrainingJob)):
+            raise TypeError(
+                f"Simulator.run() takes an InferenceJob or TrainingJob, "
+                f"got {type(job).__name__}; use repro.api.run_job() for "
+                "other job kinds"
+            )
+        if job.workload != self.name or job.seed != self.seed:
+            raise ValueError(
+                f"job spec ({job.workload!r}, seed={job.seed}) does not "
+                f"describe this simulator ({self.name!r}, "
+                f"seed={self.seed})"
+            )
+        if isinstance(job, InferenceJob):
+            return self._run_inference_job(job)
+        return self._run_training_job(job)
+
+    def _run_inference_job(self, job: InferenceJob) -> InferenceResult:
         tel = self.collector if self.collector is not None else NULL_COLLECTOR
         _log.info(
             "inference on %s: %d inputs in batches of %d",
             self.name,
-            count,
-            batch,
+            job.count,
+            job.batch,
         )
-        inputs, labels = self.make_inputs(count)
+        inputs, labels = self.make_inputs(
+            job.count, input_seed=job.input_seed
+        )
         outputs = []
         with tel.span("inference"):
-            for start in range(0, count, batch):
+            for start in range(0, job.count, job.batch):
                 outputs.append(
                     self.network.forward(
-                        inputs[start : start + batch], training=False
+                        inputs[start : start + job.batch], training=False
                     )
                 )
         tel.count("inference.runs", 1)
-        tel.count("inference.inputs", count)
+        tel.count("inference.inputs", job.count)
         logits = np.concatenate(outputs, axis=0)
         accuracy = float(np.mean(np.argmax(logits, axis=1) == labels))
         return InferenceResult(
             accuracy=accuracy,
-            count=count,
+            count=job.count,
             outputs=logits,
             stats=self.stats(),
             engine_info=self.engine_info(),
+        )
+
+    def _run_training_job(self, job: TrainingJob) -> TrainResult:
+        tel = self.collector if self.collector is not None else NULL_COLLECTOR
+        _log.info(
+            "training %s: %d epochs over %d samples (batch=%d, lr=%g)",
+            self.name,
+            job.epochs,
+            job.train_count,
+            job.batch,
+            job.learning_rate,
+        )
+        images, labels, test_images, test_labels = make_train_test(
+            job.train_count,
+            job.test_count,
+            shape=self.dataset,
+            rng=derive_seed(self.seed, "train"),
+        )
+        with tel.span("train"):
+            history = train_classifier(
+                self.network,
+                SGD(self.network.parameters(), lr=job.learning_rate),
+                self._inputs(images),
+                labels,
+                epochs=job.epochs,
+                batch_size=job.batch,
+                rng=new_rng(derive_seed(self.seed, "shuffle")),
+                collector=tel.scope("train") if tel else None,
+            )
+            accuracy = evaluate_classifier(
+                self.network, self._inputs(test_images), test_labels
+            )
+        return TrainResult(
+            final_accuracy=accuracy,
+            epochs=job.epochs,
+            batch_losses=list(history.batch_losses),
+            stats=self.stats(),
+            engine_info=self.engine_info(),
+        )
+
+    # -- deprecated kwarg wrappers -------------------------------------------
+    def run_inference(
+        self, count: int = 64, batch: int = 32
+    ) -> InferenceResult:
+        """Deprecated wrapper; use :meth:`run` with an ``InferenceJob``."""
+        warnings.warn(
+            "Simulator.run_inference(count=, batch=) is deprecated; "
+            "build an repro.api.InferenceJob and call Simulator.run(job)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.run(
+            InferenceJob(
+                workload=self.name, seed=self.seed, count=count, batch=batch
+            )
         )
 
     def train(
@@ -340,49 +460,51 @@ class Simulator:
         test_count: int = 64,
         learning_rate: float = 0.05,
     ) -> TrainResult:
-        """Crossbar-in-the-loop training on the matching synthetic set.
-
-        The deployed engines stay in the forward path, so every batch
-        re-programs the arrays (fresh programming noise, like real
-        cells) and the final accuracy is measured on the same hardware
-        the network trained on.
-        """
-        tel = self.collector if self.collector is not None else NULL_COLLECTOR
-        _log.info(
-            "training %s: %d epochs over %d samples (batch=%d, lr=%g)",
-            self.name,
-            epochs,
-            train_count,
-            batch,
-            learning_rate,
+        """Deprecated wrapper; use :meth:`run` with a ``TrainingJob``."""
+        warnings.warn(
+            "Simulator.train(epochs=, batch=, ...) is deprecated; "
+            "build an repro.api.TrainingJob and call Simulator.run(job)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        images, labels, test_images, test_labels = make_train_test(
-            train_count,
-            test_count,
-            shape=self.dataset,
-            rng=derive_seed(self.seed, "train"),
-        )
-        with tel.span("train"):
-            history = train_classifier(
-                self.network,
-                SGD(self.network.parameters(), lr=learning_rate),
-                self._inputs(images),
-                labels,
+        return self.run(
+            TrainingJob(
+                workload=self.name,
+                seed=self.seed,
                 epochs=epochs,
-                batch_size=batch,
-                rng=new_rng(derive_seed(self.seed, "shuffle")),
-                collector=tel.scope("train") if tel else None,
+                batch=batch,
+                train_count=train_count,
+                test_count=test_count,
+                learning_rate=learning_rate,
             )
-            accuracy = evaluate_classifier(
-                self.network, self._inputs(test_images), test_labels
-            )
-        return TrainResult(
-            final_accuracy=accuracy,
-            epochs=epochs,
-            batch_losses=list(history.batch_losses),
-            stats=self.stats(),
-            engine_info=self.engine_info(),
         )
+
+    def cache_key(
+        self, engine_config: Optional[CrossbarEngineConfig] = None
+    ) -> Tuple[str, str]:
+        """``(weights_hash, device_config_hash)`` of this simulator.
+
+        The programmed-crossbar state identity: combines the content
+        hashes of every trainable parameter with the hash of the
+        engine pipeline config (the deployed one when available, else
+        ``engine_config`` or the default).  Weights derive
+        deterministically from ``(workload, seed)``, so equal keys
+        mean the crossbars would be programmed identically —
+        :class:`repro.serve.cache.ProgrammedStateCache` shares one
+        deployment across all such jobs, and the engines themselves
+        skip in-process reprogramming on an unchanged weights hash.
+        """
+        if engine_config is None:
+            if self.deployment is not None and self.deployment.engines:
+                engine_config = next(
+                    iter(self.deployment.engines.values())
+                ).config
+            else:
+                engine_config = CrossbarEngineConfig()
+        digest = hashlib.sha256()
+        for parameter in self.network.parameters():
+            digest.update(weights_hash(parameter.value).encode())
+        return digest.hexdigest(), device_config_hash(engine_config)
 
     @staticmethod
     def table1(batch: int = 32) -> Dict[str, TableOneRow]:
@@ -391,6 +513,51 @@ class Simulator:
             "pipelayer": pipelayer_table1(batch=batch),
             "regan": regan_table1(batch=batch),
         }
+
+
+def run_job(
+    job: JobSpec,
+    engine_config: Optional[CrossbarEngineConfig] = None,
+    collector: Optional[TelemetryLike] = None,
+    simulator: Optional[Simulator] = None,
+) -> Union[InferenceResult, TrainResult, Dict[str, Any]]:
+    """Build the right simulator for ``job`` and execute it.
+
+    The one-shot counterpart of :meth:`Simulator.run`: inference and
+    training jobs deploy a fresh :class:`Simulator` (or run against
+    ``simulator`` when given — e.g. one leased from the serve layer's
+    programmed-state cache); reliability jobs route to
+    :func:`reliability_report`, which builds its own golden/faulty
+    simulator pairs and returns the campaign document.
+    """
+    if isinstance(job, ReliabilityJob):
+        return reliability_report(
+            workload=job.workload,
+            axis=job.axis,
+            rates=job.rates,
+            seed=job.seed,
+            count=job.count,
+            batch=job.batch,
+            backend=job.backend or "vectorized",
+            train_epochs=job.train_epochs,
+            train_count=job.train_count,
+            include_tiles=job.include_tiles,
+            collector=collector,
+        )
+    if not isinstance(job, (InferenceJob, TrainingJob)):
+        raise TypeError(
+            f"run_job() takes a JobSpec, got {type(job).__name__}"
+        )
+    sim = simulator
+    if sim is None:
+        sim = Simulator.from_workload(
+            job.workload,
+            engine_config=engine_config,
+            backend=job.backend,
+            seed=job.seed,
+            collector=collector,
+        )
+    return sim.run(job)
 
 
 # -- JSON-able report functions (the CLI's data layer) ----------------------
@@ -541,6 +708,14 @@ __all__ = [
     "Simulator",
     "InferenceResult",
     "TrainResult",
+    "JobSpec",
+    "InferenceJob",
+    "TrainingJob",
+    "ReliabilityJob",
+    "job_from_dict",
+    "run_job",
+    "weights_hash",
+    "device_config_hash",
     "table1_report",
     "reliability_report",
     "mapping_sweep",

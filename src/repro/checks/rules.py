@@ -381,11 +381,11 @@ class TelemetryPathRule(Rule):
 
 @register
 class DeprecatedCoreImportRule(Rule):
-    """No internal imports of the ``repro.core`` deprecation shims.
+    """No internal imports of the retired ``repro.core`` flat names.
 
-    The shim table (``_DEPRECATED`` in ``repro/core/__init__.py``) is
-    parsed from the checked tree itself, so retiring or adding a shim
-    needs no checker change.
+    The name table (``_RETIRED`` — historically ``_DEPRECATED`` — in
+    ``repro/core/__init__.py``) is parsed from the checked tree
+    itself, so retiring or adding a name needs no checker change.
     """
 
     id = "API001"
@@ -419,7 +419,7 @@ class DeprecatedCoreImportRule(Rule):
                 isinstance(node, ast.Assign)
                 and len(node.targets) == 1
                 and isinstance(node.targets[0], ast.Name)
-                and node.targets[0].id == "_DEPRECATED"
+                and node.targets[0].id in ("_RETIRED", "_DEPRECATED")
                 and isinstance(node.value, ast.Dict)
             ):
                 return {

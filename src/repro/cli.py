@@ -12,6 +12,8 @@ Usage::
     repro infer mnist_cnn --backend vectorized
     repro train mlp --epochs 2
     repro reliability mlp --axis stuck --backend both
+    repro serve --port 8077             # multi-tenant job server
+    repro serve --smoke 20 --json       # CI smoke: mixed jobs, twice
     repro check --format json          # determinism/contract linter
 
 (``python -m repro.cli ...`` works identically when the console script
@@ -66,9 +68,9 @@ from repro.workloads import (
 )
 
 #: Subcommands that may not be wrapped by profile/report (they are
-#: wrappers, whole-suite drivers, or — like the linter — not
-#: simulations at all).
-_UNWRAPPABLE = ("profile", "report", "bench", "check")
+#: wrappers, whole-suite drivers, long-lived servers, or — like the
+#: linter — not simulations at all).
+_UNWRAPPABLE = ("profile", "report", "bench", "check", "serve")
 
 _WORKLOADS = {
     "mnist": mnist_cnn_spec,
@@ -287,7 +289,14 @@ def _cmd_infer(args: argparse.Namespace) -> int:
         seed=args.seed,
         collector=getattr(args, "collector", None),
     )
-    result = sim.run_inference(count=args.count, batch=args.batch)
+    job = api.InferenceJob(
+        workload=args.workload,
+        seed=args.seed,
+        backend=args.backend,
+        count=args.count,
+        batch=args.batch,
+    )
+    result = sim.run(job)
     return _emit(args, result.to_dict(), result.summary())
 
 
@@ -298,13 +307,145 @@ def _cmd_train(args: argparse.Namespace) -> int:
         seed=args.seed,
         collector=getattr(args, "collector", None),
     )
-    result = sim.train(
+    job = api.TrainingJob(
+        workload=args.workload,
+        seed=args.seed,
+        backend=args.backend,
         epochs=args.epochs,
         batch=args.batch,
         train_count=args.train_count,
         test_count=args.test_count,
     )
+    result = sim.run(job)
     return _emit(args, result.to_dict(), result.summary())
+
+
+def _smoke_jobs(count: int, seed: int) -> List["api.JobSpec"]:
+    """A deterministic mixed-kind, multi-tenant job list for smokes.
+
+    Mostly small inference jobs spread over three tenants and two
+    model seeds (so coalescing and the programmed-state cache both
+    engage), salted with a training job and a reliability campaign for
+    kind coverage.
+    """
+    jobs: List[api.JobSpec] = []
+    for index in range(count):
+        tenant = f"tenant{index % 3}"
+        slot = index % 8
+        if slot == 5:
+            jobs.append(
+                api.TrainingJob(
+                    workload="mlp",
+                    seed=seed + 10,
+                    epochs=1,
+                    batch=16,
+                    train_count=64,
+                    test_count=32,
+                    tenant=tenant,
+                )
+            )
+        elif slot == 7:
+            jobs.append(
+                api.ReliabilityJob(
+                    workload="mlp",
+                    seed=seed,
+                    axis="stuck",
+                    rates=(0.02,),
+                    count=16,
+                    batch=16,
+                    train_epochs=0,
+                    include_tiles=False,
+                    tenant=tenant,
+                )
+            )
+        else:
+            jobs.append(
+                api.InferenceJob(
+                    workload="mlp",
+                    seed=seed + (index % 2),
+                    count=16,
+                    batch=8,
+                    input_seed=None if index % 3 == 0 else 100 + slot,
+                    tenant=tenant,
+                )
+            )
+    return jobs
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the multi-tenant job server (or its self-checking smoke)."""
+    from repro.serve.client import ServeClient
+    from repro.serve.server import (
+        ServerConfig,
+        running_server,
+        validate_job_report,
+    )
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_coalesce=args.max_coalesce,
+    )
+    if args.smoke is None:
+        with running_server(config) as (_, (host, port)):
+            print(
+                f"repro serve listening on http://{host}:{port} "
+                "(POST /v1/jobs; Ctrl-C to stop)"
+            )
+            try:
+                while True:
+                    time.sleep(3600)
+            except KeyboardInterrupt:
+                pass
+        return 0
+
+    if args.smoke < 1:
+        print("serve: --smoke needs at least 1 job", file=sys.stderr)
+        return 2
+    jobs = _smoke_jobs(args.smoke, args.seed)
+    collector = Collector()
+    with running_server(config, collector=collector) as (_, (host, port)):
+        client = ServeClient(host, port)
+        if not client.health():
+            print("serve: health probe failed", file=sys.stderr)
+            return 1
+        # Same mix twice: the second pass must hit the warm cache and
+        # reproduce every result payload byte-for-byte.
+        reports = [client.run_many(jobs), client.run_many(jobs)]
+        stats = client.stats()
+    for report in reports[0] + reports[1]:
+        validate_job_report(report)
+    failed = sum(
+        1
+        for report in reports[0] + reports[1]
+        if report["status"] != "done"
+    )
+    deterministic = [r["result"] for r in reports[0]] == [
+        r["result"] for r in reports[1]
+    ]
+    cache_hits = int(stats["counters"].get("serve/cache/hits", 0))
+    coalesced = int(stats["counters"].get("serve/coalesced.jobs", 0))
+    ok = deterministic and cache_hits > 0 and failed == 0
+    document = {
+        "schema_version": SCHEMA_VERSION,
+        "jobs": len(jobs),
+        "runs": 2,
+        "failed": failed,
+        "deterministic": deterministic,
+        "cache_hits": cache_hits,
+        "cache": stats["cache"],
+        "coalesced_jobs": coalesced,
+        "ok": ok,
+    }
+    text = (
+        f"serve smoke: {len(jobs)} jobs x 2 runs on {host}:{port} — "
+        f"{failed} failed, deterministic={deterministic}, "
+        f"cache hits={cache_hits}, coalesced jobs={coalesced} -> "
+        f"{'OK' if ok else 'FAIL'}"
+    )
+    _emit(args, document, text)
+    return 0 if ok else 1
 
 
 def _profile_summary(document: dict) -> str:
@@ -707,6 +848,51 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--train-count", type=int, default=256)
     p_train.add_argument("--test-count", type=int, default=64)
     p_train.set_defaults(func=_cmd_train)
+
+    p_serve = sub.add_parser(
+        "serve",
+        parents=[shared],
+        help="async multi-tenant job server over the simulator",
+        description="Serve simulation-as-a-service: accept "
+        "schema-versioned JSON job specs (inference/training/"
+        "reliability) from concurrent tenants on a tiny HTTP API, "
+        "coalesce compatible inference requests into single batched "
+        "crossbar evaluations (bit-identical to running them alone), "
+        "and cache programmed-crossbar state by (weights_hash, "
+        "device_config_hash) so repeat tenants skip reprogramming.  "
+        "--smoke N runs an in-process server+client self-check: the "
+        "same N-job mix twice, asserting every report validates, "
+        "results are deterministic, and the cache was hit.",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default 0 = ephemeral, printed at startup)",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="worker threads executing jobs (default 4)",
+    )
+    p_serve.add_argument(
+        "--max-coalesce",
+        type=int,
+        default=8,
+        help="max inference jobs per coalesced batch (default 8)",
+    )
+    p_serve.add_argument(
+        "--smoke",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the N-job self-check instead of serving forever",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_profile = sub.add_parser(
         "profile",

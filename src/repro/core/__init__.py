@@ -10,15 +10,14 @@ accelerator models, the Table I estimator, the network compiler, and
 crossbar-in-the-loop training.  Lower-level building blocks (mapping
 arithmetic, pipeline cycle formulas, schedule simulators, trace
 rendering, ...) live in their defining submodules — import them from
-there (``repro.core.mapping``, ``repro.core.pipeline``, ...).  The old
-flat names still resolve through a module ``__getattr__`` shim that
-raises a :class:`DeprecationWarning` naming the new home.
+there (``repro.core.mapping``, ``repro.core.pipeline``, ...).  The
+old flat names went through a ``DeprecationWarning`` shim for one
+release and are now retired: accessing one raises
+:class:`AttributeError` naming the defining submodule to import from.
 """
 
 from __future__ import annotations
 
-import importlib
-import warnings
 from typing import Any
 
 from repro.core.compiler import Deployment, deploy_network, spec_from_network
@@ -70,9 +69,10 @@ __all__ = [
 ]
 
 #: Former ``repro.core`` flat exports -> their defining submodule.
-#: Resolved lazily with a DeprecationWarning; new code should import
-#: from the submodule directly.
-_DEPRECATED = {
+#: Retired: these no longer resolve; the table only powers the
+#: pointer in the AttributeError (and the API001 linter rule, which
+#: parses it to ban such imports in-package).
+_RETIRED = {
     # allocation
     "AllocationResult": "repro.core.allocation",
     "BankConfig": "repro.core.allocation",
@@ -141,19 +141,16 @@ _DEPRECATED = {
 
 
 def __getattr__(name: str) -> Any:
-    module_path = _DEPRECATED.get(name)
+    module_path = _RETIRED.get(name)
     if module_path is None:
         raise AttributeError(
             f"module {__name__!r} has no attribute {name!r}"
         )
-    warnings.warn(
-        f"importing {name!r} from 'repro.core' is deprecated; import it "
-        f"from {module_path!r} instead",
-        DeprecationWarning,
-        stacklevel=2,
+    raise AttributeError(
+        f"the flat 'repro.core' export {name!r} has been retired; "
+        f"import it from {module_path!r} instead"
     )
-    return getattr(importlib.import_module(module_path), name)
 
 
 def __dir__() -> list:
-    return sorted(set(__all__) | set(_DEPRECATED))
+    return sorted(__all__)

@@ -217,6 +217,7 @@ def run_campaign(
         per-scenario timing spans.
     """
     from repro.api import Simulator
+    from repro.serve.jobs import TrainingJob
 
     check_choice("backend", backend, BACKENDS)
     check_positive("count", count)
@@ -231,8 +232,14 @@ def run_campaign(
             workload, seed=seed, deploy=False, collector=tel.scope("reference")
         )
         if train_epochs > 0:
-            reference.train(
-                epochs=train_epochs, batch=batch, train_count=train_count
+            reference.run(
+                TrainingJob(
+                    workload=workload,
+                    seed=seed,
+                    epochs=train_epochs,
+                    batch=batch,
+                    train_count=train_count,
+                )
             )
         inputs, labels = reference.make_inputs(count)
         baseline_logits = np.concatenate(

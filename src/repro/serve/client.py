@@ -1,0 +1,120 @@
+"""Blocking HTTP client for :class:`repro.serve.server.JobServer`.
+
+A thin stdlib (:mod:`http.client`) wrapper used by the tests, the CI
+smoke run, and any tenant that wants the server's batching/caching
+without speaking raw HTTP.  One :class:`ServeClient` is one tenant's
+connection factory — it opens a fresh connection per request (the
+server closes connections after each response), so a single client
+instance may be shared across threads that each submit their own
+jobs.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.serve.jobs import JobSpec, job_from_dict  # noqa: F401
+
+
+class ServeError(RuntimeError):
+    """A non-2xx answer from the job server."""
+
+    def __init__(self, status: int, document: Dict[str, Any]) -> None:
+        super().__init__(
+            f"server answered {status}: "
+            f"{document.get('error', document)}"
+        )
+        self.status = status
+        self.document = document
+
+
+class ServeClient:
+    """Submit job specs and collect reports, synchronously."""
+
+    def __init__(
+        self, host: str, port: int, timeout: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- raw request ---------------------------------------------------------
+    def request(
+        self,
+        method: str,
+        path: str,
+        document: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        """One round trip; returns ``(status, parsed JSON body)``."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = (
+                json.dumps(document).encode()
+                if document is not None
+                else None
+            )
+            headers = {"Content-Type": "application/json"} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            payload = response.read()
+            return response.status, json.loads(payload.decode() or "null")
+        finally:
+            connection.close()
+
+    def _expect(
+        self,
+        method: str,
+        path: str,
+        document: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        status, answer = self.request(method, path, document)
+        if status >= 400:
+            raise ServeError(status, answer)
+        return answer
+
+    # -- job API -------------------------------------------------------------
+    def submit(self, job: Union[JobSpec, Dict[str, Any]]) -> str:
+        """POST one job spec (or its wire dict); returns the job id."""
+        document = job.to_dict() if isinstance(job, JobSpec) else job
+        answer = self._expect("POST", "/v1/jobs", document)
+        return answer["job_id"]
+
+    def report(self, job_id: str, wait: bool = True) -> Dict[str, Any]:
+        """The job's report (blocking until done when ``wait``)."""
+        suffix = "?wait=1" if wait else ""
+        return self._expect("GET", f"/v1/jobs/{job_id}{suffix}")
+
+    def run(self, job: Union[JobSpec, Dict[str, Any]]) -> Dict[str, Any]:
+        """Submit one job and block for its report."""
+        return self.report(self.submit(job), wait=True)
+
+    def run_many(
+        self, jobs: Sequence[Union[JobSpec, Dict[str, Any]]]
+    ) -> List[Dict[str, Any]]:
+        """Submit every job first, then collect reports in order.
+
+        Submitting the whole batch before waiting lets the server's
+        dispatcher see the jobs together and coalesce them.
+        """
+        job_ids = [self.submit(job) for job in jobs]
+        return [self.report(job_id, wait=True) for job_id in job_ids]
+
+    # -- introspection -------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """The server's ``/v1/stats`` document."""
+        return self._expect("GET", "/v1/stats")
+
+    def health(self) -> bool:
+        """Whether the server answers its liveness probe."""
+        try:
+            answer = self._expect("GET", "/v1/healthz")
+        except (OSError, ServeError):
+            return False
+        return bool(answer.get("ok"))
+
+
+__all__ = ["ServeClient", "ServeError"]

@@ -1,0 +1,656 @@
+"""The asyncio job server: simulation-as-a-service over HTTP.
+
+One long-lived :class:`JobServer` owns the accelerator simulation and
+serves many tenants.  Requests arrive as schema-versioned JSON job
+specs (:mod:`repro.serve.jobs`) on a tiny stdlib HTTP surface:
+
+========  =======================  =====================================
+method    path                     meaning
+========  =======================  =====================================
+POST      ``/v1/jobs``             submit a job spec -> ``job_id``
+GET       ``/v1/jobs/<id>``        poll; add ``?wait=1`` to block
+GET       ``/v1/stats``            server/cache/telemetry counters
+GET       ``/v1/healthz``          liveness probe
+========  =======================  =====================================
+
+Execution pipeline (all policy lives in :mod:`repro.serve.scheduler`):
+submissions queue on the event loop; the dispatcher drains the queue,
+asks :func:`~repro.serve.scheduler.coalesce_plan` for an exact
+partition into coalesced inference groups and singles, and runs each
+unit on a bounded thread pool.  Groups and inference singles lease
+programmed state from the :class:`~repro.serve.cache.\
+ProgrammedStateCache`; training and reliability jobs always get fresh
+simulators (they mutate or own their state).  Numpy releases the GIL
+inside the matmuls, so distinct models genuinely overlap; jobs
+sharing a cached model serialize on its entry lock.
+
+Threading discipline (the :class:`~repro.telemetry.Collector` is not
+thread-safe): the shared collector is only written from the event
+loop — workers record into throwaway per-unit collectors that the
+loop merges after the fact — except the cache's own counters, which
+are serialized by the cache lock and touch no loop-written paths.
+
+Determinism: a job's numerical result is a function of its spec alone
+(coalescing is bit-exact by construction — see
+:mod:`repro.serve.batcher`), so rerunning any mix of specs reproduces
+every ``result`` payload byte-for-byte; only scheduling artifacts
+(the ``coalesced`` flag under live traffic) may differ.
+:meth:`JobServer.run_all` drains a whole spec list through one plan,
+which pins the schedule itself — the CI smoke and the
+``serve_throughput`` benchmark use it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.serve.batcher import batch_invariant, run_coalesced
+from repro.serve.cache import ProgrammedStateCache
+from repro.serve.jobs import (
+    JOB_KINDS,
+    InferenceJob,
+    JobSpec,
+    ReliabilityJob,
+    TrainingJob,
+    job_from_dict,
+)
+from repro.serve.scheduler import DEFAULT_MAX_COALESCE, coalesce_plan
+from repro.telemetry import SCHEMA_VERSION, Collector, TelemetryLike
+from repro.xbar.engine import CrossbarEngineConfig, weights_hash
+from repro.utils.logging import get_logger
+
+_log = get_logger("serve")
+
+#: Statuses a job record moves through (monotonically, left to right).
+JOB_STATUSES = ("pending", "running", "done", "error")
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+}
+
+
+def _default_engine_config() -> CrossbarEngineConfig:
+    # activation_range pinned -> batch-invariant pipeline (see
+    # repro.serve.batcher): coalescing and programmed-state reuse stay
+    # bit-exact.  8.0 comfortably covers the synthetic workloads'
+    # post-ReLU activations.
+    return CrossbarEngineConfig(activation_range=8.0)
+
+
+@dataclass
+class ServerConfig:
+    """Tunables of one :class:`JobServer` instance.
+
+    ``engine_config`` is the pipeline every job runs under (jobs may
+    still pin a ``backend``); the default pins ``activation_range`` so
+    the config is batch-invariant and both coalescing and
+    programmed-state reuse apply.  A non-invariant config (stochastic
+    reads, observed-batch quantization) degrades gracefully: every job
+    runs alone on a fresh simulator, trading throughput, never
+    correctness.  ``coalesce_window`` is how long (seconds) the
+    dispatcher lingers after the first queued job to let concurrent
+    clients land in the same plan; ``0`` dispatches immediately.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 4
+    max_coalesce: int = DEFAULT_MAX_COALESCE
+    default_backend: str = "vectorized"
+    coalesce_window: float = 0.01
+    engine_config: CrossbarEngineConfig = field(
+        default_factory=_default_engine_config
+    )
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.max_coalesce < 1:
+            raise ValueError(
+                f"max_coalesce must be >= 1, got {self.max_coalesce}"
+            )
+        if self.coalesce_window < 0:
+            raise ValueError(
+                f"coalesce_window must be >= 0, got {self.coalesce_window}"
+            )
+
+
+def job_report(
+    job: JobSpec,
+    job_id: str,
+    status: str,
+    result: Optional[Dict[str, Any]] = None,
+    coalesced: bool = False,
+    error: Optional[str] = None,
+) -> Dict[str, Any]:
+    """The schema-versioned document a tenant gets back for one job.
+
+    ``result`` carries only deterministic, spec-derived values (no
+    wall-clock, no cumulative engine counters shared with other
+    tenants); inference results include an ``outputs_sha256`` content
+    digest so bit-identity can be asserted without shipping logits.
+    """
+    document: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "kind": job.kind,
+        "job_id": job_id,
+        "tenant": job.tenant,
+        "status": status,
+        "coalesced": bool(coalesced),
+        "spec": job.to_dict(),
+        "result": result,
+    }
+    if error is not None:
+        document["error"] = error
+    return document
+
+
+#: Per-kind keys every ``done`` result payload must carry.
+_RESULT_KEYS = {
+    "inference": ("accuracy", "count", "outputs_sha256"),
+    "training": ("final_accuracy", "epochs", "final_loss"),
+    "reliability": ("schema_version", "workload", "axis"),
+}
+
+
+def validate_job_report(document: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate a :func:`job_report` document; returns it on success."""
+    if not isinstance(document, dict):
+        raise ValueError(
+            f"job report must be a dict, got {type(document).__name__}"
+        )
+    version = document.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"job report schema_version {version!r} != "
+            f"supported {SCHEMA_VERSION}"
+        )
+    kind = document.get("kind")
+    if kind not in JOB_KINDS:
+        raise ValueError(f"job report kind {kind!r} unknown")
+    for key in ("job_id", "tenant", "status", "coalesced", "spec"):
+        if key not in document:
+            raise ValueError(f"job report missing key {key!r}")
+    status = document["status"]
+    if status not in JOB_STATUSES:
+        raise ValueError(f"job report status {status!r} unknown")
+    spec = job_from_dict(document["spec"])
+    if spec.kind != kind:
+        raise ValueError(
+            f"job report kind {kind!r} != spec kind {spec.kind!r}"
+        )
+    if status == "done":
+        result = document.get("result")
+        if not isinstance(result, dict):
+            raise ValueError("done job report must carry a result dict")
+        missing = [k for k in _RESULT_KEYS[kind] if k not in result]
+        if missing:
+            raise ValueError(
+                f"{kind} result missing key(s): {', '.join(missing)}"
+            )
+    elif status == "error" and "error" not in document:
+        raise ValueError("error job report must carry an 'error' message")
+    return document
+
+
+def _result_payload(job: JobSpec, result: Any) -> Dict[str, Any]:
+    """Deterministic JSON-able view of one job's outcome."""
+    if isinstance(job, InferenceJob):
+        return {
+            "accuracy": result.accuracy,
+            "count": result.count,
+            "outputs_sha256": weights_hash(result.outputs),
+        }
+    if isinstance(job, TrainingJob):
+        losses = result.batch_losses
+        return {
+            "final_accuracy": result.final_accuracy,
+            "epochs": result.epochs,
+            "final_loss": losses[-1] if losses else None,
+        }
+    return dict(result)  # reliability: the campaign document itself
+
+
+@dataclass
+class _JobRecord:
+    """Loop-side state of one submitted job."""
+
+    job_id: str
+    spec: JobSpec
+    status: str = "pending"
+    report: Optional[Dict[str, Any]] = None
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+
+
+class JobServer:
+    """Async multi-tenant front end over :class:`repro.api.Simulator`.
+
+    Use :meth:`start` / :meth:`stop` inside a running event loop, or
+    :func:`running_server` for the blocking-world tests and CLI.
+    All public coroutine methods must be called on the server's loop.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServerConfig] = None,
+        collector: Optional[TelemetryLike] = None,
+    ) -> None:
+        self.config = config or ServerConfig()
+        self.collector: TelemetryLike = (
+            collector if collector is not None else Collector()
+        )
+        self._serve_scope = self.collector.scope("serve")
+        self._reusable = batch_invariant(self.config.engine_config)
+        self._cache = ProgrammedStateCache(
+            engine_config=self.config.engine_config,
+            collector=self._serve_scope,
+        )
+        self._records: Dict[str, _JobRecord] = {}
+        self._queue: "asyncio.Queue[Optional[_JobRecord]]" = asyncio.Queue()
+        self._inflight: set = set()
+        self._next_id = 0
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+
+    # -- lifecycle -----------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the socket, start the worker pool and dispatcher."""
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-serve",
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
+        host, port = self.address
+        _log.info(
+            "serving on %s:%d (%d workers, max_coalesce=%d, "
+            "batch_invariant=%s)",
+            host,
+            port,
+            self.config.workers,
+            self.config.max_coalesce,
+            self._reusable,
+        )
+
+    async def stop(self) -> None:
+        """Drain in-flight work and release every resource."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._dispatcher is not None:
+            await self._queue.put(None)
+            await self._dispatcher
+            self._dispatcher = None
+        if self._inflight:
+            await asyncio.gather(*self._inflight, return_exceptions=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The actually-bound ``(host, port)`` (port 0 resolves here)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not running")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    # -- submission ----------------------------------------------------------
+    def _register(self, spec: JobSpec) -> _JobRecord:
+        self._next_id += 1
+        record = _JobRecord(job_id=f"job-{self._next_id:05d}", spec=spec)
+        self._records[record.job_id] = record
+        scope = self.collector.scope(f"serve/tenant[{spec.tenant}]")
+        scope.count("submitted", 1)
+        return record
+
+    async def submit(self, spec: JobSpec) -> str:
+        """Queue a job for the dispatcher; returns its ``job_id``."""
+        record = self._register(spec)
+        await self._queue.put(record)
+        return record.job_id
+
+    async def wait(self, job_id: str) -> Dict[str, Any]:
+        """Block until ``job_id`` finishes; returns its report."""
+        record = self._records[job_id]
+        await record.done.wait()
+        assert record.report is not None
+        return record.report
+
+    async def run_all(
+        self, specs: Sequence[JobSpec]
+    ) -> List[Dict[str, Any]]:
+        """Drain mode: plan the whole spec list at once, run it, return
+        reports in submission order.
+
+        Bypasses the live queue so the coalescing plan — and therefore
+        the exact batched evaluations and cache-counter tallies — is a
+        deterministic function of ``specs`` alone, independent of
+        request timing.  Used by the determinism tests, the CI smoke,
+        and the throughput benchmark.
+        """
+        records = [self._register(spec) for spec in specs]
+        await self._execute_plan(records)
+        return [record.report for record in records if record.report]
+
+    # -- dispatch ------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        stopping = False
+        while not stopping:
+            record = await self._queue.get()
+            if record is None:
+                break
+            batch = [record]
+            if self.config.coalesce_window > 0:
+                await asyncio.sleep(self.config.coalesce_window)
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if item is None:
+                    stopping = True
+                    break
+                batch.append(item)
+            task = asyncio.ensure_future(self._execute_plan(batch))
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
+
+    async def _execute_plan(self, records: List[_JobRecord]) -> None:
+        plan = coalesce_plan(
+            [record.spec for record in records],
+            self.config.engine_config,
+            max_coalesce=self.config.max_coalesce,
+            default_backend=self.config.default_backend,
+        )
+        for record in records:
+            record.status = "running"
+        tasks = [
+            self._execute_group([records[i] for i in group])
+            for group in plan.groups
+        ]
+        tasks.extend(
+            self._execute_single(records[i]) for i in plan.singles
+        )
+        await asyncio.gather(*tasks)
+
+    # -- execution units -----------------------------------------------------
+    async def _execute_group(self, records: List[_JobRecord]) -> None:
+        loop = asyncio.get_event_loop()
+        local = Collector(record_spans=False)
+        specs = [record.spec for record in records]
+
+        def work() -> list:
+            entry = self._cache.lease(specs[0])
+            with entry.lock:
+                return run_coalesced(
+                    entry.simulator, specs, collector=local
+                )
+
+        try:
+            results = await loop.run_in_executor(self._pool, work)
+        except Exception as exc:  # noqa: BLE001 - job isolation boundary
+            self._fail(records, exc)
+            return
+        self._merge(self._serve_scope, local)
+        for record, result in zip(records, results):
+            self._finish(record, result, coalesced=True)
+
+    async def _execute_single(self, record: _JobRecord) -> None:
+        loop = asyncio.get_event_loop()
+        local = Collector(record_spans=False)
+        spec = record.spec
+
+        def work() -> Any:
+            from repro.api import run_job
+
+            if isinstance(spec, InferenceJob) and self._reusable:
+                entry = self._cache.lease(spec)
+                with entry.lock:
+                    return entry.simulator.run(spec)
+            engine_config = self._cache.resolved_config(spec.backend)
+            if isinstance(spec, ReliabilityJob):
+                return run_job(spec, collector=local)
+            return run_job(
+                spec, engine_config=engine_config, collector=local
+            )
+
+        try:
+            result = await loop.run_in_executor(self._pool, work)
+        except Exception as exc:  # noqa: BLE001 - job isolation boundary
+            self._fail([record], exc)
+            return
+        tenant_scope = self.collector.scope(
+            f"serve/tenant[{spec.tenant}]"
+        )
+        self._merge(tenant_scope, local)
+        self._finish(record, result, coalesced=False)
+
+    # -- completion (event-loop thread only) ---------------------------------
+    @staticmethod
+    def _merge(target: TelemetryLike, local: Collector) -> None:
+        for path, value in local.counters().items():
+            target.count(path, value)
+
+    def _finish(
+        self, record: _JobRecord, result: Any, coalesced: bool
+    ) -> None:
+        spec = record.spec
+        record.status = "done"
+        record.report = job_report(
+            spec,
+            record.job_id,
+            "done",
+            result=_result_payload(spec, result),
+            coalesced=coalesced,
+        )
+        scope = self.collector.scope(f"serve/tenant[{spec.tenant}]")
+        scope.count(f"jobs[{spec.kind}]", 1)
+        self._serve_scope.count("jobs.done", 1)
+        record.done.set()
+
+    def _fail(self, records: List[_JobRecord], exc: Exception) -> None:
+        _log.warning("job execution failed: %s", exc)
+        for record in records:
+            record.status = "error"
+            record.report = job_report(
+                record.spec,
+                record.job_id,
+                "error",
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            self._serve_scope.count("jobs.failed", 1)
+            record.done.set()
+
+    # -- stats ---------------------------------------------------------------
+    def stats_report(self) -> Dict[str, Any]:
+        """Server-wide counters as a schema-versioned document."""
+        by_status: Dict[str, int] = {
+            status: 0 for status in JOB_STATUSES
+        }
+        for record in self._records.values():
+            by_status[record.status] += 1
+        counters = {
+            path: value
+            for path, value in self.collector.counters().items()
+            if path.startswith("serve/")
+        }
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "jobs": by_status,
+            "cache": self._cache.stats(),
+            "counters": counters,
+        }
+
+    # -- HTTP front end ------------------------------------------------------
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            method, target, body = await self._read_request(reader)
+            status, document = await self._route(method, target, body)
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            ValueError,
+        ) as exc:
+            status, document = 400, {"error": str(exc)}
+        try:
+            payload = json.dumps(document).encode()
+            head = (
+                f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode()
+            writer.write(head + payload)
+            await writer.drain()
+        except ConnectionError:  # pragma: no cover - client went away
+            pass
+        finally:
+            writer.close()
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> Tuple[str, str, bytes]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        parts = request_line.split()
+        if len(parts) < 2:
+            raise ValueError(f"malformed request line {request_line!r}")
+        method, target = parts[0].upper(), parts[1]
+        length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        body = await reader.readexactly(length) if length else b""
+        return method, target, body
+
+    async def _route(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
+        path, _, query = target.partition("?")
+        if path == "/v1/healthz":
+            if method != "GET":
+                return 405, {"error": "GET only"}
+            return 200, {"schema_version": SCHEMA_VERSION, "ok": True}
+        if path == "/v1/stats":
+            if method != "GET":
+                return 405, {"error": "GET only"}
+            return 200, self.stats_report()
+        if path == "/v1/jobs":
+            if method != "POST":
+                return 405, {"error": "POST only"}
+            try:
+                document = json.loads(body.decode() or "null")
+                spec = job_from_dict(document)
+            except (ValueError, TypeError) as exc:
+                return 400, {"error": str(exc)}
+            job_id = await self.submit(spec)
+            return 202, {
+                "schema_version": SCHEMA_VERSION,
+                "job_id": job_id,
+                "status": "pending",
+            }
+        if path.startswith("/v1/jobs/"):
+            if method != "GET":
+                return 405, {"error": "GET only"}
+            job_id = path[len("/v1/jobs/") :]
+            record = self._records.get(job_id)
+            if record is None:
+                return 404, {"error": f"unknown job {job_id!r}"}
+            if "wait=1" in query.split("&"):
+                await record.done.wait()
+            if record.report is not None:
+                return 200, record.report
+            return 200, {
+                "schema_version": SCHEMA_VERSION,
+                "job_id": job_id,
+                "status": record.status,
+            }
+        return 404, {"error": f"no route for {method} {path}"}
+
+
+@contextmanager
+def running_server(
+    config: Optional[ServerConfig] = None,
+    collector: Optional[TelemetryLike] = None,
+) -> Iterator[Tuple[JobServer, Tuple[str, int]]]:
+    """Run a :class:`JobServer` on a background event-loop thread.
+
+    The blocking-world entry point (tests, CLI smoke): yields the
+    server and its bound address; tears everything down on exit.
+    Drive it over HTTP with :class:`repro.serve.client.ServeClient`,
+    or call coroutine methods via :func:`call_on` below.
+    """
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(
+        target=loop.run_forever, name="repro-serve-loop", daemon=True
+    )
+    thread.start()
+    server = JobServer(config=config, collector=collector)
+    try:
+        asyncio.run_coroutine_threadsafe(server.start(), loop).result()
+        try:
+            yield server, server.address
+        finally:
+            asyncio.run_coroutine_threadsafe(server.stop(), loop).result()
+    finally:
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join()
+        loop.close()
+
+
+def call_on(server: JobServer, coroutine: Any) -> Any:
+    """Run a server coroutine from outside its loop thread, blocking.
+
+    Convenience for :func:`running_server` users:
+    ``call_on(server, server.run_all(specs))``.
+    """
+    loop = _loop_of(server)
+    return asyncio.run_coroutine_threadsafe(coroutine, loop).result()
+
+
+def _loop_of(server: JobServer) -> asyncio.AbstractEventLoop:
+    if server._server is None:
+        raise RuntimeError("server is not running")
+    return server._server.get_loop()
+
+
+__all__ = [
+    "JOB_STATUSES",
+    "JobServer",
+    "ServerConfig",
+    "call_on",
+    "job_report",
+    "running_server",
+    "validate_job_report",
+]

@@ -19,7 +19,14 @@ from repro.workloads.suite import (
     vggnet_spec,
 )
 
+#: Workload names runnable end-to-end through the crossbar simulator
+#: (buildable networks + synthetic datasets).  The single source of
+#: truth for :class:`repro.api.Simulator` and the serve-layer job
+#: schemas, kept here so both can import it without a cycle.
+RUNNABLE_WORKLOADS = ("mlp", "mnist_cnn", "cifar_cnn")
+
 __all__ = [
+    "RUNNABLE_WORKLOADS",
     "LayerSpec",
     "MATRIX_KINDS",
     "FIG4_EXAMPLE",

@@ -52,7 +52,7 @@ Two interchangeable backends evaluate the full datapath:
 
 from __future__ import annotations
 
-import warnings
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -182,6 +182,35 @@ class CrossbarEngineConfig:
         )
 
 
+def weights_hash(weights: np.ndarray) -> str:
+    """Content digest of a weight matrix (shape + float64 bytes).
+
+    The programmed-state identity of one engine: two weight arrays
+    with the same hash program byte-identical crossbar levels under
+    the same config, so callers (``prepare``, the serve layer's
+    programmed-state cache) may skip reprogramming on a match.
+    """
+    array = np.ascontiguousarray(np.asarray(weights, dtype=np.float64))
+    digest = hashlib.sha256()
+    digest.update(repr(array.shape).encode())
+    digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def device_config_hash(config: CrossbarEngineConfig) -> str:
+    """Content digest of everything that defines the compute pipeline.
+
+    Hashes the full :class:`CrossbarEngineConfig` — device physics,
+    mapping, encoding, array geometry, ADC, drive mode, and backend —
+    via its frozen-dataclass ``repr`` (deterministic, nested configs
+    included).  Together with :func:`weights_hash` this keys the
+    programmed-crossbar state: same ``(weights_hash,
+    device_config_hash)`` means the arrays would be programmed
+    identically.
+    """
+    return hashlib.sha256(repr(config).encode()).hexdigest()
+
+
 #: Engine-level counter paths surfaced as ``XbarStats`` attributes.
 _STAT_FIELDS = (
     "mvm_calls",
@@ -201,11 +230,11 @@ class XbarStats:
     :class:`repro.telemetry.Collector`: the engine writes every
     operation count through its collector (engine-level totals plus
     per-tile ``tile[<plane>,<slice>]/...`` paths), and the attributes
-    here (``mvm_calls``, ``array_reads``, ...) are properties reading
-    the engine-level counters back.  The public attribute API is
-    unchanged; *assigning* to a counter attribute still works but is
-    deprecated — mutate through the collector instead (the same
-    curated-surface migration pattern as ``repro.core``).
+    here (``mvm_calls``, ``array_reads``, ...) are read-only
+    properties over the engine-level counters.  Counters are mutated
+    through the collector (``stats.telemetry.count()`` / ``set()``);
+    the deprecated attribute-assignment shim has been retired and
+    assigning to a counter attribute raises :class:`AttributeError`.
 
     The per-call sub-cycle history is **opt-in** (``track_per_call``)
     and bounded by ``per_call_limit``: a training run makes one matmul
@@ -235,6 +264,7 @@ class XbarStats:
         """Drop all engine counters (including per-tile sub-trees)."""
         for field in _STAT_FIELDS:
             self.telemetry.clear(field)
+        self.telemetry.clear("prepare.skips")
         self.telemetry.clear_tree("tile[")
         self.per_call_subcycles = []
 
@@ -256,17 +286,9 @@ def _stat_property(field: str) -> property:
     def getter(self: XbarStats) -> int:
         return int(self.telemetry.get(field))
 
-    def setter(self: XbarStats, value: int) -> None:
-        warnings.warn(
-            f"assigning XbarStats.{field} directly is deprecated; "
-            "operation counters live in the telemetry Collector — "
-            "mutate via stats.telemetry.count()/set() instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self.telemetry.set(field, value)
-
-    return property(getter, setter, doc=f"Engine-level {field!r} counter.")
+    # Read-only: assigning raises AttributeError.  Counters are
+    # mutated through the collector (stats.telemetry.count()/set()).
+    return property(getter, doc=f"Engine-level {field!r} counter.")
 
 
 for _field in _STAT_FIELDS:
@@ -342,6 +364,7 @@ class CrossbarEngine(MatmulEngine):
         self._tiles: Dict[Tuple[str, int], TiledCrossbar] = {}
         self._tile_paths: Dict[Tuple[str, int], str] = {}
         self._cached_weights: Optional[np.ndarray] = None
+        self._cached_weights_hash: Optional[str] = None
         self._quantized: Optional[np.ndarray] = None
         self._coder = SpikeCoder(self.config.encoding)
         self._rate_coder = RateCoder(self.config.encoding)
@@ -354,15 +377,19 @@ class CrossbarEngine(MatmulEngine):
         weights = np.asarray(weights, dtype=np.float64)
         if weights.ndim != 2:
             raise ValueError(f"weights must be 2-D, got {weights.shape}")
-        if self._cached_weights is not None and np.array_equal(
-            self._cached_weights, weights
-        ):
+        incoming_hash = weights_hash(weights)
+        if self._cached_weights_hash == incoming_hash:
+            # Same programmed state: skip the reprogram entirely.  The
+            # skip is counted so callers (the facade's in-process runs,
+            # the serve layer's cache) can observe avoided programming.
+            self.telemetry.count("prepare.skips", 1)
             return
         reuse_tiles = (
             self._cached_weights is not None
             and self._cached_weights.shape == weights.shape
         )
         self._cached_weights = weights.copy()
+        self._cached_weights_hash = incoming_hash
         sliced = map_weights(weights, self.config.mapping)
         self._sliced = sliced
         radix = 2**sliced.mapping.cell_bits
@@ -435,6 +462,17 @@ class CrossbarEngine(MatmulEngine):
     def array_count(self) -> int:
         """Physical arrays holding the prepared matrix (all planes)."""
         return sum(tile.array_count for tile in self._tiles.values())
+
+    def cache_key(self) -> Tuple[str, str]:
+        """``(weights_hash, device_config_hash)`` of the programmed state.
+
+        Two engines with equal keys hold byte-identical programmed
+        levels (same weights, same pipeline config), so one may stand
+        in for the other without reprogramming.
+        """
+        if self._cached_weights_hash is None:
+            raise RuntimeError("prepare() must be called first")
+        return self._cached_weights_hash, device_config_hash(self.config)
 
     def info(self) -> dict:
         """Engine description surfaced by deployments and the facade."""

@@ -138,28 +138,29 @@ class TestCuratedCoreSurface:
                 train_on_crossbar,
             )
 
-    def test_deprecated_names_warn_but_resolve(self):
-        for name in ("balanced_mapping", "simulate_training_pipeline",
-                     "scheme_table", "render_training_schedule"):
-            with pytest.warns(DeprecationWarning, match=name):
-                resolved = getattr(repro.core, name)
-            assert callable(resolved)
+    def test_retired_names_raise_with_pointer(self):
+        for name, module in (
+            ("balanced_mapping", "repro.core.mapping"),
+            ("simulate_training_pipeline", "repro.core.schedule"),
+            ("scheme_table", "repro.core.gan_pipeline"),
+            ("render_training_schedule", "repro.core.trace"),
+        ):
+            with pytest.raises(AttributeError, match=module):
+                getattr(repro.core, name)
 
-    def test_deprecated_name_identity(self):
-        from repro.core.mapping import balanced_mapping as direct
+    def test_submodule_import_still_works(self):
+        from repro.core.mapping import balanced_mapping
 
-        with pytest.warns(DeprecationWarning):
-            shimmed = repro.core.balanced_mapping
-        assert shimmed is direct
+        assert callable(balanced_mapping)
 
     def test_unknown_name_raises_attribute_error(self):
         with pytest.raises(AttributeError):
             repro.core.does_not_exist
 
-    def test_dir_lists_both_surfaces(self):
+    def test_dir_lists_only_curated_surface(self):
         names = dir(repro.core)
         assert "pipelayer_table1" in names
-        assert "balanced_mapping" in names
+        assert "balanced_mapping" not in names
 
 
 class TestCliJson:

@@ -256,8 +256,9 @@ class TestXbarStatsHistory:
     def test_reset_shares_init_state(self):
         stats = XbarStats(track_per_call=True)
         stats.record_call(7)
-        with pytest.warns(DeprecationWarning, match="mvm_calls"):
+        with pytest.raises(AttributeError):
             stats.mvm_calls = 3
+        stats.telemetry.set("mvm_calls", 3)
         stats.reset()
         fresh = XbarStats(track_per_call=True)
         assert stats.as_dict() == fresh.as_dict()
