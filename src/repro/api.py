@@ -628,6 +628,8 @@ def reliability_report(
     train_count: int = 256,
     include_tiles: bool = True,
     collector: Optional[TelemetryLike] = None,
+    workers: int = 1,
+    sweep_cache: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """Fault-injection campaign report (see :mod:`repro.reliability`).
 
@@ -636,6 +638,9 @@ def reliability_report(
     per-layer error propagation, per-tile stuck-cell census.
     Deterministic in ``seed``; ``backend="both"`` additionally verifies
     the loop and vectorized engines report identical fault outcomes.
+    ``workers=N`` shards the scenario cells over a process pool with a
+    byte-identical report for any ``N``; ``sweep_cache`` (a
+    :class:`repro.sweep.SweepCache`) replays completed cells from disk.
     """
     from repro.reliability import run_campaign
 
@@ -651,6 +656,8 @@ def reliability_report(
         train_count=train_count,
         include_tiles=include_tiles,
         collector=collector,
+        workers=workers,
+        sweep_cache=sweep_cache,
     )
 
 

@@ -19,10 +19,21 @@ throughout, so "large speedup, modest energy saving" is robust.)
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields, replace
-from typing import Callable, Dict, List, Sequence, Tuple
+from dataclasses import asdict, dataclass, fields, replace
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.arch.params import DEFAULT_TECH, XbarTechParams
+from repro.sweep import SweepCell, run_sweep
+from repro.telemetry import TelemetryLike
 from repro.utils.validation import check_positive
 
 #: Technology fields that are scalable costs (area field excluded from
@@ -79,21 +90,141 @@ def scaled_tech(
     return replace(tech, **{field_name: value})
 
 
+def _metric_speedup(tech: XbarTechParams) -> float:
+    from repro.core.estimator import pipelayer_table1
+
+    return float(pipelayer_table1(tech=tech).speedup)
+
+
+def _metric_energy(tech: XbarTechParams) -> float:
+    from repro.core.estimator import pipelayer_table1
+
+    return float(pipelayer_table1(tech=tech).energy_saving)
+
+
+#: Named Table I metrics — the pickleable vocabulary a sensitivity
+#: *cell spec* may reference (a bare lambda cannot cross a process
+#: boundary or be content-hashed, a name can).
+METRICS: Dict[str, Callable[[XbarTechParams], float]] = {
+    "speedup": _metric_speedup,
+    "energy": _metric_energy,
+}
+
+
+def resolve_metric(
+    metric: Union[str, Callable[[XbarTechParams], float]]
+) -> Callable[[XbarTechParams], float]:
+    """A metric callable from a :data:`METRICS` name (callables pass through)."""
+    if callable(metric):
+        return metric
+    function = METRICS.get(metric)
+    if function is None:
+        raise ValueError(
+            f"unknown sensitivity metric {metric!r}; "
+            f"known metrics: {sorted(METRICS)}"
+        )
+    return function
+
+
+def run_sensitivity_cell(
+    spec: Dict[str, Any], collector: TelemetryLike
+) -> Dict[str, Any]:
+    """Sweep cell function for one tornado field (kind ``"sensitivity_point"``).
+
+    The spec names the metric (a :data:`METRICS` key), the field, the
+    scaling factors, and the full technology table as a dict — a pure
+    function of plain data, so the point computes identically in any
+    process.
+    """
+    metric = resolve_metric(str(spec["metric"]))
+    tech = XbarTechParams(**spec["tech"])
+    field_name = str(spec["field"])
+    low_factor = float(spec["low_factor"])
+    high_factor = float(spec["high_factor"])
+    nominal = metric(tech)
+    low = metric(scaled_tech(tech, field_name, low_factor))
+    high = metric(scaled_tech(tech, field_name, high_factor))
+    collector.count("points", 3)
+    return {
+        "field": field_name,
+        "low_factor": low_factor,
+        "high_factor": high_factor,
+        "metric_low": low,
+        "metric_nominal": nominal,
+        "metric_high": high,
+    }
+
+
 def tech_sensitivity(
-    metric: Callable[[XbarTechParams], float],
+    metric: Union[str, Callable[[XbarTechParams], float]],
     tech: XbarTechParams = DEFAULT_TECH,
     field_names: Sequence[str] = SWEEPABLE_FIELDS,
     low_factor: float = 0.5,
     high_factor: float = 2.0,
+    workers: int = 1,
+    collector: Optional[TelemetryLike] = None,
+    shard_order: Optional[Sequence[int]] = None,
+    mp_context: Optional[str] = None,
 ) -> List[SensitivityRow]:
     """Tornado sweep: ``metric`` under per-field scaling.
 
-    ``metric`` maps a technology table to a scalar (e.g. the geomean
-    PipeLayer speedup).  Returns one row per field, sorted by swing,
-    widest first.
+    ``metric`` maps a technology table to a scalar — either a
+    :data:`METRICS` name (``"speedup"``, ``"energy"``) or a bare
+    callable.  Returns one row per field, sorted by swing, widest
+    first.
+
+    A *named* metric runs through the sweep-cell machinery
+    (:func:`run_sensitivity_cell`), so ``workers=N`` shards the fields
+    over a process pool with the same result for any worker count; a
+    bare callable cannot be pickled to a worker and therefore only
+    supports ``workers=1`` (the in-process legacy path).
     """
     check_positive("low_factor", low_factor)
     check_positive("high_factor", high_factor)
+    if isinstance(metric, str):
+        cells = [
+            SweepCell(
+                "sensitivity_point",
+                {
+                    "name": field_name,
+                    "metric": metric,
+                    "field": field_name,
+                    "low_factor": float(low_factor),
+                    "high_factor": float(high_factor),
+                    "tech": asdict(tech),
+                },
+            )
+            for field_name in field_names
+        ]
+        sweep = run_sweep(
+            cells,
+            workers=workers,
+            collector=collector,
+            scope_for=lambda index, cell: f"field[{cell.spec['field']}]",
+            shard_order=shard_order,
+            mp_context=mp_context,
+        )
+        results = sweep.results()
+        if any(point["metric_nominal"] == 0 for point in results):
+            raise ValueError("metric is zero at the nominal point")
+        rows = [
+            SensitivityRow(
+                field=point["field"],
+                low_factor=point["low_factor"],
+                high_factor=point["high_factor"],
+                metric_low=point["metric_low"],
+                metric_nominal=point["metric_nominal"],
+                metric_high=point["metric_high"],
+            )
+            for point in results
+        ]
+        rows.sort(key=lambda row: row.swing, reverse=True)
+        return rows
+    if workers != 1:
+        raise ValueError(
+            "workers > 1 needs a named metric (a METRICS key); a bare "
+            "callable cannot be shipped to worker processes"
+        )
     nominal = metric(tech)
     if nominal == 0:
         raise ValueError("metric is zero at the nominal point")

@@ -24,13 +24,16 @@ import json
 import logging
 import time
 import traceback
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.bench import baseline as baseline_mod
 from repro.bench.registry import BenchSpec, discover
+from repro.sweep import SweepCell, run_sweep
 from repro.telemetry import SCHEMA_VERSION, validate_bench_document
+from repro.utils.io import exclusive_lock, write_json_atomic
 
 _log = logging.getLogger("repro.bench")
 
@@ -247,24 +250,82 @@ def _run_one(spec: BenchSpec) -> BenchOutcome:
     return outcome
 
 
+def run_bench_cell(spec: Dict[str, Any], collector: Any) -> Dict[str, Any]:
+    """Sweep cell function for one registered bench (kind ``"bench"``).
+
+    The spec names the bench and its benchmark directory; the worker
+    re-discovers the registry (bench functions are code, not data — a
+    name travels across the process boundary, a closure does not) and
+    executes the one matching bench.  The returned record is the
+    JSON-able core of a :class:`BenchOutcome`; baseline gating happens
+    in the submitting process, which holds the baseline directory.
+
+    Bench results include wall-clock timings, so bench cells are
+    **never cached** — they are sharded for throughput only.
+    """
+    bench_dir = Path(spec["bench_dir"]) if spec.get("bench_dir") else None
+    matches = [
+        candidate
+        for candidate in discover(bench_dir)
+        if candidate.name == spec["name"]
+    ]
+    if not matches:
+        raise ValueError(
+            f"bench {spec['name']!r} not found in {bench_dir}"
+        )
+    outcome = _run_one(matches[0])
+    collector.count("benches", 1)
+    collector.count("documents", len(outcome.documents))
+    return {
+        "name": outcome.name,
+        "suite": outcome.suite,
+        "status": outcome.status,
+        "wall_time_s": outcome.wall_time_s,
+        "error": outcome.error,
+        "documents": outcome.documents,
+        "metrics": outcome.metrics,
+    }
+
+
 def run_suite(
     suite: str = "quick",
-    filter: Optional[str] = None,
+    name_filter: Optional[str] = None,
     bench_dir: Optional[Path] = None,
     baseline_dir: Optional[Path] = None,
     trajectory_path: Optional[Path] = None,
     update_baselines: bool = False,
     rel_tol: float = baseline_mod.DEFAULT_REL_TOL,
+    workers: int = 1,
+    **deprecated: Any,
 ) -> SuiteRun:
     """Discover, execute, gate, and record one benchmark suite run.
 
-    ``filter`` is an fnmatch glob over bench names.  With
-    ``update_baselines`` the committed baselines are rewritten from
-    this run instead of being compared (the run then never reports
-    regressions).  ``trajectory_path=None`` derives
+    ``name_filter`` is an fnmatch glob over bench names (the parameter
+    was once called ``filter``; that spelling shadowed the builtin —
+    see checks rule PY003 — and survives only as a deprecated keyword
+    alias).  With ``update_baselines`` the committed baselines are
+    rewritten from this run instead of being compared (the run then
+    never reports regressions).  ``trajectory_path=None`` derives
     ``<bench_dir>/../BENCH_trajectory.json``; pass an explicit path to
-    redirect, e.g. in tests.
+    redirect, e.g. in tests.  ``workers=N`` shards the benches over a
+    process pool (deterministic metrics are unaffected; wall times
+    then measure contended hosts).
     """
+    if "filter" in deprecated:
+        warnings.warn(
+            "run_suite(filter=...) is deprecated (it shadowed the "
+            "builtin); use name_filter=...",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        legacy = deprecated.pop("filter")
+        if name_filter is None:
+            name_filter = legacy
+    if deprecated:
+        raise TypeError(
+            "run_suite() got unexpected keyword argument(s): "
+            f"{sorted(deprecated)}"
+        )
     bench_dir = Path(bench_dir) if bench_dir else None
     specs = discover(bench_dir)
     if bench_dir is None:
@@ -277,12 +338,44 @@ def run_suite(
         trajectory_path = bench_dir.parent / TRAJECTORY_NAME
 
     selected = [spec for spec in specs if spec.selected_by(suite)]
-    if filter:
+    if name_filter:
         selected = [
-            spec for spec in selected if fnmatch.fnmatch(spec.name, filter)
+            spec
+            for spec in selected
+            if fnmatch.fnmatch(spec.name, name_filter)
         ]
     start = time.perf_counter()  # repro: noqa[DET001] -- wall_time_s only
-    benches = [_run_one(spec) for spec in selected]
+    cells = [
+        SweepCell(
+            "bench",
+            {
+                "name": spec.name,
+                "suite": spec.suite,
+                "bench_dir": str(bench_dir),
+            },
+        )
+        for spec in selected
+    ]
+    sweep = run_sweep(
+        cells,
+        workers=workers,
+        scope_for=lambda index, cell: f"bench[{cell.spec['name']}]",
+    )
+    benches = [
+        BenchOutcome(
+            name=record["name"],
+            suite=record["suite"],
+            status=record["status"],
+            wall_time_s=float(record["wall_time_s"]),
+            error=record["error"],
+            documents=list(record["documents"]),
+            metrics={
+                key: float(value)
+                for key, value in record["metrics"].items()
+            },
+        )
+        for record in sweep.results()
+    ]
     for outcome in benches:
         if outcome.status != "ok":
             continue
@@ -305,7 +398,7 @@ def run_suite(
         )
     run = SuiteRun(
         suite=suite,
-        filter=filter,
+        filter=name_filter,
         benches=benches,
         wall_time_s=time.perf_counter() - start,  # repro: noqa[DET001]
     )
@@ -332,29 +425,37 @@ def load_trajectory(path: Path) -> Dict[str, Any]:
 
 
 def append_trajectory(path: Path, run: SuiteRun) -> Path:
-    """Append one suite run's record to the history at ``path``."""
+    """Append one suite run's record to the history at ``path``.
+
+    The read-modify-write is concurrency-safe: an exclusive sidecar
+    lock serializes concurrent appenders (two parallel suite runs each
+    land their record instead of silently dropping one), and the
+    rewrite goes through :func:`repro.utils.io.write_json_atomic` so a
+    reader never observes a torn history file.
+    """
     path = Path(path)
-    document = load_trajectory(path)
-    document["runs"].append(
-        {
-            # History metadata, not a gated metric.
-            "timestamp": time.time(),  # repro: noqa[DET001]
-            "suite": run.suite,
-            "filter": run.filter,
-            "wall_time_s": run.wall_time_s,
-            "failure_count": run.failure_count,
-            "regression_count": run.regression_count,
-            "benches": [
-                {
-                    "name": b.name,
-                    "status": b.status,
-                    "wall_time_s": b.wall_time_s,
-                    "baseline_status": b.baseline_status,
-                    "metrics": dict(sorted(b.metrics.items())),
-                }
-                for b in run.benches
-            ],
-        }
-    )
-    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    with exclusive_lock(path):
+        document = load_trajectory(path)
+        document["runs"].append(
+            {
+                # History metadata, not a gated metric.
+                "timestamp": time.time(),  # repro: noqa[DET001]
+                "suite": run.suite,
+                "filter": run.filter,
+                "wall_time_s": run.wall_time_s,
+                "failure_count": run.failure_count,
+                "regression_count": run.regression_count,
+                "benches": [
+                    {
+                        "name": b.name,
+                        "status": b.status,
+                        "wall_time_s": b.wall_time_s,
+                        "baseline_status": b.baseline_status,
+                        "metrics": dict(sorted(b.metrics.items())),
+                    }
+                    for b in run.benches
+                ],
+            }
+        )
+        write_json_atomic(path, document)
     return path

@@ -26,12 +26,16 @@ PY001     mutable default argument values.
 PY002     ``==`` / ``!=`` against non-sentinel float literals
           (exact sentinels ``0.0`` / ``1.0`` used for mode detection
           on configured values are exempt).
+PY003     parameter names that shadow a builtin (``filter``,
+          ``input``, ``id``, ...); the builtin becomes unreachable
+          for the whole function body.
 ========  ==========================================================
 """
 
 from __future__ import annotations
 
 import ast
+import builtins
 import re
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Sequence, Set, Tuple
@@ -557,6 +561,66 @@ class FloatEqualityRule(Rule):
                         side,
                         f"exact float comparison against {value!r}; "
                         "use math.isclose or an explicit tolerance",
+                    )
+
+
+# -- PY003 ------------------------------------------------------------------
+
+
+@register
+class BuiltinShadowParamRule(Rule):
+    """No parameter names that shadow a builtin.
+
+    A parameter named ``filter`` or ``input`` hides the builtin for
+    the entire function body — the classic way a later edit that
+    *does* need the builtin turns into a confusing ``TypeError``
+    (this repo's ``run_suite(filter=...)`` was exactly that trap).
+    Flags every lowercase public builtin name used as a parameter of a
+    function, method, or lambda; the interactive ``site`` injections
+    (``exit``, ``help``, ...) are exempt since nothing in library code
+    reaches for them.
+    """
+
+    id = "PY003"
+    summary = "parameter name shadows a builtin"
+
+    _SITE_INJECTED = frozenset(
+        {"copyright", "credits", "exit", "help", "license", "quit"}
+    )
+    _BUILTINS = (
+        frozenset(
+            name
+            for name in dir(builtins)
+            if name.islower() and not name.startswith("_")
+        )
+        - _SITE_INJECTED
+    )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            arguments = node.args
+            params = [
+                *arguments.posonlyargs,
+                *arguments.args,
+                *arguments.kwonlyargs,
+            ]
+            if arguments.vararg is not None:
+                params.append(arguments.vararg)
+            if arguments.kwarg is not None:
+                params.append(arguments.kwarg)
+            for param in params:
+                if param.arg in self._BUILTINS:
+                    name = getattr(node, "name", "<lambda>")
+                    yield context.finding(
+                        self,
+                        param,
+                        f"parameter {param.arg!r} of {name}() shadows "
+                        "the builtin; rename it (a trailing underscore "
+                        "or a qualified name both work)",
                     )
 
 

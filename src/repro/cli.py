@@ -192,13 +192,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_sensitivity(args: argparse.Namespace) -> int:
     from repro.arch.sensitivity import tech_sensitivity
-    from repro.core.estimator import pipelayer_table1
 
-    metric = {
-        "speedup": lambda tech: pipelayer_table1(tech=tech).speedup,
-        "energy": lambda tech: pipelayer_table1(tech=tech).energy_saving,
-    }[args.metric]
-    rows = tech_sensitivity(metric)
+    rows = tech_sensitivity(
+        args.metric,
+        workers=args.workers,
+        collector=getattr(args, "collector", None),
+    )
     document = [
         {
             "field": row.field,
@@ -253,20 +252,9 @@ def _cmd_area(args: argparse.Namespace) -> int:
 
 
 def _cmd_reliability(args: argparse.Namespace) -> int:
-    rates = None
-    if args.rates is not None:
-        try:
-            rates = [float(rate) for rate in args.rates.split(",") if rate]
-        except ValueError:
-            print(
-                f"--rates must be comma-separated numbers, got "
-                f"{args.rates!r}",
-                file=sys.stderr,
-            )
-            return 2
-        if not rates:
-            print("--rates must name at least one rate", file=sys.stderr)
-            return 2
+    rates, code = _parse_rates(args)
+    if code:
+        return code
     report = api.reliability_report(
         workload=args.workload,
         axis=args.axis,
@@ -278,8 +266,128 @@ def _cmd_reliability(args: argparse.Namespace) -> int:
         train_epochs=args.train_epochs,
         include_tiles=not args.no_tiles,
         collector=getattr(args, "collector", None),
+        workers=args.workers,
     )
     return _emit(args, report, campaign_summary(report))
+
+
+def _parse_rates(args: argparse.Namespace) -> "Tuple[Optional[List[float]], int]":
+    """The ``--rates`` list as floats, or an argparse-style error code."""
+    if args.rates is None:
+        return None, 0
+    try:
+        rates = [float(rate) for rate in args.rates.split(",") if rate]
+    except ValueError:
+        print(
+            f"--rates must be comma-separated numbers, got {args.rates!r}",
+            file=sys.stderr,
+        )
+        return None, 2
+    if not rates:
+        print("--rates must name at least one rate", file=sys.stderr)
+        return None, 2
+    return rates, 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Distributed deterministic sweep: (scenario × seed × backend) cells."""
+    from repro.reliability.campaign import scenarios_for
+    from repro.sweep import (
+        SweepCache,
+        SweepCell,
+        run_sweep,
+        sweep_report,
+        sweep_summary,
+    )
+    from repro.utils.io import write_json_atomic
+    from repro.xbar.engine import CrossbarEngineConfig, engine_config_to_dict
+
+    rates, code = _parse_rates(args)
+    if code:
+        return code
+    if args.seeds is not None:
+        try:
+            seeds = [int(seed) for seed in args.seeds.split(",") if seed]
+        except ValueError:
+            print(
+                f"--seeds must be comma-separated integers, got "
+                f"{args.seeds!r}",
+                file=sys.stderr,
+            )
+            return 2
+        if not seeds:
+            print("--seeds must name at least one seed", file=sys.stderr)
+            return 2
+    else:
+        seeds = [args.seed]
+    backends = (
+        ("loop", "vectorized") if args.backend == "both" else (args.backend,)
+    )
+    scenarios = scenarios_for(args.axis, rates)
+    config_dict = engine_config_to_dict(CrossbarEngineConfig())
+
+    cells: List[Any] = []
+    scopes: List[str] = []
+    for seed in seeds:
+        for run_backend in backends:
+            for scenario in scenarios:
+                scopes.append(
+                    f"cell[{scenario.name},seed={seed},"
+                    f"backend={run_backend}]"
+                )
+                cells.append(
+                    SweepCell(
+                        "campaign_scenario",
+                        {
+                            "name": scenario.name,
+                            "axis": scenario.axis,
+                            "rate": scenario.rate,
+                            "workload": args.workload,
+                            "seed": int(seed),
+                            "count": int(args.count),
+                            "batch": int(args.batch),
+                            "backend": run_backend,
+                            "engine_config": config_dict,
+                            "train_epochs": int(args.train_epochs),
+                            "train_count": 256,
+                            "include_tiles": not args.no_tiles,
+                        },
+                    )
+                )
+
+    collector = getattr(args, "collector", None)
+    run = run_sweep(
+        cells,
+        workers=args.workers,
+        cache=SweepCache(args.cache_dir) if args.cache_dir else None,
+        collector=collector.scope("sweep") if collector else None,
+        scope_for=lambda index, cell: scopes[index],
+    )
+    report = sweep_report(
+        run,
+        {
+            "workload": args.workload,
+            "axis": args.axis,
+            "rates": [scenario.rate for scenario in scenarios],
+            "seeds": seeds,
+            "backends": list(backends),
+            "count": int(args.count),
+            "batch": int(args.batch),
+            "train_epochs": int(args.train_epochs),
+            "include_tiles": not args.no_tiles,
+        },
+    )
+    if args.stats_out:
+        # Execution facts (worker count, cache hits) are deliberately
+        # not part of the deterministic report document.
+        write_json_atomic(Path(args.stats_out), run.stats)
+    text = sweep_summary(report)
+    stats = run.stats
+    text += (
+        f"\n{stats['workers']} worker(s): {stats['cache_hits']} cached, "
+        f"{stats['recomputed']} computed"
+    )
+    return _emit(args, report, text)
 
 
 def _cmd_infer(args: argparse.Namespace) -> int:
@@ -657,7 +765,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     try:
         run = bench_mod.run_suite(
             suite=args.suite,
-            filter=args.filter,
+            name_filter=args.filter,
+            workers=args.workers,
             bench_dir=bench_dir,
             baseline_dir=args.baseline_dir,
             trajectory_path=args.trajectory,
@@ -762,6 +871,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_sens.add_argument(
         "--metric", choices=("speedup", "energy"), default="speedup"
     )
+    p_sens.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard the tornado fields over N processes",
+    )
     p_sens.set_defaults(func=_cmd_sensitivity)
 
     p_area = sub.add_parser(
@@ -828,7 +943,79 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="omit the per-tile stuck-cell census from layer records",
     )
+    p_reliability.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard scenarios over N processes (byte-identical report "
+        "for any N)",
+    )
     p_reliability.set_defaults(func=_cmd_reliability)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        parents=[shared],
+        help="distributed deterministic sweep over (scenario x seed "
+        "x backend) cells",
+        description="Shard fault-injection scenario cells over a "
+        "process pool (repro.sweep).  The merged sweep_report is "
+        "byte-identical for any --workers value; with --cache-dir, "
+        "completed cells replay from disk so interrupted sweeps "
+        "resume without recomputation.",
+    )
+    p_sweep.add_argument(
+        "workload",
+        nargs="?",
+        default="mlp",
+        choices=api.Simulator.WORKLOADS,
+    )
+    p_sweep.add_argument(
+        "--axis", choices=tuple(sorted(AXES)), default="stuck"
+    )
+    p_sweep.add_argument(
+        "--rates",
+        default=None,
+        help="comma-separated sweep points (default: per-axis preset)",
+    )
+    p_sweep.add_argument(
+        "--seeds",
+        default=None,
+        help="comma-separated master seeds (default: --seed)",
+    )
+    p_sweep.add_argument(
+        "--backend",
+        choices=("loop", "vectorized", "both"),
+        default="vectorized",
+        help="'both' adds one cell per backend per scenario",
+    )
+    p_sweep.add_argument("--count", type=int, default=32)
+    p_sweep.add_argument("--train-epochs", type=int, default=5)
+    p_sweep.add_argument(
+        "--no-tiles",
+        action="store_true",
+        help="omit the per-tile stuck-cell census from layer records",
+    )
+    p_sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process count for the cell pool (default 1: inline)",
+    )
+    p_sweep.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="on-disk cell cache keyed by (config_hash, seed); "
+        "enables resume-after-interruption",
+    )
+    p_sweep.add_argument(
+        "--stats-out",
+        type=Path,
+        default=None,
+        help="write execution stats (workers, cache hits) to this "
+        "file; they are kept out of the deterministic report",
+    )
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     p_train = sub.add_parser(
         "train",
@@ -964,6 +1151,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="GLOB",
         help="fnmatch glob over bench names, e.g. 'fig*'",
+    )
+    p_bench.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard benches over N processes (deterministic metrics "
+        "are unaffected; wall times then share the host)",
     )
     p_bench.add_argument(
         "--bench-dir",

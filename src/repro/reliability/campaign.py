@@ -20,6 +20,18 @@ rates (the cells broken at 0.1% are a subset of those broken at 1%).
 The ``"both"`` backend mode runs every scenario through the loop and
 vectorized engines and verifies the reports agree exactly — the
 backend-equivalence contract, enforced at campaign granularity.
+
+Sweep cells
+-----------
+Each (backend × scenario) point of a campaign is one pure sweep cell
+(:func:`run_campaign_cell`, kind ``"campaign_scenario"``): the cell
+spec carries the complete configuration — workload, seed, scenario,
+engine config as plain data — and the cell rebuilds its golden
+reference deterministically in whatever process it lands (memoised
+per process, so a worker trains the reference once, not once per
+cell).  :func:`run_campaign` is the ``workers=1`` configuration of
+that same machinery; ``workers=N`` shards the cells over a process
+pool and merges a byte-identical report.
 """
 
 from __future__ import annotations
@@ -34,10 +46,15 @@ from repro.reliability.metrics import (
     output_metrics,
     weight_error,
 )
+from repro.sweep import SweepCache, SweepCell, run_sweep
 from repro.telemetry import NULL_COLLECTOR, SCHEMA_VERSION, TelemetryLike
 from repro.utils.validation import check_choice, check_positive
 from repro.xbar.device import DeviceConfig
-from repro.xbar.engine import CrossbarEngineConfig
+from repro.xbar.engine import (
+    CrossbarEngineConfig,
+    engine_config_from_dict,
+    engine_config_to_dict,
+)
 
 #: Sweepable fault axes: name -> DeviceConfig overrides at one rate.
 #: The "stuck" axis splits the rate evenly between stuck-off and
@@ -168,6 +185,150 @@ def _scenario_result(
     }
 
 
+@dataclass
+class ReferenceContext:
+    """The golden float model plus its evaluation set and baseline."""
+
+    reference: Any
+    inputs: np.ndarray
+    labels: np.ndarray
+    baseline_accuracy: float
+
+
+#: Per-process memo of reference contexts keyed by their defining
+#: arguments.  A worker process runs many cells of the same campaign;
+#: the (trained) golden reference is identical for all of them, so it
+#: is built once per process and reused.  Bounded small: a process
+#: rarely serves more than one campaign configuration at a time.
+_REFERENCE_MEMO: Dict[str, ReferenceContext] = {}
+_REFERENCE_MEMO_MAX = 2
+
+
+def _build_reference(
+    workload: str,
+    seed: int,
+    count: int,
+    batch: int,
+    train_epochs: int,
+    train_count: int,
+    collector: Optional[TelemetryLike],
+) -> ReferenceContext:
+    from repro.api import Simulator
+    from repro.serve.jobs import TrainingJob
+
+    reference = Simulator.from_workload(
+        workload, seed=seed, deploy=False, collector=collector
+    )
+    if train_epochs > 0:
+        reference.run(
+            TrainingJob(
+                workload=workload,
+                seed=seed,
+                epochs=train_epochs,
+                batch=batch,
+                train_count=train_count,
+            )
+        )
+    inputs, labels = reference.make_inputs(count)
+    baseline_logits = np.concatenate(
+        [
+            reference.network.forward(
+                inputs[start : start + batch], training=False
+            )
+            for start in range(0, count, batch)
+        ],
+        axis=0,
+    )
+    baseline_accuracy = float(
+        np.mean(np.argmax(baseline_logits, axis=1) == labels)
+    )
+    return ReferenceContext(reference, inputs, labels, baseline_accuracy)
+
+
+def reference_context(
+    workload: str,
+    seed: int,
+    count: int,
+    batch: int,
+    train_epochs: int,
+    train_count: int,
+    collector: Optional[TelemetryLike] = None,
+) -> ReferenceContext:
+    """Golden reference for one campaign configuration, memoised.
+
+    Deterministic in its arguments (the same seed trains the same
+    network and draws the same inputs in any process), so the
+    per-process memo changes cost, never results.  The memo is only
+    consulted for *untelemetered* requests — a caller that passes a
+    live collector gets a fresh build so its ``reference/...`` counter
+    tree is complete — but every build (telemetered or not) is stored,
+    which is how ``workers=1`` cells reuse the context their campaign
+    just built.
+    """
+    key = repr(
+        (
+            workload,
+            int(seed),
+            int(count),
+            int(batch),
+            int(train_epochs),
+            int(train_count),
+        )
+    )
+    live = collector is not None and bool(collector)
+    if not live and key in _REFERENCE_MEMO:
+        return _REFERENCE_MEMO[key]
+    context = _build_reference(
+        workload, seed, count, batch, train_epochs, train_count, collector
+    )
+    while len(_REFERENCE_MEMO) >= _REFERENCE_MEMO_MAX:
+        _REFERENCE_MEMO.pop(next(iter(_REFERENCE_MEMO)))
+    _REFERENCE_MEMO[key] = context
+    return context
+
+
+def run_campaign_cell(
+    spec: Dict[str, Any], collector: TelemetryLike
+) -> Dict[str, Any]:
+    """Sweep cell function for one (backend × scenario) campaign point.
+
+    Pure and pickle-free by construction (module-level, plain-data
+    spec): the spec carries everything — workload, seed, the scenario
+    triple, the full engine config as a dict — and the golden
+    reference is rebuilt deterministically in whichever process the
+    cell lands (see :func:`reference_context`).  Registered as sweep
+    kind ``"campaign_scenario"``.
+    """
+    scenario = FaultScenario(
+        name=str(spec["name"]),
+        axis=str(spec["axis"]),
+        rate=float(spec["rate"]),
+    )
+    base_config = engine_config_from_dict(spec["engine_config"])
+    context = reference_context(
+        spec["workload"],
+        int(spec["seed"]),
+        int(spec["count"]),
+        int(spec["batch"]),
+        int(spec["train_epochs"]),
+        int(spec["train_count"]),
+    )
+    return _scenario_result(
+        scenario,
+        str(spec["workload"]),
+        int(spec["seed"]),
+        base_config,
+        str(spec["backend"]),
+        context.reference,
+        context.inputs,
+        context.labels,
+        context.baseline_accuracy,
+        int(spec["batch"]),
+        bool(spec["include_tiles"]),
+        collector=collector,
+    )
+
+
 def run_campaign(
     workload: str = "mlp",
     axis: str = "stuck",
@@ -181,6 +342,10 @@ def run_campaign(
     train_count: int = 256,
     include_tiles: bool = True,
     collector: Optional[TelemetryLike] = None,
+    workers: int = 1,
+    sweep_cache: Optional[SweepCache] = None,
+    shard_order: Optional[Sequence[int]] = None,
+    mp_context: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Sweep one fault axis across a workload; return the full report.
 
@@ -213,12 +378,19 @@ def run_campaign(
         the reference training run writes under ``reference/...``, each
         scenario's engines under ``scenario[<name>]/...`` (prefixed by
         ``backend[<name>]/`` in ``"both"`` mode so the two runs stay
-        separable), plus campaign-level ``scenarios`` counters and
-        per-scenario timing spans.
+        separable), plus campaign-level ``scenarios`` counters and —
+        on the single-process path — per-scenario timing spans.
+    workers:
+        Process count for the scenario sweep.  ``workers=1`` runs the
+        cells inline (the legacy single-process path); any value
+        produces a byte-identical report.
+    sweep_cache:
+        Optional :class:`repro.sweep.SweepCache`: completed scenario
+        cells replay from disk, so an interrupted campaign resumes
+        without recomputation.
+    shard_order, mp_context:
+        Passed through to :func:`repro.sweep.run_sweep` (test hooks).
     """
-    from repro.api import Simulator
-    from repro.serve.jobs import TrainingJob
-
     check_choice("backend", backend, BACKENDS)
     check_positive("count", count)
     check_positive("batch", batch)
@@ -227,61 +399,67 @@ def run_campaign(
     base_config = engine_config or CrossbarEngineConfig()
 
     # Golden model: exact float forward, trained on the float path.
+    # Built through the same memoised context the cells use, so the
+    # inline (workers=1) cells reuse it instead of retraining.
     with tel.span("reference"):
-        reference = Simulator.from_workload(
-            workload, seed=seed, deploy=False, collector=tel.scope("reference")
+        context = reference_context(
+            workload,
+            seed,
+            count,
+            batch,
+            train_epochs,
+            train_count,
+            collector=tel.scope("reference"),
         )
-        if train_epochs > 0:
-            reference.run(
-                TrainingJob(
-                    workload=workload,
-                    seed=seed,
-                    epochs=train_epochs,
-                    batch=batch,
-                    train_count=train_count,
-                )
-            )
-        inputs, labels = reference.make_inputs(count)
-        baseline_logits = np.concatenate(
-            [
-                reference.network.forward(
-                    inputs[start : start + batch], training=False
-                )
-                for start in range(0, count, batch)
-            ],
-            axis=0,
-        )
-        baseline_accuracy = float(
-            np.mean(np.argmax(baseline_logits, axis=1) == labels)
-        )
+    baseline_accuracy = context.baseline_accuracy
 
     backends = ("loop", "vectorized") if backend == "both" else (backend,)
-    per_backend: Dict[str, List[Dict[str, Any]]] = {}
+    config_dict = engine_config_to_dict(base_config)
+    cells: List[SweepCell] = []
+    scopes: List[str] = []
     for run_backend in backends:
-        scenario_results: List[Dict[str, Any]] = []
         for scenario in scenarios:
             scope = f"scenario[{scenario.name}]"
             if backend == "both":
                 scope = f"backend[{run_backend}]/{scope}"
-            with tel.span(scope):
-                scenario_results.append(
-                    _scenario_result(
-                        scenario,
-                        workload,
-                        seed,
-                        base_config,
-                        run_backend,
-                        reference,
-                        inputs,
-                        labels,
-                        baseline_accuracy,
-                        batch,
-                        include_tiles,
-                        collector=tel.scope(scope) if tel else None,
-                    )
+            scopes.append(scope)
+            cells.append(
+                SweepCell(
+                    "campaign_scenario",
+                    {
+                        "name": scenario.name,
+                        "axis": scenario.axis,
+                        "rate": scenario.rate,
+                        "workload": workload,
+                        "seed": int(seed),
+                        "count": int(count),
+                        "batch": int(batch),
+                        "backend": run_backend,
+                        "engine_config": config_dict,
+                        "train_epochs": int(train_epochs),
+                        "train_count": int(train_count),
+                        "include_tiles": bool(include_tiles),
+                    },
                 )
-            tel.count("scenarios", 1)
-        per_backend[run_backend] = scenario_results
+            )
+
+    sweep = run_sweep(
+        cells,
+        workers=workers,
+        cache=sweep_cache,
+        collector=tel,
+        scope_for=lambda index, cell: scopes[index],
+        shard_order=shard_order,
+        mp_context=mp_context,
+    )
+    tel.count("scenarios", len(cells))
+    results_flat = sweep.results()
+    per_backend: Dict[str, List[Dict[str, Any]]] = {
+        run_backend: results_flat[
+            position * len(scenarios) : (position + 1) * len(scenarios)
+        ]
+        for position, run_backend in enumerate(backends)
+    }
     backends_match: Optional[bool] = None
     if backend == "both":
         for loop_result, vec_result in zip(

@@ -19,11 +19,19 @@ hits.  Per-model ``threading.Lock`` s ride along with each entry —
 the arrays are one physical resource, so jobs sharing an entry
 serialize on its lock while distinct entries run in parallel across
 the worker pool.
+
+The cache is **bounded**: at most ``max_entries`` deployments stay
+resident, evicted least-recently-leased first (a long-lived
+multi-tenant server would otherwise hold one programmed simulator per
+tenant forever).  Eviction only drops the cache's reference — a job
+still holding an evicted entry's lock keeps using its simulator
+safely; the entry simply won't be handed out again.
 """
 
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field as dataclass_field
 from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
@@ -35,6 +43,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (avoids the cycle)
     from repro.api import Simulator
 
 CacheKey = Tuple[str, str]
+
+#: Default residency bound: deployments are a few MB of programmed
+#: arrays each, and a serving box rarely juggles more than a handful
+#: of distinct (workload, seed, backend) tenants at once.
+DEFAULT_MAX_ENTRIES = 16
 
 
 @dataclass
@@ -50,26 +63,33 @@ class ProgrammedStateCache:
     """Deployed-simulator cache with single-flight misses.
 
     ``collector`` receives the cache counters (``cache/hits``,
-    ``cache/misses``, ``cache/entries``) — scope it under ``serve/``
-    in the server so the CI smoke can assert ``serve/cache/hits > 0``.
-    The hit/miss tally is deterministic for a drained job set
-    regardless of worker interleaving: each *job* counts exactly once,
-    and a key's builder is elected under the cache lock, so hits =
-    jobs - distinct keys.
+    ``cache/misses``, ``cache/entries``, ``cache/evictions``) — scope
+    it under ``serve/`` in the server so the CI smoke can assert
+    ``serve/cache/hits > 0``.  The hit/miss tally is deterministic for
+    a drained job set regardless of worker interleaving: each *job*
+    counts exactly once, and a key's builder is elected under the
+    cache lock, so hits = jobs - distinct keys.  ``max_entries``
+    bounds residency LRU-style (``None`` disables the bound).
     """
 
     def __init__(
         self,
         engine_config: Optional[CrossbarEngineConfig] = None,
         collector: Optional[TelemetryLike] = None,
+        max_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
     ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1 or None, got {max_entries}"
+            )
         self.engine_config = engine_config or CrossbarEngineConfig()
+        self.max_entries = max_entries
         # A private collector by default so stats() always counts,
         # even when nobody wired telemetry.
         self._collector = (
             collector if collector is not None else Collector()
         )
-        self._entries: Dict[CacheKey, CacheEntry] = {}
+        self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
         self._building: Dict[CacheKey, threading.Event] = {}
         self._lock = threading.Lock()
 
@@ -112,6 +132,8 @@ class ProgrammedStateCache:
             with self._lock:
                 entry = self._entries.get(key)
                 if entry is not None:
+                    # Leasing refreshes recency for the LRU bound.
+                    self._entries.move_to_end(key)
                     self._collector.count("cache/hits", 1)
                     return entry
                 pending = self._building.get(key)
@@ -135,7 +157,14 @@ class ProgrammedStateCache:
                     entry = CacheEntry(simulator=simulator, key=key)
                     with self._lock:
                         self._entries[key] = entry
+                        self._entries.move_to_end(key)
                         self._collector.count("cache/misses", 1)
+                        while (
+                            self.max_entries is not None
+                            and len(self._entries) > self.max_entries
+                        ):
+                            self._entries.popitem(last=False)
+                            self._collector.count("cache/evictions", 1)
                         self._collector.set(
                             "cache/entries", len(self._entries)
                         )
@@ -155,6 +184,7 @@ class ProgrammedStateCache:
             "hits": int(self._collector.get("cache/hits")),
             "misses": int(self._collector.get("cache/misses")),
             "entries": len(self._entries),
+            "evictions": int(self._collector.get("cache/evictions")),
         }
 
     def clear(self) -> None:
@@ -164,4 +194,9 @@ class ProgrammedStateCache:
             self._collector.set("cache/entries", 0)
 
 
-__all__ = ["CacheEntry", "CacheKey", "ProgrammedStateCache"]
+__all__ = [
+    "CacheEntry",
+    "CacheKey",
+    "DEFAULT_MAX_ENTRIES",
+    "ProgrammedStateCache",
+]

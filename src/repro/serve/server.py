@@ -59,7 +59,7 @@ from typing import (
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.serve.batcher import batch_invariant, run_coalesced
-from repro.serve.cache import ProgrammedStateCache
+from repro.serve.cache import DEFAULT_MAX_ENTRIES, ProgrammedStateCache
 from repro.serve.jobs import (
     JOB_KINDS,
     InferenceJob,
@@ -108,6 +108,9 @@ class ServerConfig:
     correctness.  ``coalesce_window`` is how long (seconds) the
     dispatcher lingers after the first queued job to let concurrent
     clients land in the same plan; ``0`` dispatches immediately.
+    ``cache_max_entries`` bounds the programmed-state cache
+    LRU-style (``None`` disables the bound — the pre-bound behavior,
+    which grows one resident deployment per distinct tenant).
     """
 
     host: str = "127.0.0.1"
@@ -119,10 +122,16 @@ class ServerConfig:
     engine_config: CrossbarEngineConfig = field(
         default_factory=_default_engine_config
     )
+    cache_max_entries: Optional[int] = DEFAULT_MAX_ENTRIES
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.cache_max_entries is not None and self.cache_max_entries < 1:
+            raise ValueError(
+                "cache_max_entries must be >= 1 or None, got "
+                f"{self.cache_max_entries}"
+            )
         if self.max_coalesce < 1:
             raise ValueError(
                 f"max_coalesce must be >= 1, got {self.max_coalesce}"
@@ -262,6 +271,7 @@ class JobServer:
         self._cache = ProgrammedStateCache(
             engine_config=self.config.engine_config,
             collector=self._serve_scope,
+            max_entries=self.config.cache_max_entries,
         )
         self._records: Dict[str, _JobRecord] = {}
         self._queue: "asyncio.Queue[Optional[_JobRecord]]" = asyncio.Queue()

@@ -1,0 +1,52 @@
+"""Distributed deterministic sweep runner.
+
+Shards independent sweep cells — (scenario × seed × backend) points —
+across a process pool without giving up the repo's byte-identical
+determinism contract: the merged ``sweep_report`` is a pure function
+of the cell list, identical for any worker count or shard order.
+Layering:
+
+* :mod:`repro.sweep.cells` — the cell model: plain-data
+  :class:`SweepCell`, the kind registry, and :func:`run_cell`;
+* :mod:`repro.sweep.cache` — on-disk result cache keyed by
+  ``(config_hash, seed)``; gives interrupted sweeps resume-for-free;
+* :mod:`repro.sweep.executor` — :func:`run_sweep`, the process-pool
+  scheduler (``workers=1`` is the same code run inline);
+* :mod:`repro.sweep.report` — merged schema-versioned documents.
+"""
+
+from repro.sweep.cache import SweepCache
+from repro.sweep.cells import (
+    BUILTIN_KINDS,
+    CellFunction,
+    SweepCell,
+    canonical_json,
+    register_cell_kind,
+    resolve_cell_kind,
+    run_cell,
+    validate_cell_payload,
+)
+from repro.sweep.executor import SweepRun, default_scope, run_sweep
+from repro.sweep.report import (
+    sweep_report,
+    sweep_summary,
+    validate_sweep_report,
+)
+
+__all__ = [
+    "BUILTIN_KINDS",
+    "CellFunction",
+    "SweepCache",
+    "SweepCell",
+    "SweepRun",
+    "canonical_json",
+    "default_scope",
+    "register_cell_kind",
+    "resolve_cell_kind",
+    "run_cell",
+    "run_sweep",
+    "sweep_report",
+    "sweep_summary",
+    "validate_cell_payload",
+    "validate_sweep_report",
+]

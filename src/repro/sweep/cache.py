@@ -1,0 +1,77 @@
+"""On-disk result cache for sweep cells: ``(config_hash, seed)`` keyed.
+
+Each completed cell's payload is stored as one JSON file under
+``<root>/<kind>/<config_hash>-<seed>.json``.  The key is *honest
+content hashing* in the same spirit as
+:meth:`repro.api.Simulator.cache_key`: the hash covers the cell's
+entire canonical spec, and a loaded file is re-verified against the
+requesting cell (kind, spec, hash) before it counts as a hit — a
+stale, corrupt, or colliding file degrades to a miss, never to a
+wrong result.
+
+Writes are atomic (:func:`repro.utils.io.write_json_atomic`), so an
+interrupted sweep leaves only complete cell files behind; re-running
+the same sweep replays those cells from disk without recomputation —
+the resume story of :mod:`repro.sweep.executor`.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.sweep.cells import SweepCell, validate_cell_payload
+from repro.utils.io import write_json_atomic
+
+_log = logging.getLogger("repro.sweep")
+
+
+class SweepCache:
+    """Directory-backed cell-result store (see module docstring)."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, cell: SweepCell) -> Path:
+        """Where ``cell``'s payload lives (whether or not it exists)."""
+        return (
+            self.root
+            / cell.kind
+            / f"{cell.config_hash()}-{cell.seed}.json"
+        )
+
+    def load(self, cell: SweepCell) -> Optional[Dict[str, Any]]:
+        """The verified cached payload for ``cell``, or ``None``.
+
+        Unreadable, unparsable, or mismatching files are logged and
+        treated as misses (the executor then recomputes and rewrites).
+        """
+        path = self.path_for(cell)
+        if not path.is_file():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            validate_cell_payload(payload, cell)
+        except (OSError, json.JSONDecodeError, ValueError) as error:
+            _log.warning(
+                "ignoring unusable cache file %s: %s", path, error
+            )
+            return None
+        return payload
+
+    def store(self, cell: SweepCell, payload: Dict[str, Any]) -> Path:
+        """Atomically persist ``cell``'s payload; returns its path."""
+        validate_cell_payload(payload, cell)
+        path = self.path_for(cell)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        return write_json_atomic(path, payload)
+
+    def __len__(self) -> int:
+        """Number of stored cell files (all kinds)."""
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+
+__all__ = ["SweepCache"]

@@ -46,7 +46,16 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, ContextManager, Dict, Iterator, List, Optional, Union
+from typing import (
+    Any,
+    ContextManager,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Union,
+)
 
 Number = Union[int, float]
 
@@ -151,6 +160,21 @@ class Collector:
     def counters(self) -> Dict[str, Number]:
         """Flat path -> value map, sorted by path (deterministic)."""
         return {path: self._counters[path] for path in sorted(self._counters)}
+
+    def merge_counters(self, counters: Mapping[str, Number]) -> None:
+        """Fold another collector's counter map into this one, additively.
+
+        This is how deterministic counters cross a process boundary:
+        a sweep cell runs under a private collector in its worker,
+        ships :meth:`counters` back inside its payload, and the
+        submitting process merges them here — in sorted-path order, so
+        the merged state is identical no matter which process computed
+        which cell.
+        """
+        if not self.enabled:
+            return
+        for path in sorted(counters):
+            self._counters[path] = self._counters.get(path, 0) + counters[path]
 
     def counter_tree(self) -> Dict[str, Any]:
         """Counters nested by ``/`` path segment.
@@ -353,6 +377,13 @@ class ScopedCollector:
 
     def clear_tree(self, prefix: str) -> None:
         self._base.clear_tree(self._path(prefix))
+
+    def merge_counters(self, counters: Mapping[str, Number]) -> None:
+        """Additively merge a counter map, rewriting paths under the scope."""
+        if not self._base.enabled:
+            return
+        for path in sorted(counters):
+            self._base.count(self._path(path), counters[path])
 
     def span(self, path: str) -> ContextManager[None]:
         return self._base.span(self._path(path))

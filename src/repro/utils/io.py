@@ -1,0 +1,96 @@
+"""Crash- and concurrency-safe file primitives.
+
+Several subsystems persist JSON documents that other processes read
+and rewrite — the bench trajectory history, the sweep result cache.
+A bare ``path.write_text`` is neither atomic (a reader can observe a
+half-written file) nor exclusive (two writers doing load→modify→write
+silently drop each other's updates).  This module is the single home
+of the two primitives that make those paths safe:
+
+* :func:`write_json_atomic` — write via a same-directory temp file and
+  ``os.replace``, so readers only ever see a complete document (and an
+  interrupted writer leaves the previous version intact);
+* :func:`exclusive_lock` — an advisory exclusive lock on a sidecar
+  ``<name>.lock`` file held across a read-modify-write section, so
+  concurrent writers serialize instead of losing updates.  Uses
+  ``fcntl.flock`` where available (distinct ``open()`` descriptions
+  exclude each other even within one process, so threads are covered
+  too) and degrades to atomic-write-only on platforms without it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator, Union
+
+try:  # pragma: no cover - platform gate, exercised implicitly
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+
+def write_json_atomic(
+    path: Union[str, Path], document: Any, indent: int = 2
+) -> Path:
+    """Serialize ``document`` to ``path`` atomically.
+
+    The JSON text (sorted keys, trailing newline) lands in a temp file
+    in the *same directory* and is moved into place with
+    ``os.replace``, which is atomic on POSIX: concurrent readers see
+    either the old complete document or the new one, never a torn
+    write.  Returns ``path``.
+    """
+    path = Path(path)
+    text = json.dumps(document, indent=indent, sort_keys=True) + "\n"
+    handle = tempfile.NamedTemporaryFile(
+        mode="w",
+        dir=path.parent,
+        prefix=f".{path.name}.",
+        suffix=".tmp",
+        delete=False,
+    )
+    try:
+        with handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(handle.name, path)
+    except BaseException:
+        # Never leave a stray temp file behind on failure.
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+@contextmanager
+def exclusive_lock(path: Union[str, Path]) -> Iterator[None]:
+    """Hold an advisory exclusive lock around a read-modify-write.
+
+    ``path`` is the file being protected; the lock itself lives on a
+    sidecar ``<name>.lock`` file next to it (locking the data file
+    directly would race with ``os.replace``, which swaps the inode the
+    lock is attached to).  Blocks until the lock is granted.  On
+    platforms without ``fcntl`` this is a no-op — callers still get
+    atomic replacement from :func:`write_json_atomic`.
+    """
+    path = Path(path)
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    lock_path = path.with_name(path.name + ".lock")
+    with open(lock_path, "a") as lock_handle:
+        fcntl.flock(lock_handle.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(lock_handle.fileno(), fcntl.LOCK_UN)
+
+
+__all__ = ["exclusive_lock", "write_json_atomic"]

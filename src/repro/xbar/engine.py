@@ -52,9 +52,10 @@ Two interchangeable backends evaluate the full datapath:
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -209,6 +210,40 @@ def device_config_hash(config: CrossbarEngineConfig) -> str:
     identically.
     """
     return hashlib.sha256(repr(config).encode()).hexdigest()
+
+
+def engine_config_to_dict(config: CrossbarEngineConfig) -> Dict[str, Any]:
+    """The full engine config as plain JSON data.
+
+    Inverse of :func:`engine_config_from_dict`; the sweep layer uses
+    this pair to carry a :class:`CrossbarEngineConfig` inside a cell
+    spec (plain dicts pickle cheaply, hash canonically, and survive a
+    JSON round-trip through the on-disk result cache).
+    """
+    return dataclasses.asdict(config)
+
+
+def engine_config_from_dict(data: Mapping[str, Any]) -> CrossbarEngineConfig:
+    """Rebuild a :class:`CrossbarEngineConfig` from its dict form.
+
+    Accepts exactly the output of :func:`engine_config_to_dict`
+    (unknown keys raise, matching the dataclass constructors), and
+    re-runs every ``__post_init__`` validation on the way in.
+    """
+    fields = dict(data)
+    device = fields.pop("device", None)
+    mapping = fields.pop("mapping", None)
+    encoding = fields.pop("encoding", None)
+    return CrossbarEngineConfig(
+        device=DeviceConfig(**device) if device is not None else PIPELAYER_DEVICE,
+        mapping=WeightMapping(**mapping) if mapping is not None else WeightMapping(),
+        encoding=(
+            InputEncoding(**encoding)
+            if encoding is not None
+            else InputEncoding(bits=8)
+        ),
+        **fields,
+    )
 
 
 #: Engine-level counter paths surfaced as ``XbarStats`` attributes.

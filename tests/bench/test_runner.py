@@ -65,8 +65,39 @@ class TestRunSuite:
         assert [b.name for b in quick.benches] == ["alpha"]
         full = _run(bench_dir, tmp_path, suite="full")
         assert [b.name for b in full.benches] == ["alpha", "slow"]
-        filtered = _run(bench_dir, tmp_path, suite="full", filter="sl*")
+        filtered = _run(
+            bench_dir, tmp_path, suite="full", name_filter="sl*"
+        )
         assert [b.name for b in filtered.benches] == ["slow"]
+
+    def test_deprecated_filter_alias(self, make_bench_dir, tmp_path):
+        bench_dir = make_bench_dir(
+            bench_good=GOOD_BENCH, bench_full=FULL_ONLY_BENCH
+        )
+        with pytest.warns(DeprecationWarning, match="name_filter"):
+            run = _run(bench_dir, tmp_path, suite="full", filter="sl*")
+        assert [b.name for b in run.benches] == ["slow"]
+        assert run.filter == "sl*"
+
+    def test_unexpected_kwarg_rejected(self, make_bench_dir, tmp_path):
+        bench_dir = make_bench_dir(bench_good=GOOD_BENCH)
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            _run(bench_dir, tmp_path, no_such_option=1)
+
+    def test_parallel_workers_match_serial(self, make_bench_dir,
+                                           tmp_path):
+        bench_dir = make_bench_dir(
+            bench_good=GOOD_BENCH, bench_full=FULL_ONLY_BENCH
+        )
+        serial = _run(bench_dir, tmp_path, suite="full")
+        parallel = _run(bench_dir, tmp_path, suite="full", workers=2)
+        assert [b.name for b in parallel.benches] == [
+            b.name for b in serial.benches
+        ]
+        assert [b.metrics for b in parallel.benches] == [
+            b.metrics for b in serial.benches
+        ]
+        assert parallel.exit_code == serial.exit_code == 0
 
     def test_update_then_compare_clean(self, make_bench_dir, tmp_path):
         bench_dir = make_bench_dir(bench_good=GOOD_BENCH)
@@ -155,6 +186,34 @@ class TestTrajectory:
         path.write_text(json.dumps({"kind": "something_else"}))
         with pytest.raises(ValueError, match="not a bench trajectory"):
             load_trajectory(path)
+
+    def test_concurrent_appends_keep_every_record(self, tmp_path):
+        """The bugfix: parallel appenders must not drop records (the
+        old load→append→rewrite raced and lost updates)."""
+        import threading
+
+        from repro.bench.runner import SuiteRun, append_trajectory
+
+        path = tmp_path / "traj.json"
+        runs = [
+            SuiteRun(
+                suite=f"s{i}", filter=None, benches=[], wall_time_s=0.0
+            )
+            for i in range(8)
+        ]
+        threads = [
+            threading.Thread(target=append_trajectory, args=(path, run))
+            for run in runs
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        document = load_trajectory(path)
+        assert len(document["runs"]) == 8
+        assert sorted(r["suite"] for r in document["runs"]) == sorted(
+            f"s{i}" for i in range(8)
+        )
 
 
 class TestBaselineValidation:

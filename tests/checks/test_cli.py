@@ -42,6 +42,10 @@ VIOLATIONS = {
         def f(x):
             return x == 0.5
         """,
+    "PY003": """
+        def f(filter):
+            return filter
+        """,
 }
 
 
@@ -101,7 +105,7 @@ def test_clean_json_on_committed_tree(capsys):
     assert document["findings"] == []
     assert set(document["rules"]) == {
         "RNG001", "DET001", "SCHEMA001", "TEL001",
-        "API001", "PY001", "PY002",
+        "API001", "PY001", "PY002", "PY003",
     }
 
 

@@ -486,6 +486,62 @@ class TestPy002:
         assert findings == []
 
 
+# -- PY003 ------------------------------------------------------------------
+
+
+class TestPy003:
+    def test_flags_builtin_shadowing_params(self):
+        findings = run(
+            """
+            def select(filter, type):
+                return filter, type
+            """,
+            ["PY003"],
+        )
+        assert rule_ids(findings) == ["PY003", "PY003"]
+        assert "'filter'" in findings[0].message
+        assert "select()" in findings[0].message
+
+    def test_flags_lambda_vararg_and_kwarg(self):
+        findings = run(
+            """
+            f = lambda list: list
+
+            def g(*input, **vars):
+                return input, vars
+            """,
+            ["PY003"],
+        )
+        assert rule_ids(findings) == ["PY003", "PY003", "PY003"]
+
+    def test_flags_kwonly_and_posonly(self):
+        findings = run(
+            """
+            def f(dict, /, *, range):
+                return dict, range
+            """,
+            ["PY003"],
+        )
+        assert rule_ids(findings) == ["PY003", "PY003"]
+
+    def test_allows_clean_and_site_injected_names(self):
+        findings = run(
+            """
+            def f(name_filter, type_, items, help, exit):
+                return name_filter
+            """,
+            ["PY003"],
+        )
+        assert findings == []
+
+    def test_noqa_suppression(self):
+        findings = run(
+            "def f(filter):  # repro: noqa[PY003]\n    return filter\n",
+            ["PY003"],
+        )
+        assert findings == []
+
+
 # -- engine-level behavior --------------------------------------------------
 
 

@@ -35,6 +35,7 @@ def test_every_registered_rule_ran_against_the_tree():
         "API001",
         "PY001",
         "PY002",
+        "PY003",
     }
 
 

@@ -118,7 +118,12 @@ class TestProgrammedStateCache:
         assert entry_a is entry_b
         other = cache.lease(InferenceJob(workload="mlp", seed=4))
         assert other is not entry_a
-        assert cache.stats() == {"hits": 1, "misses": 2, "entries": 2}
+        assert cache.stats() == {
+            "hits": 1,
+            "misses": 2,
+            "entries": 2,
+            "evictions": 0,
+        }
         assert collector.get("serve/cache/hits") == 1
         assert collector.get("serve/cache/misses") == 2
 
@@ -159,6 +164,57 @@ class TestProgrammedStateCache:
         assert stats["misses"] == 1
         assert stats["hits"] == 5
         assert stats["entries"] == 1
+
+    def test_lru_eviction_bounds_entries(self):
+        collector = Collector()
+        cache = ProgrammedStateCache(
+            engine_config=INVARIANT,
+            collector=collector.scope("serve"),
+            max_entries=2,
+        )
+        jobs = [InferenceJob(workload="mlp", seed=s) for s in (1, 2, 3)]
+        for job in jobs:
+            cache.lease(job)
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["evictions"] == 1
+        assert collector.get("serve/cache/evictions") == 1
+        # seed=1 was the least recently used entry, so it is gone:
+        # re-leasing it misses (and evicts seed=2 in turn).
+        cache.lease(jobs[0])
+        stats = cache.stats()
+        assert stats["misses"] == 4
+        assert stats["hits"] == 0
+        assert stats["evictions"] == 2
+
+    def test_lru_recency_updates_on_hit(self):
+        cache = ProgrammedStateCache(
+            engine_config=INVARIANT, max_entries=2
+        )
+        a = InferenceJob(workload="mlp", seed=1)
+        b = InferenceJob(workload="mlp", seed=2)
+        c = InferenceJob(workload="mlp", seed=3)
+        cache.lease(a)
+        cache.lease(b)
+        cache.lease(a)  # refresh a: b becomes least recently used
+        cache.lease(c)  # evicts b, not a
+        assert cache.stats()["evictions"] == 1
+        cache.lease(a)
+        assert cache.stats()["hits"] == 2  # a survived the eviction
+
+    def test_unbounded_when_max_entries_none(self):
+        cache = ProgrammedStateCache(
+            engine_config=INVARIANT, max_entries=None
+        )
+        for seed in range(40):
+            cache.lease(InferenceJob(workload="mlp", seed=seed))
+        stats = cache.stats()
+        assert stats["entries"] == 40
+        assert stats["evictions"] == 0
+
+    def test_bad_max_entries_rejected(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            ProgrammedStateCache(engine_config=INVARIANT, max_entries=0)
 
     def test_clear_drops_entries_keeps_totals(self):
         cache = ProgrammedStateCache(engine_config=INVARIANT)

@@ -1,0 +1,102 @@
+"""Cell-model contracts: hashing, registry, payload validation."""
+
+import json
+
+import pytest
+
+from repro.sweep import (
+    BUILTIN_KINDS,
+    SweepCell,
+    canonical_json,
+    register_cell_kind,
+    resolve_cell_kind,
+    run_cell,
+    validate_cell_payload,
+)
+
+
+def toy_cell(spec, collector):
+    collector.count("work", spec.get("x", 0))
+    return {"doubled": spec.get("x", 0) * 2, "seed": spec.get("seed", 0)}
+
+
+@pytest.fixture(autouse=True)
+def _toy_kind():
+    register_cell_kind("toy_cells", toy_cell)
+    yield
+
+
+class TestSweepCell:
+    def test_seed_defaults_to_zero(self):
+        assert SweepCell("toy_cells", {"x": 1}).seed == 0
+        assert SweepCell("toy_cells", {"x": 1, "seed": 9}).seed == 9
+
+    def test_config_hash_excludes_seed(self):
+        base = SweepCell("toy_cells", {"x": 1, "seed": 0})
+        reseeded = SweepCell("toy_cells", {"x": 1, "seed": 999})
+        assert base.config_hash() == reseeded.config_hash()
+
+    def test_config_hash_covers_kind_and_spec(self):
+        a = SweepCell("toy_cells", {"x": 1})
+        b = SweepCell("toy_cells", {"x": 2})
+        c = SweepCell("other", {"x": 1})
+        assert a.config_hash() != b.config_hash()
+        assert a.config_hash() != c.config_hash()
+
+    def test_config_hash_is_key_order_independent(self):
+        a = SweepCell("toy_cells", {"x": 1, "y": 2})
+        b = SweepCell("toy_cells", {"y": 2, "x": 1})
+        assert a.config_hash() == b.config_hash()
+
+    def test_label_prefers_name(self):
+        assert SweepCell("toy_cells", {"name": "p0"}).label == "p0"
+        anonymous = SweepCell("toy_cells", {"x": 1})
+        assert anonymous.label == anonymous.config_hash()[:12]
+
+
+class TestRegistry:
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown sweep cell kind"):
+            resolve_cell_kind("no-such-kind")
+
+    def test_builtin_kinds_resolve_lazily(self):
+        for kind in BUILTIN_KINDS:
+            assert callable(resolve_cell_kind(kind))
+
+    def test_registered_kind_wins(self):
+        assert resolve_cell_kind("toy_cells") is toy_cell
+
+
+class TestRunCell:
+    def test_payload_shape_and_counters(self):
+        cell = SweepCell("toy_cells", {"name": "c", "x": 3, "seed": 7})
+        payload = run_cell(cell)
+        assert payload["kind"] == "toy_cells"
+        assert payload["seed"] == 7
+        assert payload["config_hash"] == cell.config_hash()
+        assert payload["result"] == {"doubled": 6, "seed": 7}
+        assert payload["counters"] == {"work": 3}
+        validate_cell_payload(payload, cell)
+
+    def test_payload_is_canonical_json(self):
+        # Computed payloads must be structurally identical to a cache
+        # replay: a JSON round-trip is a fixed point.
+        payload = run_cell(SweepCell("toy_cells", {"x": 1, "seed": 2}))
+        assert json.loads(canonical_json(payload)) == payload
+        assert canonical_json(
+            json.loads(canonical_json(payload))
+        ) == canonical_json(payload)
+
+
+class TestValidatePayload:
+    def test_missing_key_rejected(self):
+        payload = run_cell(SweepCell("toy_cells", {"x": 1}))
+        broken = {k: v for k, v in payload.items() if k != "result"}
+        with pytest.raises(ValueError, match="missing key"):
+            validate_cell_payload(broken)
+
+    def test_wrong_cell_rejected(self):
+        payload = run_cell(SweepCell("toy_cells", {"x": 1}))
+        other = SweepCell("toy_cells", {"x": 2})
+        with pytest.raises(ValueError, match="does not describe"):
+            validate_cell_payload(payload, other)

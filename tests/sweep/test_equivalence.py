@@ -1,0 +1,100 @@
+"""The ISSUE-level determinism proofs.
+
+1. Shuffled-shard equivalence: a campaign merged from 4 workers with
+   shards submitted in reversed/shuffled order is byte-identical to
+   the single-process run.
+2. Campaign-cell purity: the same cell executed twice in *fresh*
+   (spawn) processes yields identical canonical JSON.
+"""
+
+import json
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.reliability.campaign import run_campaign
+from repro.sweep import SweepCell, canonical_json, run_cell
+from repro.xbar.engine import CrossbarEngineConfig, engine_config_to_dict
+
+FAST = dict(workload="mlp", count=16, batch=8, train_epochs=1)
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable",
+)
+needs_spawn = pytest.mark.skipif(
+    "spawn" not in multiprocessing.get_all_start_methods(),
+    reason="spawn start method unavailable",
+)
+
+
+def _report_bytes(**kwargs):
+    report = run_campaign(seed=5, rates=(0.0, 0.01), **FAST, **kwargs)
+    return json.dumps(report, sort_keys=True).encode()
+
+
+class TestShuffledShardEquivalence:
+    @needs_fork
+    def test_workers_and_shard_order_do_not_change_report(self):
+        solo = _report_bytes(workers=1)
+        pooled = _report_bytes(workers=4, mp_context="fork")
+        reversed_ = _report_bytes(
+            workers=4, mp_context="fork", shard_order=[1, 0]
+        )
+        assert solo == pooled == reversed_
+
+    @needs_fork
+    def test_both_backends_shuffled(self):
+        solo = _report_bytes(workers=1, backend="both")
+        shuffled = _report_bytes(
+            workers=4,
+            mp_context="fork",
+            backend="both",
+            shard_order=[3, 1, 2, 0],
+        )
+        assert solo == shuffled
+
+
+def _purity_cell() -> SweepCell:
+    return SweepCell(
+        "campaign_scenario",
+        {
+            "name": "stuck@0.01",
+            "axis": "stuck",
+            "rate": 0.01,
+            "workload": "mlp",
+            "seed": 5,
+            "count": 16,
+            "batch": 8,
+            "backend": "vectorized",
+            "engine_config": engine_config_to_dict(CrossbarEngineConfig()),
+            "train_epochs": 1,
+            "train_count": 256,
+            "include_tiles": True,
+        },
+    )
+
+
+def _run_in_fresh_process(cell: SweepCell) -> str:
+    context = multiprocessing.get_context("spawn")
+    with ProcessPoolExecutor(max_workers=1, mp_context=context) as pool:
+        return canonical_json(pool.submit(run_cell, cell).result())
+
+
+class TestCampaignCellPurity:
+    @needs_spawn
+    def test_same_cell_twice_in_fresh_processes(self):
+        cell = _purity_cell()
+        first = _run_in_fresh_process(cell)
+        second = _run_in_fresh_process(cell)
+        assert first == second
+
+    def test_fresh_process_matches_inline(self):
+        cell = _purity_cell()
+        inline = canonical_json(run_cell(cell))
+        if "spawn" in multiprocessing.get_all_start_methods():
+            assert inline == _run_in_fresh_process(cell)
+        # Inline purity holds regardless of start methods: the memoised
+        # reference context must not leak state between runs.
+        assert inline == canonical_json(run_cell(cell))

@@ -86,6 +86,37 @@ class TestCounters:
         assert collector.spans() == []
 
 
+class TestMergeCounters:
+    def test_merge_is_additive(self):
+        collector = Collector()
+        collector.count("a/b", 1)
+        collector.merge_counters({"a/b": 2, "c": 5})
+        assert collector.get("a/b") == 3
+        assert collector.get("c") == 5
+
+    def test_merge_order_independent(self):
+        one, two = Collector(), Collector()
+        one.merge_counters({"x": 1, "y": 2})
+        one.merge_counters({"y": 3})
+        two.merge_counters({"y": 3})
+        two.merge_counters({"y": 2, "x": 1})
+        assert one.counters() == two.counters()
+
+    def test_scoped_merge_prefixes(self):
+        collector = Collector()
+        collector.scope("cell[a]").merge_counters({"work": 2, "n/m": 1})
+        assert collector.counters() == {
+            "cell[a]/n/m": 1,
+            "cell[a]/work": 2,
+        }
+
+    def test_disabled_merge_is_noop(self):
+        collector = Collector(enabled=False)
+        collector.merge_counters({"a": 1})
+        collector.scope("s").merge_counters({"a": 1})
+        assert collector.counters() == {}
+
+
 class TestDisabled:
     def test_disabled_mutators_are_noops(self):
         collector = Collector(enabled=False)
