@@ -9,9 +9,14 @@ compatible requests into coalesced batched evaluations — while every
 per-job logits digest stays byte-identical to the naive path (asserted
 here; that is the serving contract, not a tolerance).
 
-Recorded metrics are scheduling/cache tallies, which are exact for a
-drained job list; wall time and jobs/s stay outside ``metrics`` so the
-baseline gate never bands a wall-clock number.
+Recorded metrics are scheduling/cache tallies plus the deterministic
+half of the latency telemetry: histogram observation counts (one
+queue-wait and one end-to-end sample per drained job, exactly) and the
+coalesce batch-size percentiles, which are pure functions of the
+schedule.  Wall time, jobs/s, and the *values* of the ``*_seconds``
+histograms stay outside ``metrics`` so the baseline gate never bands
+a wall-clock number — the latency percentile table is recorded in the
+document's ``latency`` extra instead.
 """
 
 from __future__ import annotations
@@ -22,7 +27,7 @@ from benchmarks._common import format_table, record, record_json
 from repro.api import InferenceJob, Simulator
 from repro.bench import register
 from repro.serve.server import ServerConfig, call_on, running_server
-from repro.telemetry import Collector
+from repro.telemetry import Collector, histogram_percentiles, latency_summary
 from repro.telemetry import bench_document as _bench_document
 from repro.xbar.engine import weights_hash
 
@@ -76,6 +81,9 @@ def bench_serve_throughput():
     assert all(report["status"] == "done" for report in reports)
 
     counters = collector.counters()
+    histograms = collector.histograms()
+    batch_size = histograms["serve/coalesce/batch_size_jobs"]
+    batch_percentiles = histogram_percentiles(batch_size)
     metrics = {
         "jobs_done": float(counters.get("serve/jobs.done", 0)),
         "cache_hits": float(counters.get("serve/cache/hits", 0)),
@@ -87,7 +95,27 @@ def bench_serve_throughput():
         "coalesced_inputs": float(
             counters.get("serve/coalesced.inputs", 0)
         ),
+        # Deterministic latency telemetry: exactly one queue-wait and
+        # one end-to-end observation per drained job, and batch-size
+        # percentiles that are a pure function of the coalesce plan.
+        "queue_wait_observations": float(
+            histograms["serve/latency/queue_wait_seconds"]["count"]
+        ),
+        "e2e_observations": float(
+            histograms["serve/latency/e2e_seconds"]["count"]
+        ),
+        "batch_size_observations": float(batch_size["count"]),
+        "batch_size_p50_jobs": batch_percentiles["p50"],
+        "batch_size_p95_jobs": batch_percentiles["p95"],
+        "batch_size_p99_jobs": batch_percentiles["p99"],
     }
+    latency = latency_summary(
+        {
+            path: view
+            for path, view in histograms.items()
+            if "tenant[" not in path
+        }
+    )
     speedup = naive_s / served_s
     rows = [
         ("naive", naive_s * 1e3, JOBS / naive_s, "-"),
@@ -108,7 +136,22 @@ def bench_serve_throughput():
         f"{int(metrics['coalesced_jobs'])} jobs coalesced into "
         f"{int(metrics['coalesced_batches'])} batched evaluations",
         "per-job logits digests byte-identical to the naive path",
+        "",
+        "served latency percentiles (wall clock; not baseline-gated):",
     ]
+    lines += format_table(
+        ["histogram", "n", "p50 ms", "p95 ms", "p99 ms"],
+        [
+            (
+                row["path"],
+                row["count"],
+                row["p50"] * 1e3,
+                row["p95"] * 1e3,
+                row["p99"] * 1e3,
+            )
+            for row in latency
+        ],
+    )
     record("serve_throughput", lines)
     record_json(
         "serve_throughput",
@@ -128,6 +171,7 @@ def bench_serve_throughput():
                 "naive_wall_time_s": naive_s,
                 "speedup_vs_naive": speedup,
                 "metrics": metrics,
+                "latency": latency,
             },
         ),
     )

@@ -19,6 +19,10 @@ SCHEMA001 a public ``*_report`` / ``*_document`` / ``report``
           ``schema_version`` key.
 TEL001    telemetry counter/span path literals that break the
           ``/``-separated lowercase ``segment[idx].metric`` grammar.
+TEL002    histogram/metric observation paths (``observe`` /
+          ``timed`` call sites) whose leaf lacks a unit suffix
+          (``_seconds``, ``_bytes``, ``_jobs``, ...); unit-suffixed
+          names are what keep the Prometheus exposition legible.
 API001    importing a deprecated ``repro.core`` flat-shim name from
           inside the package (the shim table in
           ``repro/core/__init__.py`` is the source of truth).
@@ -310,6 +314,35 @@ _TEL_LEAF = rf"{_TEL_ATOM}(?:\.{_TEL_ATOM})*"
 #: A full counter/span path: ``/``-separated segments.
 _TEL_PATH = re.compile(rf"{_TEL_LEAF}(?:/{_TEL_LEAF})*\Z")
 
+#: Receiver names (after stripping leading underscores) that look
+#: like collectors at telemetry call sites.
+_TEL_RECEIVERS = frozenset({"tel", "telemetry", "collector"})
+
+
+def _telemetry_receiver(func: ast.Attribute) -> Optional[str]:
+    """The name of the object a telemetry method is called on."""
+    value = func.value
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    if isinstance(value, ast.Name):
+        return value.id
+    return None
+
+
+def _path_template(node: ast.AST) -> Optional[str]:
+    """The path template with placeholders replaced by ``'0'``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr):
+        parts = []
+        for piece in node.values:
+            if isinstance(piece, ast.Constant):
+                parts.append(str(piece.value))
+            else:
+                parts.append("0")
+        return "".join(parts)
+    return None
+
 
 @register
 class TelemetryPathRule(Rule):
@@ -328,29 +361,6 @@ class TelemetryPathRule(Rule):
     )
 
     _METHODS = frozenset({"count", "set", "span", "scope"})
-    _RECEIVERS = frozenset({"tel", "telemetry", "collector"})
-
-    def _receiver_name(self, func: ast.Attribute) -> Optional[str]:
-        value = func.value
-        if isinstance(value, ast.Attribute):
-            return value.attr
-        if isinstance(value, ast.Name):
-            return value.id
-        return None
-
-    def _template(self, node: ast.AST) -> Optional[str]:
-        """The path template with placeholders replaced by ``'0'``."""
-        if isinstance(node, ast.Constant) and isinstance(node.value, str):
-            return node.value
-        if isinstance(node, ast.JoinedStr):
-            parts = []
-            for piece in node.values:
-                if isinstance(piece, ast.Constant):
-                    parts.append(str(piece.value))
-                else:
-                    parts.append("0")
-            return "".join(parts)
-        return None
 
     def check(self, context: FileContext) -> Iterator[Finding]:
         for node in ast.walk(context.tree):
@@ -361,13 +371,13 @@ class TelemetryPathRule(Rule):
                 and node.args
             ):
                 continue
-            receiver = self._receiver_name(node.func)
+            receiver = _telemetry_receiver(node.func)
             if (
                 receiver is None
-                or receiver.lstrip("_") not in self._RECEIVERS
+                or receiver.lstrip("_") not in _TEL_RECEIVERS
             ):
                 continue
-            template = self._template(node.args[0])
+            template = _path_template(node.args[0])
             if template is None:
                 continue
             if not _TEL_PATH.match(template):
@@ -377,6 +387,84 @@ class TelemetryPathRule(Rule):
                     f"telemetry path {template!r} must be /-separated "
                     "lowercase segments with optional [idx] and "
                     ".metric suffixes",
+                )
+
+
+# -- TEL002 -----------------------------------------------------------------
+
+#: Unit suffixes an observation path's leaf may end with — what makes
+#: a histogram name self-describing in the Prometheus exposition.
+_TEL_UNITS = (
+    "seconds", "bytes", "jobs", "inputs", "cells", "entries",
+    "calls", "ratio", "total",
+)
+
+
+@register
+class MetricNameRule(Rule):
+    """Observation paths are lowercase and carry a unit suffix.
+
+    Checked at ``observe`` / ``timed`` call sites — the histogram half
+    of the collector API — on receivers that look like collectors or
+    scoped views (``tel`` / ``collector`` / ``telemetry`` plus any
+    name ending in ``scope`` or ``collector``, e.g. ``_serve_scope``).
+    Beyond the TEL001 path grammar, the leaf's final dotted atom must
+    end in one of the unit suffixes (``_seconds``, ``_bytes``,
+    ``_jobs``, ...), so every exposed metric name says what it
+    measures (``latency/queue_wait_seconds``, never
+    ``latency/queue_wait``).
+    """
+
+    id = "TEL002"
+    summary = (
+        "observed metric path must be lowercase and unit-suffixed "
+        "(_seconds, _bytes, _jobs, ...)"
+    )
+
+    _METHODS = frozenset({"observe", "timed"})
+
+    @staticmethod
+    def _is_collector_name(receiver: str) -> bool:
+        stripped = receiver.lstrip("_")
+        return (
+            stripped in _TEL_RECEIVERS
+            or stripped.endswith("scope")
+            or stripped.endswith("collector")
+        )
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._METHODS
+                and node.args
+            ):
+                continue
+            receiver = _telemetry_receiver(node.func)
+            if receiver is None or not self._is_collector_name(receiver):
+                continue
+            template = _path_template(node.args[0])
+            if template is None:
+                continue
+            if not _TEL_PATH.match(template):
+                yield context.finding(
+                    self,
+                    node.args[0],
+                    f"metric path {template!r} must be /-separated "
+                    "lowercase segments with optional [idx] and "
+                    ".metric suffixes",
+                )
+                continue
+            leaf = template.rsplit("/", 1)[-1].rsplit(".", 1)[-1]
+            base = leaf.partition("[")[0]
+            if not base.endswith(tuple(f"_{u}" for u in _TEL_UNITS)):
+                yield context.finding(
+                    self,
+                    node.args[0],
+                    f"metric path {template!r} leaf {base!r} lacks a "
+                    "unit suffix; end it in one of "
+                    f"{', '.join('_' + u for u in _TEL_UNITS)}",
                 )
 
 

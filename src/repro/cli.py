@@ -14,6 +14,7 @@ Usage::
     repro reliability mlp --axis stuck --backend both
     repro serve --port 8077             # multi-tenant job server
     repro serve --smoke 20 --json       # CI smoke: mixed jobs, twice
+    repro top --port 8077               # live per-tenant latency table
     repro check --format json          # determinism/contract linter
 
 (``python -m repro.cli ...`` works identically when the console script
@@ -54,8 +55,11 @@ from repro.telemetry import (
     Collector,
     analyze_counters,
     counters_from,
+    histogram_percentiles,
+    parse_prometheus,
     profile_report,
     render_analysis_report,
+    sample_value,
     validate_analysis_report,
     validate_profile_report,
 )
@@ -70,7 +74,7 @@ from repro.workloads import (
 #: Subcommands that may not be wrapped by profile/report (they are
 #: wrappers, whole-suite drivers, long-lived servers, or — like the
 #: linter — not simulations at all).
-_UNWRAPPABLE = ("profile", "report", "bench", "check", "serve")
+_UNWRAPPABLE = ("profile", "report", "bench", "check", "serve", "top")
 
 _WORKLOADS = {
     "mnist": mnist_cnn_spec,
@@ -355,6 +359,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     )
                 )
 
+    trace_root = None
+    trace_log = None
+    if args.trace_out:
+        from repro.telemetry import TraceContext, TraceLog
+
+        trace_log = TraceLog(proc="driver")
+        trace_root = TraceContext.root("sweep", trace_log)
+
     collector = getattr(args, "collector", None)
     run = run_sweep(
         cells,
@@ -362,7 +374,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache=SweepCache(args.cache_dir) if args.cache_dir else None,
         collector=collector.scope("sweep") if collector else None,
         scope_for=lambda index, cell: scopes[index],
+        trace=trace_root,
     )
+    if trace_root is not None and trace_log is not None:
+        from repro.telemetry import trace_chrome_document
+
+        trace_root.finish({"cells": len(cells)})
+        write_json_atomic(
+            Path(args.trace_out),
+            trace_chrome_document(trace_log.spans()),
+        )
     report = sweep_report(
         run,
         {
@@ -480,6 +501,40 @@ def _smoke_jobs(count: int, seed: int) -> List["api.JobSpec"]:
     return jobs
 
 
+def _smoke_metrics_checks(
+    snapshots: List[str], job_count: int
+) -> Tuple[bool, bool, int]:
+    """Parse the smoke's two ``/v1/metrics`` scrapes and check them.
+
+    Returns ``(metrics_ok, metrics_deterministic, e2e_count)``:
+    ``metrics_ok`` means both scrapes parse and the latency histograms
+    are nonzero; ``metrics_deterministic`` means every latency
+    *observation count* advanced by exactly ``job_count`` per pass
+    (wall-clock values vary; how many samples land does not).
+    """
+    try:
+        first, second = (
+            parse_prometheus(snapshot) for snapshot in snapshots
+        )
+    except ValueError:
+        return False, False, 0
+    names = (
+        "repro_serve_latency_queue_wait_seconds_count",
+        "repro_serve_latency_e2e_seconds_count",
+        "repro_serve_jobs_done",
+    )
+    counts = [
+        (int(sample_value(first, name)), int(sample_value(second, name)))
+        for name in names
+    ]
+    metrics_ok = all(after > 0 for _, after in counts)
+    metrics_deterministic = all(
+        before == job_count and after == 2 * job_count
+        for before, after in counts
+    )
+    return metrics_ok, metrics_deterministic, counts[1][1]
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the multi-tenant job server (or its self-checking smoke)."""
     from repro.serve.client import ServeClient
@@ -488,12 +543,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         running_server,
         validate_job_report,
     )
+    from repro.telemetry import validate_trace_document
 
     config = ServerConfig(
         host=args.host,
         port=args.port,
         workers=args.workers,
         max_coalesce=args.max_coalesce,
+        event_log=args.event_log,
     )
     if args.smoke is None:
         with running_server(config) as (_, (host, port)):
@@ -519,9 +576,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print("serve: health probe failed", file=sys.stderr)
             return 1
         # Same mix twice: the second pass must hit the warm cache and
-        # reproduce every result payload byte-for-byte.
-        reports = [client.run_many(jobs), client.run_many(jobs)]
+        # reproduce every result payload byte-for-byte.  A metrics
+        # scrape after each pass checks the exposition is parseable
+        # and its observation counts advance deterministically.
+        reports, metric_snapshots = [], []
+        for _ in range(2):
+            reports.append(client.run_many(jobs))
+            metric_snapshots.append(client.metrics_text())
         stats = client.stats()
+        trace_ok = True
+        try:
+            validate_trace_document(
+                client.trace(reports[0][0]["job_id"])
+            )
+        except (ValueError, KeyError, IndexError):
+            trace_ok = False
     for report in reports[0] + reports[1]:
         validate_job_report(report)
     failed = sum(
@@ -532,9 +601,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     deterministic = [r["result"] for r in reports[0]] == [
         r["result"] for r in reports[1]
     ]
+    metrics_ok, metrics_deterministic, observed = _smoke_metrics_checks(
+        metric_snapshots, len(jobs)
+    )
     cache_hits = int(stats["counters"].get("serve/cache/hits", 0))
     coalesced = int(stats["counters"].get("serve/coalesced.jobs", 0))
-    ok = deterministic and cache_hits > 0 and failed == 0
+    ok = (
+        deterministic
+        and cache_hits > 0
+        and failed == 0
+        and metrics_ok
+        and metrics_deterministic
+        and trace_ok
+    )
     document = {
         "schema_version": SCHEMA_VERSION,
         "jobs": len(jobs),
@@ -544,16 +623,137 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "cache_hits": cache_hits,
         "cache": stats["cache"],
         "coalesced_jobs": coalesced,
+        "metrics_ok": metrics_ok,
+        "metrics_deterministic": metrics_deterministic,
+        "latency_observations": observed,
+        "trace_ok": trace_ok,
         "ok": ok,
     }
+    if args.event_log is not None:
+        from repro.telemetry import read_event_log
+
+        document["events"] = len(read_event_log(args.event_log))
     text = (
         f"serve smoke: {len(jobs)} jobs x 2 runs on {host}:{port} — "
         f"{failed} failed, deterministic={deterministic}, "
-        f"cache hits={cache_hits}, coalesced jobs={coalesced} -> "
+        f"cache hits={cache_hits}, coalesced jobs={coalesced}, "
+        f"metrics ok={metrics_ok} deterministic="
+        f"{metrics_deterministic}, trace ok={trace_ok} -> "
         f"{'OK' if ok else 'FAIL'}"
     )
     _emit(args, document, text)
     return 0 if ok else 1
+
+
+_TENANT_PREFIX = "serve/tenant["
+
+
+def _top_rows(
+    stats: dict, previous: Optional[dict], interval: float
+) -> List[dict]:
+    """Per-tenant throughput/latency/cache rows from a stats document."""
+    counters = stats.get("counters", {})
+    histograms = stats.get("histograms", {})
+    tenants = sorted(
+        {
+            path[len(_TENANT_PREFIX) : path.index("]")]
+            for path in list(counters) + list(histograms)
+            if path.startswith(_TENANT_PREFIX) and "]" in path
+        }
+    )
+    rows = []
+    for tenant in tenants:
+        prefix = f"{_TENANT_PREFIX}{tenant}]/"
+        done = sum(
+            value
+            for path, value in counters.items()
+            if path.startswith(f"{prefix}jobs[")
+        )
+        previous_done = 0.0
+        if previous is not None:
+            previous_done = sum(
+                value
+                for path, value in previous.get("counters", {}).items()
+                if path.startswith(f"{prefix}jobs[")
+            )
+        histogram = histograms.get(f"{prefix}latency/e2e_seconds")
+        percentiles = (
+            histogram_percentiles(histogram)
+            if histogram
+            else {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        )
+        rows.append(
+            {
+                "tenant": tenant,
+                "submitted": int(counters.get(f"{prefix}submitted", 0)),
+                "done": int(done),
+                "throughput_jobs_s": (
+                    (done - previous_done) / interval
+                    if previous is not None and interval > 0
+                    else 0.0
+                ),
+                **{
+                    key: round(float(value), 6)
+                    for key, value in percentiles.items()
+                },
+            }
+        )
+    return rows
+
+
+def _render_top(stats: dict, rows: List[dict]) -> str:
+    """One ``repro top`` frame as plain text."""
+    cache = stats.get("cache", {})
+    lookups = cache.get("hits", 0) + cache.get("misses", 0)
+    hit_ratio = cache.get("hits", 0) / lookups if lookups else 0.0
+    lines = [
+        f"queue depth {stats.get('queue_depth', 0)}; cache "
+        f"{cache.get('hits', 0)}/{lookups} hits "
+        f"({hit_ratio:.0%}), {cache.get('entries', 0)} resident",
+        f"{'tenant':<12s}{'subm':>6s}{'done':>6s}{'jobs/s':>8s}"
+        f"{'p50(s)':>10s}{'p95(s)':>10s}{'p99(s)':>10s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['tenant']:<12s}{row['submitted']:>6d}"
+            f"{row['done']:>6d}{row['throughput_jobs_s']:>8.2f}"
+            f"{row['p50']:>10.4f}{row['p95']:>10.4f}{row['p99']:>10.4f}"
+        )
+    if len(lines) == 2:
+        lines.append("(no tenant activity yet)")
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live per-tenant throughput/latency table over ``/v1/stats``."""
+    from repro.serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.host, args.port)
+    previous: Optional[dict] = None
+    for iteration in range(args.count):
+        if iteration:
+            time.sleep(args.interval)
+        try:
+            stats = client.stats()
+        except (OSError, ServeError) as error:
+            print(f"top: cannot reach server: {error}", file=sys.stderr)
+            return 1
+        rows = _top_rows(
+            stats, previous, args.interval if iteration else 0.0
+        )
+        if args.json:
+            document = {
+                "schema_version": SCHEMA_VERSION,
+                "queue_depth": stats.get("queue_depth", 0),
+                "cache": stats.get("cache", {}),
+                "tenants": rows,
+            }
+            json.dump(document, sys.stdout, indent=2)
+            sys.stdout.write("\n")
+        else:
+            print(_render_top(stats, rows))
+        previous = stats
+    return 0
 
 
 def _profile_summary(document: dict) -> str:
@@ -1015,6 +1215,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="write execution stats (workers, cache hits) to this "
         "file; they are kept out of the deterministic report",
     )
+    p_sweep.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help="write a stitched Chrome-trace of the sweep (logical "
+        "clocks; byte-identical for any --workers value)",
+    )
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_train = sub.add_parser(
@@ -1079,7 +1286,45 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="run the N-job self-check instead of serving forever",
     )
+    p_serve.add_argument(
+        "--event-log",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="append one JSONL event per job lifecycle transition "
+        "(submitted/dispatched/done/error) to FILE",
+    )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_top = sub.add_parser(
+        "top",
+        parents=[shared],
+        help="live per-tenant throughput/latency table from a running "
+        "server",
+        description="Poll a job server's /v1/stats and render "
+        "per-tenant submitted/done counts, throughput, e2e latency "
+        "percentiles (p50/p95/p99 from the server's histograms), and "
+        "the programmed-state cache hit ratio.",
+    )
+    p_top.add_argument(
+        "--host", default="127.0.0.1", help="server address"
+    )
+    p_top.add_argument(
+        "--port", type=int, required=True, help="server port"
+    )
+    p_top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between polls (default 2)",
+    )
+    p_top.add_argument(
+        "--count",
+        type=int,
+        default=1,
+        help="how many frames to render before exiting (default 1)",
+    )
+    p_top.set_defaults(func=_cmd_top)
 
     p_profile = sub.add_parser(
         "profile",

@@ -62,6 +62,7 @@ __all__ = [
     "coalesce_plan",
     "job_report",
     "validate_job_report",
+    "validate_stats_report",
 ]
 
 #: Lazily resolved server-stack exports -> defining submodule.  The
@@ -72,6 +73,7 @@ _LAZY = {
     "ServerConfig": "repro.serve.server",
     "job_report": "repro.serve.server",
     "validate_job_report": "repro.serve.server",
+    "validate_stats_report": "repro.serve.server",
     "ProgrammedStateCache": "repro.serve.cache",
     "ServeClient": "repro.serve.client",
     "batch_invariant": "repro.serve.batcher",

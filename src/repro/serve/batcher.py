@@ -77,7 +77,8 @@ def run_coalesced(
     total = inputs.shape[0]
     slab = max(job.batch for job in jobs)
     outputs = []
-    with collector.span("coalesced_forward"):
+    with collector.span("coalesced_forward"), \
+            collector.timed("latency/engine_evaluate_seconds"):
         for start in range(0, total, slab):
             outputs.append(
                 simulator.network.forward(

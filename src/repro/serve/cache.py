@@ -36,7 +36,7 @@ from dataclasses import dataclass, field as dataclass_field
 from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.serve.jobs import JobSpec
-from repro.telemetry import Collector, TelemetryLike
+from repro.telemetry import Collector, TelemetryLike, wall_clock
 from repro.xbar.engine import CrossbarEngineConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids the cycle)
@@ -127,6 +127,7 @@ class ProgrammedStateCache:
         """
         from repro.api import Simulator
 
+        lookup_started = wall_clock()
         key = self.key_for(job)
         while True:
             with self._lock:
@@ -135,6 +136,13 @@ class ProgrammedStateCache:
                     # Leasing refreshes recency for the LRU bound.
                     self._entries.move_to_end(key)
                     self._collector.count("cache/hits", 1)
+                    # Observed under the cache lock: the collector may
+                    # be shared with the server's event loop, and the
+                    # lock already serializes the counter writes.
+                    self._collector.observe(
+                        "cache/lookup_seconds",
+                        wall_clock() - lookup_started,
+                    )
                     return entry
                 pending = self._building.get(key)
                 if pending is None:
@@ -167,6 +175,10 @@ class ProgrammedStateCache:
                             self._collector.count("cache/evictions", 1)
                         self._collector.set(
                             "cache/entries", len(self._entries)
+                        )
+                        self._collector.observe(
+                            "cache/lookup_seconds",
+                            wall_clock() - lookup_started,
                         )
                 finally:
                     with self._lock:

@@ -41,13 +41,13 @@ class ServeClient:
         self.timeout = timeout
 
     # -- raw request ---------------------------------------------------------
-    def request(
+    def request_text(
         self,
         method: str,
         path: str,
         document: Optional[Dict[str, Any]] = None,
-    ) -> Tuple[int, Dict[str, Any]]:
-        """One round trip; returns ``(status, parsed JSON body)``."""
+    ) -> Tuple[int, str]:
+        """One round trip; returns ``(status, raw body text)``."""
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
@@ -61,9 +61,19 @@ class ServeClient:
             connection.request(method, path, body=body, headers=headers)
             response = connection.getresponse()
             payload = response.read()
-            return response.status, json.loads(payload.decode() or "null")
+            return response.status, payload.decode()
         finally:
             connection.close()
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        document: Optional[Dict[str, Any]] = None,
+    ) -> Tuple[int, Dict[str, Any]]:
+        """One round trip; returns ``(status, parsed JSON body)``."""
+        status, text = self.request_text(method, path, document)
+        return status, json.loads(text or "null")
 
     def _expect(
         self,
@@ -107,6 +117,23 @@ class ServeClient:
     def stats(self) -> Dict[str, Any]:
         """The server's ``/v1/stats`` document."""
         return self._expect("GET", "/v1/stats")
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus exposition from ``/v1/metrics``."""
+        status, text = self.request_text("GET", "/v1/metrics")
+        if status >= 400:
+            raise ServeError(status, {"error": text})
+        return text
+
+    def metrics(self) -> Dict[Any, float]:
+        """``/v1/metrics`` parsed back into ``sample key -> value``."""
+        from repro.telemetry import parse_prometheus
+
+        return dict(parse_prometheus(self.metrics_text()))
+
+    def trace(self, job_id: str) -> Dict[str, Any]:
+        """One job's trace document from ``/v1/traces/<job_id>``."""
+        return self._expect("GET", f"/v1/traces/{job_id}")
 
     def health(self) -> bool:
         """Whether the server answers its liveness probe."""

@@ -24,10 +24,11 @@ Grouping rules:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.serve.batcher import batch_invariant
 from repro.serve.jobs import InferenceJob, JobSpec
+from repro.telemetry import TelemetryLike
 from repro.xbar.engine import CrossbarEngineConfig
 
 #: Default ceiling on jobs per coalesced batch.
@@ -72,6 +73,7 @@ def coalesce_plan(
     engine_config: CrossbarEngineConfig,
     max_coalesce: int = DEFAULT_MAX_COALESCE,
     default_backend: str = "vectorized",
+    collector: Optional[TelemetryLike] = None,
 ) -> Plan:
     """Partition pending ``jobs`` into coalesced groups and singles.
 
@@ -79,6 +81,12 @@ def coalesce_plan(
     order within and across groups (first-come, first-batched), so a
     drained queue always yields the same plan — and therefore the
     same batched evaluations — for the same submission order.
+
+    ``collector`` (optional) records one
+    ``coalesce/batch_size_jobs`` histogram observation per execution
+    unit — ``len(group)`` for each coalesced group, ``1`` for each
+    single — the distribution the ``serve_throughput`` benchmark
+    gates on.
     """
     if max_coalesce < 1:
         raise ValueError(
@@ -103,9 +111,13 @@ def coalesce_plan(
                 groups.append(tuple(chunk))
             else:
                 singles.extend(chunk)
-    return Plan(
-        groups=tuple(groups), singles=tuple(sorted(singles))
-    )
+    plan = Plan(groups=tuple(groups), singles=tuple(sorted(singles)))
+    if collector is not None:
+        for group in plan.groups:
+            collector.observe("coalesce/batch_size_jobs", len(group))
+        for _ in plan.singles:
+            collector.observe("coalesce/batch_size_jobs", 1)
+    return plan
 
 
 __all__ = [

@@ -10,6 +10,8 @@ method    path                     meaning
 POST      ``/v1/jobs``             submit a job spec -> ``job_id``
 GET       ``/v1/jobs/<id>``        poll; add ``?wait=1`` to block
 GET       ``/v1/stats``            server/cache/telemetry counters
+GET       ``/v1/metrics``          Prometheus text exposition
+GET       ``/v1/traces/<id>``      one job's trace as a span document
 GET       ``/v1/healthz``          liveness probe
 ========  =======================  =====================================
 
@@ -38,6 +40,17 @@ every ``result`` payload byte-for-byte; only scheduling artifacts
 :meth:`JobServer.run_all` drains a whole spec list through one plan,
 which pins the schedule itself — the CI smoke and the
 ``serve_throughput`` benchmark use it.
+
+Observability: every job gets a deterministic trace id
+(:func:`repro.telemetry.trace_id_for` of its ``job_id``) with
+``queue`` / ``execute`` spans on the server's logical clock; coalesced
+groups fork a carrier into the worker thread so ``cache_lease`` and
+``engine_evaluate`` spans land in a distinct per-unit lane of the
+stitched trace (``GET /v1/traces/<id>``).  Queue-wait, end-to-end,
+cache-lookup, and engine-evaluate latencies record into collector
+histograms exposed at ``GET /v1/stats`` and — in Prometheus text form
+— at ``GET /v1/metrics``; ``--event-log`` journals one JSONL
+:func:`repro.telemetry.event_record` per lifecycle transition.
 """
 
 from __future__ import annotations
@@ -47,6 +60,7 @@ import json
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import (
     Any,
     Dict,
@@ -55,6 +69,7 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 from concurrent.futures import ThreadPoolExecutor
 
@@ -69,7 +84,19 @@ from repro.serve.jobs import (
     job_from_dict,
 )
 from repro.serve.scheduler import DEFAULT_MAX_COALESCE, coalesce_plan
-from repro.telemetry import SCHEMA_VERSION, Collector, TelemetryLike
+from repro.telemetry import (
+    SCHEMA_VERSION,
+    Collector,
+    EventLogWriter,
+    TelemetryLike,
+    TraceContext,
+    TraceLog,
+    event_record,
+    render_prometheus,
+    trace_document,
+    trace_id_for,
+    wall_clock,
+)
 from repro.xbar.engine import CrossbarEngineConfig, weights_hash
 from repro.utils.logging import get_logger
 
@@ -111,6 +138,8 @@ class ServerConfig:
     ``cache_max_entries`` bounds the programmed-state cache
     LRU-style (``None`` disables the bound — the pre-bound behavior,
     which grows one resident deployment per distinct tenant).
+    ``event_log`` (optional path) appends one JSONL event record per
+    job lifecycle transition.
     """
 
     host: str = "127.0.0.1"
@@ -123,6 +152,7 @@ class ServerConfig:
         default_factory=_default_engine_config
     )
     cache_max_entries: Optional[int] = DEFAULT_MAX_ENTRIES
+    event_log: Optional[Path] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -149,6 +179,7 @@ def job_report(
     result: Optional[Dict[str, Any]] = None,
     coalesced: bool = False,
     error: Optional[str] = None,
+    trace_id: Optional[str] = None,
 ) -> Dict[str, Any]:
     """The schema-versioned document a tenant gets back for one job.
 
@@ -156,6 +187,9 @@ def job_report(
     wall-clock, no cumulative engine counters shared with other
     tenants); inference results include an ``outputs_sha256`` content
     digest so bit-identity can be asserted without shipping logits.
+    ``trace_id`` defaults to the deterministic
+    :func:`repro.telemetry.trace_id_for` of ``job_id`` — the handle
+    for ``GET /v1/traces/<job_id>``.
     """
     document: Dict[str, Any] = {
         "schema_version": SCHEMA_VERSION,
@@ -166,6 +200,9 @@ def job_report(
         "coalesced": bool(coalesced),
         "spec": job.to_dict(),
         "result": result,
+        "trace_id": (
+            trace_id if trace_id is not None else trace_id_for(job_id)
+        ),
     }
     if error is not None:
         document["error"] = error
@@ -195,9 +232,13 @@ def validate_job_report(document: Dict[str, Any]) -> Dict[str, Any]:
     kind = document.get("kind")
     if kind not in JOB_KINDS:
         raise ValueError(f"job report kind {kind!r} unknown")
-    for key in ("job_id", "tenant", "status", "coalesced", "spec"):
+    for key in ("job_id", "tenant", "status", "coalesced", "spec",
+                "trace_id"):
         if key not in document:
             raise ValueError(f"job report missing key {key!r}")
+    if not isinstance(document["trace_id"], str) or \
+            not document["trace_id"]:
+        raise ValueError("job report trace_id must be a non-empty str")
     status = document["status"]
     if status not in JOB_STATUSES:
         raise ValueError(f"job report status {status!r} unknown")
@@ -217,6 +258,45 @@ def validate_job_report(document: Dict[str, Any]) -> Dict[str, Any]:
             )
     elif status == "error" and "error" not in document:
         raise ValueError("error job report must carry an 'error' message")
+    return document
+
+
+def validate_stats_report(document: Dict[str, Any]) -> Dict[str, Any]:
+    """Validate a :meth:`JobServer.stats_report` document."""
+    if not isinstance(document, dict):
+        raise ValueError(
+            f"stats report must be a dict, got {type(document).__name__}"
+        )
+    if document.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            f"stats schema_version {document.get('schema_version')!r} "
+            f"!= supported {SCHEMA_VERSION}"
+        )
+    for key, key_type in (
+        ("jobs", dict),
+        ("cache", dict),
+        ("counters", dict),
+        ("histograms", dict),
+        ("queue_depth", int),
+    ):
+        if key not in document:
+            raise ValueError(f"stats report missing key {key!r}")
+        if not isinstance(document[key], key_type):
+            raise ValueError(
+                f"stats key {key!r} must be {key_type.__name__}, got "
+                f"{type(document[key]).__name__}"
+            )
+    if document["queue_depth"] < 0:
+        raise ValueError("stats queue_depth must be >= 0")
+    for status in JOB_STATUSES:
+        if status not in document["jobs"]:
+            raise ValueError(f"stats jobs missing status {status!r}")
+    for path, view in document["histograms"].items():
+        for key in ("bounds", "counts", "count", "sum"):
+            if key not in view:
+                raise ValueError(
+                    f"stats histogram {path!r} missing key {key!r}"
+                )
     return document
 
 
@@ -247,6 +327,10 @@ class _JobRecord:
     status: str = "pending"
     report: Optional[Dict[str, Any]] = None
     done: asyncio.Event = field(default_factory=asyncio.Event)
+    trace: Optional[TraceContext] = None
+    queue_span: Optional[TraceContext] = None
+    execute_span: Optional[TraceContext] = None
+    submitted_at: float = 0.0
 
 
 class JobServer:
@@ -280,10 +364,17 @@ class JobServer:
         self._pool: Optional[ThreadPoolExecutor] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._dispatcher: Optional[asyncio.Task] = None
+        # Trace spans live on the server's logical clock (loop-thread
+        # writes only; worker-side unit logs are absorbed by the loop).
+        self._trace_log = TraceLog(proc="server")
+        self._events: Optional[EventLogWriter] = None
+        self._event_seq = 0
 
     # -- lifecycle -----------------------------------------------------------
     async def start(self) -> None:
         """Bind the socket, start the worker pool and dispatcher."""
+        if self.config.event_log is not None and self._events is None:
+            self._events = EventLogWriter(self.config.event_log)
         self._pool = ThreadPoolExecutor(
             max_workers=self.config.workers,
             thread_name_prefix="repro-serve",
@@ -318,6 +409,9 @@ class JobServer:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._events is not None:
+            self._events.close()
+            self._events = None
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -328,12 +422,40 @@ class JobServer:
         return host, port
 
     # -- submission ----------------------------------------------------------
+    def _event(
+        self,
+        event: str,
+        record: _JobRecord,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Journal one lifecycle transition (loop thread only)."""
+        if self._events is None:
+            return
+        assert record.trace is not None
+        self._event_seq += 1
+        self._events.write(
+            event_record(
+                self._event_seq,
+                event,
+                record.job_id,
+                record.spec.tenant,
+                record.spec.kind,
+                record.trace.trace_id,
+                span_id=record.trace.span_id,
+                attrs=attrs,
+            )
+        )
+
     def _register(self, spec: JobSpec) -> _JobRecord:
         self._next_id += 1
         record = _JobRecord(job_id=f"job-{self._next_id:05d}", spec=spec)
         self._records[record.job_id] = record
+        record.trace = TraceContext.root(record.job_id, self._trace_log)
+        record.queue_span = record.trace.start("queue")
+        record.submitted_at = wall_clock()
         scope = self.collector.scope(f"serve/tenant[{spec.tenant}]")
         scope.count("submitted", 1)
+        self._event("submitted", record)
         return record
 
     async def submit(self, spec: JobSpec) -> str:
@@ -394,9 +516,23 @@ class JobServer:
             self.config.engine_config,
             max_coalesce=self.config.max_coalesce,
             default_backend=self.config.default_backend,
+            collector=self._serve_scope,
         )
         for record in records:
             record.status = "running"
+            queue_wait = wall_clock() - record.submitted_at
+            self._serve_scope.observe(
+                "latency/queue_wait_seconds", queue_wait
+            )
+            self.collector.scope(
+                f"serve/tenant[{record.spec.tenant}]"
+            ).observe("latency/queue_wait_seconds", queue_wait)
+            if record.queue_span is not None:
+                record.queue_span.finish()
+                record.queue_span = None
+            if record.trace is not None:
+                record.execute_span = record.trace.start("execute")
+            self._event("dispatched", record)
         tasks = [
             self._execute_group([records[i] for i in group])
             for group in plan.groups
@@ -411,19 +547,45 @@ class JobServer:
         loop = asyncio.get_event_loop()
         local = Collector(record_spans=False)
         specs = [record.spec for record in records]
+        leader = records[0]
+        carrier = None
+        if leader.trace is not None:
+            carrier = leader.trace.fork(
+                "unit", proc=f"unit[{leader.job_id}]"
+            )
 
-        def work() -> list:
-            entry = self._cache.lease(specs[0])
-            with entry.lock:
-                return run_coalesced(
-                    entry.simulator, specs, collector=local
-                )
+        def work() -> Tuple[list, List[Dict[str, Any]]]:
+            # Worker-side spans live on a throwaway per-unit log with
+            # its own proc lane; the loop absorbs them afterwards so
+            # the shared trace log stays loop-thread-only.
+            unit_spans: List[Dict[str, Any]] = []
+            if carrier is not None:
+                unit_log = TraceLog(proc=str(carrier["proc"]))
+                ctx = TraceContext.adopt(carrier, unit_log)
+                with ctx.span("cache_lease"):
+                    entry = self._cache.lease(specs[0])
+                with entry.lock, ctx.span("engine_evaluate"):
+                    results = run_coalesced(
+                        entry.simulator, specs, collector=local
+                    )
+                ctx.finish({"jobs": len(specs)})
+                unit_spans = unit_log.to_dicts()
+            else:
+                entry = self._cache.lease(specs[0])
+                with entry.lock:
+                    results = run_coalesced(
+                        entry.simulator, specs, collector=local
+                    )
+            return results, unit_spans
 
         try:
-            results = await loop.run_in_executor(self._pool, work)
+            results, unit_spans = await loop.run_in_executor(
+                self._pool, work
+            )
         except Exception as exc:  # noqa: BLE001 - job isolation boundary
             self._fail(records, exc)
             return
+        self._trace_log.absorb(unit_spans)
         self._merge(self._serve_scope, local)
         for record, result in zip(records, results):
             self._finish(record, result, coalesced=True)
@@ -463,35 +625,67 @@ class JobServer:
     def _merge(target: TelemetryLike, local: Collector) -> None:
         for path, value in local.counters().items():
             target.count(path, value)
+        target.merge_histograms(local.histograms())
+
+    def _close_spans(
+        self,
+        record: _JobRecord,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if record.queue_span is not None:
+            record.queue_span.finish()
+            record.queue_span = None
+        if record.execute_span is not None:
+            record.execute_span.finish(attrs)
+            record.execute_span = None
+        if record.trace is not None:
+            record.trace.finish()
 
     def _finish(
         self, record: _JobRecord, result: Any, coalesced: bool
     ) -> None:
         spec = record.spec
         record.status = "done"
+        self._close_spans(record, {"coalesced": coalesced})
         record.report = job_report(
             spec,
             record.job_id,
             "done",
             result=_result_payload(spec, result),
             coalesced=coalesced,
+            trace_id=(
+                record.trace.trace_id if record.trace is not None
+                else None
+            ),
         )
+        e2e = wall_clock() - record.submitted_at
         scope = self.collector.scope(f"serve/tenant[{spec.tenant}]")
         scope.count(f"jobs[{spec.kind}]", 1)
+        scope.observe("latency/e2e_seconds", e2e)
+        self._serve_scope.observe("latency/e2e_seconds", e2e)
         self._serve_scope.count("jobs.done", 1)
+        self._event("done", record, {"coalesced": coalesced})
         record.done.set()
 
     def _fail(self, records: List[_JobRecord], exc: Exception) -> None:
         _log.warning("job execution failed: %s", exc)
         for record in records:
             record.status = "error"
+            self._close_spans(record, {"error": type(exc).__name__})
             record.report = job_report(
                 record.spec,
                 record.job_id,
                 "error",
                 error=f"{type(exc).__name__}: {exc}",
+                trace_id=(
+                    record.trace.trace_id if record.trace is not None
+                    else None
+                ),
             )
             self._serve_scope.count("jobs.failed", 1)
+            self._event(
+                "error", record, {"error": type(exc).__name__}
+            )
             record.done.set()
 
     # -- stats ---------------------------------------------------------------
@@ -507,12 +701,36 @@ class JobServer:
             for path, value in self.collector.counters().items()
             if path.startswith("serve/")
         }
+        histograms = {
+            path: view
+            for path, view in self.collector.histograms().items()
+            if path.startswith("serve/")
+        }
         return {
             "schema_version": SCHEMA_VERSION,
             "jobs": by_status,
             "cache": self._cache.stats(),
             "counters": counters,
+            "histograms": histograms,
+            "queue_depth": self._queue.qsize(),
         }
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition body (``GET /v1/metrics``)."""
+        return render_prometheus(
+            self.collector.counters(), self.collector.histograms()
+        )
+
+    def trace_report(self, job_id: str) -> Dict[str, Any]:
+        """One job's stitched trace as a schema-versioned document."""
+        record = self._records[job_id]
+        trace_id = (
+            record.trace.trace_id if record.trace is not None
+            else trace_id_for(job_id)
+        )
+        return trace_document(
+            trace_id, self._trace_log.spans_for(trace_id)
+        )
 
     # -- HTTP front end ------------------------------------------------------
     async def _handle_connection(
@@ -530,10 +748,17 @@ class JobServer:
         ) as exc:
             status, document = 400, {"error": str(exc)}
         try:
-            payload = json.dumps(document).encode()
+            # A plain-str body ships as-is (the Prometheus text
+            # exposition); everything else is a JSON document.
+            if isinstance(document, str):
+                payload = document.encode()
+                content_type = "text/plain; version=0.0.4"
+            else:
+                payload = json.dumps(document).encode()
+                content_type = "application/json"
             head = (
                 f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
-                "Content-Type: application/json\r\n"
+                f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(payload)}\r\n"
                 "Connection: close\r\n\r\n"
             ).encode()
@@ -566,7 +791,7 @@ class JobServer:
 
     async def _route(
         self, method: str, target: str, body: bytes
-    ) -> Tuple[int, Dict[str, Any]]:
+    ) -> Tuple[int, Union[Dict[str, Any], str]]:
         path, _, query = target.partition("?")
         if path == "/v1/healthz":
             if method != "GET":
@@ -576,6 +801,17 @@ class JobServer:
             if method != "GET":
                 return 405, {"error": "GET only"}
             return 200, self.stats_report()
+        if path == "/v1/metrics":
+            if method != "GET":
+                return 405, {"error": "GET only"}
+            return 200, self.metrics_text()
+        if path.startswith("/v1/traces/"):
+            if method != "GET":
+                return 405, {"error": "GET only"}
+            job_id = path[len("/v1/traces/") :]
+            if job_id not in self._records:
+                return 404, {"error": f"unknown job {job_id!r}"}
+            return 200, self.trace_report(job_id)
         if path == "/v1/jobs":
             if method != "POST":
                 return 405, {"error": "POST only"}
@@ -663,4 +899,5 @@ __all__ = [
     "job_report",
     "running_server",
     "validate_job_report",
+    "validate_stats_report",
 ]

@@ -28,7 +28,13 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Mapping, Optional
 
-from repro.telemetry import SCHEMA_VERSION, Collector, TelemetryLike
+from repro.telemetry import (
+    SCHEMA_VERSION,
+    Collector,
+    TelemetryLike,
+    TraceContext,
+    TraceLog,
+)
 
 CellFunction = Callable[[Dict[str, Any], TelemetryLike], Dict[str, Any]]
 
@@ -131,7 +137,10 @@ class SweepCell:
         }
 
 
-def run_cell(cell: SweepCell) -> Dict[str, Any]:
+def run_cell(
+    cell: SweepCell,
+    trace_carrier: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
     """Execute one cell in the *current* process; return its payload.
 
     This module-level function is what worker processes receive: it
@@ -139,10 +148,27 @@ def run_cell(cell: SweepCell) -> Dict[str, Any]:
     private collector (spans off — only deterministic counters cross
     the process boundary), and wraps the result in the payload format
     the cache stores and the executor merges.
+
+    ``trace_carrier`` (a :meth:`repro.telemetry.TraceContext.fork`
+    dict) adopts the submitting process's trace into this process: the
+    cell's ``evaluate`` span lands on a cell-local logical clock under
+    the carrier's ``proc`` lane, and the finished span dicts travel
+    back in the payload's ``trace`` key for the executor to absorb.
+    Trace spans are logical-clock data, so the payload — including
+    ``trace`` — stays byte-identical across worker counts.
     """
     function = resolve_cell_kind(cell.kind)
     collector = Collector(record_spans=False)
-    result = function(dict(cell.spec), collector)
+    trace_spans = None
+    if trace_carrier is not None:
+        cell_log = TraceLog(proc=str(trace_carrier["proc"]))
+        context = TraceContext.adopt(trace_carrier, cell_log)
+        with context.span("evaluate"):
+            result = function(dict(cell.spec), collector)
+        context.finish({"kind": cell.kind})
+        trace_spans = cell_log.to_dicts()
+    else:
+        result = function(dict(cell.spec), collector)
     payload = {
         "schema_version": SCHEMA_VERSION,
         "kind": cell.kind,
@@ -152,6 +178,8 @@ def run_cell(cell: SweepCell) -> Dict[str, Any]:
         "result": result,
         "counters": collector.counters(),
     }
+    if trace_spans is not None:
+        payload["trace"] = trace_spans
     # Canonical round-trip: a freshly computed payload gets the exact
     # structure a cache replay would have (sorted keys, tuples as
     # lists, non-finite floats rejected), so merged report *bytes*

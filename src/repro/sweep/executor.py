@@ -42,7 +42,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.sweep.cache import SweepCache
 from repro.sweep.cells import SweepCell, run_cell
-from repro.telemetry import NULL_COLLECTOR, TelemetryLike
+from repro.telemetry import NULL_COLLECTOR, TelemetryLike, TraceContext
 from repro.utils.validation import check_positive
 
 _log = logging.getLogger("repro.sweep")
@@ -82,6 +82,7 @@ def run_sweep(
     scope_for: ScopeFor = default_scope,
     shard_order: Optional[Sequence[int]] = None,
     mp_context: Optional[str] = None,
+    trace: Optional[TraceContext] = None,
 ) -> SweepRun:
     """Execute ``cells`` and return their payloads in input order.
 
@@ -107,6 +108,15 @@ def run_sweep(
     mp_context:
         :mod:`multiprocessing` start-method name (``"fork"``,
         ``"spawn"``); ``None`` uses the platform default.
+    trace:
+        Optional :class:`~repro.telemetry.TraceContext` to stitch the
+        sweep into.  A carrier forks per cell **upfront in input
+        order** (so span ids never depend on scheduling); each
+        computed cell's worker-process spans come back in its payload
+        and are absorbed into ``trace.log`` in input order — the
+        stitched trace is byte-identical for any worker count.
+        Cached payloads replay spans from the run that computed them;
+        those carry that run's trace id and are filtered out here.
     """
     check_positive("workers", workers)
     cells = list(cells)
@@ -133,10 +143,22 @@ def run_sweep(
         len(cells), cached, len(pending), workers,
     )
 
+    # Carriers fork for *every* cell upfront, in input order: span-id
+    # allocation ticks the parent context, so doing it before any
+    # scheduling decision keeps ids (and the stitched trace bytes)
+    # independent of worker count and cache state.
+    carriers: List[Optional[Dict[str, Any]]] = [None] * len(cells)
+    if trace is not None:
+        for index, cell in enumerate(cells):
+            scope_name = scope_for(index, cell)
+            carriers[index] = trace.fork(scope_name, proc=scope_name)
+
     if workers == 1:
         for index in pending:
             with tel.span(scope_for(index, cells[index])):
-                payloads[index] = run_cell(cells[index])
+                payloads[index] = run_cell(
+                    cells[index], carriers[index]
+                )
     elif pending:
         import multiprocessing
 
@@ -150,7 +172,9 @@ def run_sweep(
             max_workers=pool_size, mp_context=context
         ) as pool:
             futures = {
-                index: pool.submit(run_cell, cells[index])
+                index: pool.submit(
+                    run_cell, cells[index], carriers[index]
+                )
                 for index in pending
             }
             for index, future in futures.items():
@@ -167,6 +191,13 @@ def run_sweep(
         scope = tel.scope(scope_for(index, cells[index])) if tel else None
         if scope is not None:
             scope.merge_counters(payload["counters"])
+        if trace is not None:
+            # Cached payloads may carry spans from the run that
+            # computed them — a different trace; keep only this one's.
+            trace.log.absorb(
+                span for span in payload.get("trace", ())
+                if span.get("trace_id") == trace.trace_id
+            )
     tel.count("cells.total", len(cells))
     tel.count("cells.cached", cached)
     tel.count("cells.recomputed", len(pending))

@@ -29,14 +29,26 @@ CLI: ``repro profile <subcommand> ...`` runs any existing subcommand's
 workload under a collector and emits the raw report; ``repro report``
 renders the derived-metrics analysis of a profile (or of a freshly
 run subcommand).
+
+Three further observability surfaces build on the collector for the
+serve/sweep stack: deterministic distributed tracing
+(:mod:`repro.telemetry.trace` — logical-clock spans that stitch across
+processes), Prometheus text exposition
+(:mod:`repro.telemetry.metrics` — ``GET /v1/metrics``), and a
+structured JSONL job-lifecycle event log
+(:mod:`repro.telemetry.events`).
 """
 
 from repro.telemetry.analysis import (
+    SUMMARY_QUANTILES,
     analyze_counters,
     counters_from,
     engine_metrics,
     engine_prefixes,
     gan_prefixes,
+    histogram_percentiles,
+    histogram_quantile,
+    latency_summary,
     render_analysis_report,
     resource_utilization,
     schedule_prefixes,
@@ -45,19 +57,49 @@ from repro.telemetry.analysis import (
 from repro.telemetry.collector import (
     DEFAULT_MAX_SPANS,
     DROPPED_SPANS_COUNTER,
+    LATENCY_BUCKET_BOUNDS,
     NULL_COLLECTOR,
     SCHEMA_VERSION,
+    SIZE_BUCKET_BOUNDS,
     Collector,
+    Histogram,
     ScopedCollector,
     SpanRecord,
     TelemetryLike,
+    default_bucket_bounds,
+)
+from repro.telemetry.events import (
+    EVENT_NAMES,
+    EventLogWriter,
+    event_record,
+    read_event_log,
+    validate_event_record,
 )
 from repro.telemetry.export import (
     bench_document,
     profile_report,
+    trace_chrome_document,
     validate_analysis_report,
     validate_bench_document,
     validate_profile_report,
+)
+from repro.telemetry.metrics import (
+    METRIC_NAMESPACE,
+    metric_name,
+    parse_prometheus,
+    render_prometheus,
+    sample_value,
+)
+from repro.telemetry.timing import wall_clock
+from repro.telemetry.trace import (
+    DEFAULT_MAX_TRACE_SPANS,
+    TraceContext,
+    TraceLog,
+    TraceSpan,
+    span_sort_key,
+    trace_document,
+    trace_id_for,
+    validate_trace_document,
 )
 
 __all__ = [
@@ -69,8 +111,13 @@ __all__ = [
     "SCHEMA_VERSION",
     "DEFAULT_MAX_SPANS",
     "DROPPED_SPANS_COUNTER",
+    "Histogram",
+    "LATENCY_BUCKET_BOUNDS",
+    "SIZE_BUCKET_BOUNDS",
+    "default_bucket_bounds",
     "profile_report",
     "bench_document",
+    "trace_chrome_document",
     "validate_profile_report",
     "validate_bench_document",
     "validate_analysis_report",
@@ -79,8 +126,31 @@ __all__ = [
     "engine_metrics",
     "engine_prefixes",
     "gan_prefixes",
+    "histogram_percentiles",
+    "histogram_quantile",
+    "latency_summary",
     "render_analysis_report",
     "resource_utilization",
     "schedule_prefixes",
     "stage_utilization",
+    "SUMMARY_QUANTILES",
+    "DEFAULT_MAX_TRACE_SPANS",
+    "TraceContext",
+    "TraceLog",
+    "TraceSpan",
+    "span_sort_key",
+    "trace_document",
+    "trace_id_for",
+    "validate_trace_document",
+    "METRIC_NAMESPACE",
+    "metric_name",
+    "parse_prometheus",
+    "render_prometheus",
+    "sample_value",
+    "EVENT_NAMES",
+    "EventLogWriter",
+    "event_record",
+    "read_event_log",
+    "validate_event_record",
+    "wall_clock",
 ]

@@ -472,12 +472,96 @@ def render_analysis_report(report: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+# -- histogram percentiles ---------------------------------------------------
+
+#: Percentiles every latency summary derives.
+SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def histogram_quantile(
+    histogram: Mapping[str, Any], quantile: float
+) -> float:
+    """Estimate one quantile of a fixed-bucket histogram.
+
+    The standard Prometheus-style estimator: find the bucket holding
+    the ``quantile``-th observation and interpolate linearly inside
+    it (the first bucket interpolates from 0; the overflow bucket
+    clamps to the highest finite bound — fixed bounds cannot resolve
+    beyond themselves).  Deterministic: a pure function of the bucket
+    counts, so quantiles of deterministic histograms are themselves
+    reproducible.  An empty histogram answers ``0.0``.
+    """
+    if not 0.0 <= quantile <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {quantile}")
+    bounds = [float(bound) for bound in histogram["bounds"]]
+    counts = [int(count) for count in histogram["counts"]]
+    total = int(histogram["count"])
+    if total <= 0:
+        return 0.0
+    rank = quantile * total
+    cumulative = 0
+    for index, count in enumerate(counts):
+        previous = cumulative
+        cumulative += count
+        if cumulative >= rank and count > 0:
+            if index >= len(bounds):
+                return bounds[-1]
+            lower = bounds[index - 1] if index > 0 else 0.0
+            upper = bounds[index]
+            fraction = (rank - previous) / count
+            return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+    return bounds[-1]
+
+
+def histogram_percentiles(
+    histogram: Mapping[str, Any]
+) -> Dict[str, float]:
+    """The p50/p95/p99 summary of one histogram dict."""
+    return {
+        f"p{int(quantile * 100)}": histogram_quantile(
+            histogram, quantile
+        )
+        for quantile in SUMMARY_QUANTILES
+    }
+
+
+def latency_summary(
+    histograms: Mapping[str, Mapping[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Percentile rows for every latency histogram in a report map.
+
+    Selects ``*_seconds`` paths (the unit-suffix grammar enforced by
+    ``repro check`` rule TEL002), sorted by path; each row carries the
+    observation count, mean, and the :data:`SUMMARY_QUANTILES`.
+    """
+    rows: List[Dict[str, Any]] = []
+    for path in sorted(histograms):
+        if not path.rsplit("/", 1)[-1].endswith("_seconds"):
+            continue
+        histogram = histograms[path]
+        count = int(histogram["count"])
+        row: Dict[str, Any] = {
+            "path": path,
+            "count": count,
+            "mean": (
+                float(histogram["sum"]) / count if count else 0.0
+            ),
+        }
+        row.update(histogram_percentiles(histogram))
+        rows.append(row)
+    return rows
+
+
 __all__ = [
+    "SUMMARY_QUANTILES",
     "analyze_counters",
     "counters_from",
     "engine_metrics",
     "engine_prefixes",
     "gan_prefixes",
+    "histogram_percentiles",
+    "histogram_quantile",
+    "latency_summary",
     "render_analysis_report",
     "resource_utilization",
     "schedule_prefixes",

@@ -16,6 +16,14 @@ than a logger bolted on after the fact.  One :class:`Collector` holds
   Spans are *non-deterministic by construction* (they measure the
   host, not the simulated hardware) and are therefore excluded from
   every equality check; exporters keep them in a separate section.
+* **histograms** — fixed-bucket distributions recorded with
+  :meth:`observe` (or the :meth:`timed` context manager for wall
+  latencies).  Bucket *bounds* are deterministic constants chosen by
+  the path's unit suffix (``*_seconds`` gets latency buckets,
+  anything else size buckets), so a histogram of deterministic values
+  (batch sizes, queue depths) is itself byte-identical across runs,
+  while ``*_seconds`` histograms hold host time and follow the span
+  rule: excluded from every determinism contract.
 
 Component-path convention
 -------------------------
@@ -43,6 +51,7 @@ from __future__ import annotations
 import json
 import logging
 import time
+from bisect import bisect_left
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
@@ -54,6 +63,8 @@ from typing import (
     List,
     Mapping,
     Optional,
+    Sequence,
+    Tuple,
     Union,
 )
 
@@ -73,7 +84,109 @@ DEFAULT_MAX_SPANS = 100_000
 #: every counter report instead of silently truncating the timeline.
 DROPPED_SPANS_COUNTER = "telemetry/dropped_spans"
 
+#: Default bucket upper bounds for ``*_seconds`` histogram paths:
+#: 100 µs .. 10 s, roughly logarithmic — wide enough for a cache probe
+#: and a full reliability campaign on the same axis.
+LATENCY_BUCKET_BOUNDS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Default bucket upper bounds for everything else (counts, sizes):
+#: powers of two up to 1024 — batch sizes, queue depths, byte-ish
+#: magnitudes all land usefully.
+SIZE_BUCKET_BOUNDS: Tuple[float, ...] = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+)
+
 _log = logging.getLogger("repro.telemetry")
+
+
+def default_bucket_bounds(path: str) -> Tuple[float, ...]:
+    """The fixed bucket bounds a histogram at ``path`` defaults to.
+
+    Chosen by the path's unit suffix so wall-latency and size/count
+    histograms each get sensible resolution without per-site tuning —
+    and so the bounds are a pure function of the path (deterministic,
+    identical in every process).
+    """
+    leaf = path.rsplit("/", 1)[-1]
+    if leaf.endswith("_seconds"):
+        return LATENCY_BUCKET_BOUNDS
+    return SIZE_BUCKET_BOUNDS
+
+
+class Histogram:
+    """One fixed-bucket distribution (see the module docstring).
+
+    ``bounds`` are the inclusive upper edges of the finite buckets, in
+    strictly increasing order; an implicit overflow bucket catches
+    everything above the last bound, so ``counts`` always has
+    ``len(bounds) + 1`` entries.  Bounds are fixed at creation and
+    never adapt to data — that is what keeps a histogram of
+    deterministic observations byte-identical across runs, worker
+    counts, and merge orders.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "total_count", "total_sum")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        edges = tuple(float(bound) for bound in bounds)
+        if not edges:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b >= a for b, a in zip(edges, edges[1:])):
+            raise ValueError(
+                f"histogram bounds must strictly increase, got {edges}"
+            )
+        self.bounds: Tuple[float, ...] = edges
+        self.bucket_counts: List[int] = [0] * (len(edges) + 1)
+        self.total_count = 0
+        self.total_sum = 0.0
+
+    def observe(self, value: Number) -> None:
+        """Record one observation into its bucket."""
+        sample = float(value)
+        self.bucket_counts[bisect_left(self.bounds, sample)] += 1
+        self.total_count += 1
+        self.total_sum += sample
+
+    def merge(self, other: Mapping[str, Any]) -> None:
+        """Fold another histogram's :meth:`to_dict` view into this one.
+
+        Bounds must match exactly — merging histograms with different
+        bucket layouts would silently misplace counts.
+        """
+        bounds = tuple(float(bound) for bound in other["bounds"])
+        if bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histogram with bounds {bounds} into "
+                f"bounds {self.bounds}"
+            )
+        counts = other["counts"]
+        if len(counts) != len(self.bucket_counts):
+            raise ValueError(
+                f"histogram counts length {len(counts)} != "
+                f"{len(self.bucket_counts)}"
+            )
+        for index, count in enumerate(counts):
+            self.bucket_counts[index] += int(count)
+        self.total_count += int(other["count"])
+        self.total_sum += float(other["sum"])
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able view (the wire/merge format)."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.bucket_counts),
+            "count": self.total_count,
+            "sum": self.total_sum,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram(buckets={len(self.bounds)}, "
+            f"count={self.total_count}, sum={self.total_sum:.6g})"
+        )
 
 
 @dataclass(frozen=True)
@@ -125,6 +238,7 @@ class Collector:
         self.record_spans = record_spans
         self.max_spans = max_spans
         self._counters: Dict[str, Number] = {}
+        self._histograms: Dict[str, Histogram] = {}
         self._spans: List[SpanRecord] = []
         self._span_depth = 0
         self._spans_dropped = 0
@@ -199,6 +313,86 @@ class Collector:
                 node[leaf] = self._counters[path]
         return tree
 
+    # -- histograms ---------------------------------------------------------
+    def observe(
+        self,
+        path: str,
+        value: Number,
+        bounds: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Record one observation into the histogram at ``path``.
+
+        The histogram is created on first use with ``bounds`` (or the
+        :func:`default_bucket_bounds` for the path); later calls must
+        agree — a site passing different explicit bounds for an
+        existing histogram raises rather than misbinning.
+        """
+        if not self.enabled:
+            return
+        histogram = self._histograms.get(path)
+        if histogram is None:
+            histogram = Histogram(
+                bounds if bounds is not None else
+                default_bucket_bounds(path)
+            )
+            self._histograms[path] = histogram
+        elif bounds is not None and tuple(
+            float(bound) for bound in bounds
+        ) != histogram.bounds:
+            raise ValueError(
+                f"histogram {path!r} already exists with bounds "
+                f"{histogram.bounds}"
+            )
+        histogram.observe(value)
+
+    @contextmanager
+    def timed(self, path: str) -> Iterator[None]:
+        """Observe a block's wall-clock duration into ``path``.
+
+        The histogram twin of :meth:`span`: same wall-clock caveat
+        (``*_seconds`` histograms are excluded from determinism
+        contracts), but aggregated into fixed buckets instead of
+        storing one record per call — safe on hot paths.
+        """
+        if not self.enabled:
+            yield
+            return
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(path, time.perf_counter() - start)
+
+    def histogram(self, path: str) -> Optional[Histogram]:
+        """The live histogram at ``path``, if one exists."""
+        return self._histograms.get(path)
+
+    def histograms(self) -> Dict[str, Dict[str, Any]]:
+        """Flat path -> histogram-dict map, sorted by path."""
+        return {
+            path: self._histograms[path].to_dict()
+            for path in sorted(self._histograms)
+        }
+
+    def merge_histograms(
+        self, histograms: Mapping[str, Mapping[str, Any]]
+    ) -> None:
+        """Fold another collector's :meth:`histograms` map into this one.
+
+        The histogram counterpart of :meth:`merge_counters`: paths are
+        merged in sorted order so cross-process aggregation lands
+        identically no matter which process computed what.
+        """
+        if not self.enabled:
+            return
+        for path in sorted(histograms):
+            view = histograms[path]
+            histogram = self._histograms.get(path)
+            if histogram is None:
+                histogram = Histogram(view["bounds"])
+                self._histograms[path] = histogram
+            histogram.merge(view)
+
     # -- spans --------------------------------------------------------------
     @contextmanager
     def span(self, path: str) -> Iterator[None]:
@@ -255,8 +449,9 @@ class Collector:
 
     # -- lifecycle ----------------------------------------------------------
     def reset(self) -> None:
-        """Drop all counters and spans; restart the time origin."""
+        """Drop all counters, histograms, and spans; restart the origin."""
         self._counters.clear()
+        self._histograms.clear()
         self._spans.clear()
         self._span_depth = 0
         self._spans_dropped = 0
@@ -289,6 +484,7 @@ class Collector:
             "schema_version": SCHEMA_VERSION,
             "counters": self.counters(),
             "counter_tree": self.counter_tree(),
+            "histograms": self.histograms(),
             "spans": [record.to_dict() for record in self._spans],
             "spans_dropped": self._spans_dropped,
         }
@@ -384,6 +580,30 @@ class ScopedCollector:
             return
         for path in sorted(counters):
             self._base.count(self._path(path), counters[path])
+
+    def observe(
+        self,
+        path: str,
+        value: Number,
+        bounds: Optional[Sequence[float]] = None,
+    ) -> None:
+        self._base.observe(self._path(path), value, bounds=bounds)
+
+    def timed(self, path: str) -> ContextManager[None]:
+        return self._base.timed(self._path(path))
+
+    def histogram(self, path: str) -> Optional[Histogram]:
+        return self._base.histogram(self._path(path))
+
+    def merge_histograms(
+        self, histograms: Mapping[str, Mapping[str, Any]]
+    ) -> None:
+        """Merge a histogram map, rewriting paths under the scope."""
+        if not self._base.enabled:
+            return
+        for path in sorted(histograms):
+            view = histograms[path]
+            self._base.merge_histograms({self._path(path): view})
 
     def span(self, path: str) -> ContextManager[None]:
         return self._base.span(self._path(path))

@@ -24,9 +24,10 @@ CI can assert the schema without external dependencies.
 from __future__ import annotations
 
 from numbers import Number as _NumberABC
-from typing import Any, Dict, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.telemetry.collector import SCHEMA_VERSION, Collector
+from repro.telemetry.trace import TraceSpan, span_sort_key
 
 _PROFILE_REQUIRED = {
     "schema_version": int,
@@ -36,6 +37,7 @@ _PROFILE_REQUIRED = {
     "wall_time_s": _NumberABC,
     "counters": dict,
     "counter_tree": dict,
+    "histograms": dict,
     "spans": list,
     "spans_dropped": int,
 }
@@ -67,6 +69,7 @@ def profile_report(
         "wall_time_s": float(wall_time_s),
         "counters": collector.counters(),
         "counter_tree": collector.counter_tree(),
+        "histograms": collector.histograms(),
         "spans": [record.to_dict() for record in collector.spans()],
         "spans_dropped": collector.spans_dropped,
     }
@@ -157,6 +160,72 @@ def validate_bench_document(document: Dict[str, Any]) -> None:
                     f"bench metric {name!r} -> {value!r} is not a string "
                     "name with a numeric value"
                 )
+
+
+def trace_chrome_document(
+    spans: Sequence[Union[TraceSpan, Mapping[str, Any]]],
+) -> Dict[str, Any]:
+    """Chrome-trace JSON for deterministic trace spans, one pid per proc.
+
+    The multi-process fix: :meth:`Collector.chrome_trace` renders
+    wall-clock spans of *one* process and hardcodes ``pid=1``/``tid=1``
+    — spans stitched from sweep workers or serve execution units would
+    interleave in a single lane.  Here every distinct ``proc`` name
+    gets its own pid (assigned by first appearance in span-id order,
+    so the assignment is deterministic), with a ``process_name``
+    metadata event labelling the lane.
+
+    Timestamps are the spans' logical ticks rendered as microseconds —
+    ordering and nesting are exact, absolute durations are not wall
+    time.  Because every input (ids, ticks, procs) is deterministic,
+    the whole document is byte-identical across same-seed runs and
+    worker counts.
+    """
+    ordered: List[TraceSpan] = sorted(
+        (
+            span if isinstance(span, TraceSpan)
+            else TraceSpan.from_dict(span)
+            for span in spans
+        ),
+        key=lambda span: (span.trace_id, span_sort_key(span.span_id)),
+    )
+    pids: Dict[str, int] = {}
+    for span in ordered:
+        if span.proc not in pids:
+            pids[span.proc] = len(pids) + 1
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 1,
+            "args": {"name": proc},
+        }
+        for proc, pid in pids.items()
+    ]
+    for span in ordered:
+        events.append(
+            {
+                "name": span.name,
+                "ph": "X",
+                "pid": pids[span.proc],
+                "tid": 1,
+                "ts": span.start * 1.0,
+                "dur": (span.end - span.start) * 1.0,
+                "args": {
+                    "trace_id": span.trace_id,
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    "attrs": dict(span.attrs),
+                },
+            }
+        )
+    # Chrome's trace-event format fixes this document's shape — no
+    # room for a schema_version stamp the viewer would reject.
+    return {  # repro: noqa[SCHEMA001]
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
 
 
 _ANALYSIS_REQUIRED = {

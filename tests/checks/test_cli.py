@@ -104,7 +104,7 @@ def test_clean_json_on_committed_tree(capsys):
     assert document["finding_count"] == 0
     assert document["findings"] == []
     assert set(document["rules"]) == {
-        "RNG001", "DET001", "SCHEMA001", "TEL001",
+        "RNG001", "DET001", "SCHEMA001", "TEL001", "TEL002",
         "API001", "PY001", "PY002", "PY003",
     }
 

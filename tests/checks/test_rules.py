@@ -338,6 +338,99 @@ class TestTel001:
         assert findings == []
 
 
+# -- TEL002 -----------------------------------------------------------------
+
+
+class TestTel002:
+    def test_flags_unitless_leaf(self):
+        findings = run(
+            """
+            def f(tel, collector):
+                tel.observe("serve/latency/queue_wait", 0.1)
+                collector.observe("coalesce/batch_size", 8)
+                with tel.timed("cache/lookup"):
+                    pass
+            """,
+            ["TEL002"],
+        )
+        assert rule_ids(findings) == ["TEL002"] * 3
+        assert "unit suffix" in findings[0].message
+
+    def test_allows_unit_suffixed_paths(self):
+        findings = run(
+            """
+            def f(tel, collector):
+                tel.observe("serve/latency/queue_wait_seconds", 0.1)
+                collector.observe("coalesce/batch_size_jobs", 8)
+                with tel.timed("cache/lookup_seconds"):
+                    pass
+                tel.observe("cache/hit_ratio", 0.5)
+                tel.observe("payload_bytes", 512)
+            """,
+            ["TEL002"],
+        )
+        assert findings == []
+
+    def test_flags_grammar_violations_too(self):
+        findings = run(
+            """
+            def f(tel):
+                tel.observe("Serve/Queue Wait Seconds", 0.1)
+            """,
+            ["TEL002"],
+        )
+        assert rule_ids(findings) == ["TEL002"]
+        assert "lowercase" in findings[0].message
+
+    def test_scope_and_collector_receivers_are_checked(self):
+        findings = run(
+            """
+            class Server:
+                def f(self):
+                    self._serve_scope.observe("latency/e2e", 0.2)
+                    self._collector.observe("queue_depth", 3)
+
+            def g(tenant_scope):
+                tenant_scope.observe("latency/e2e", 0.2)
+            """,
+            ["TEL002"],
+        )
+        assert rule_ids(findings) == ["TEL002"] * 3
+
+    def test_non_collector_receivers_are_ignored(self):
+        findings = run(
+            """
+            def f(watcher, probe):
+                watcher.observe("Not A Path", 1)
+                probe.timed("also_not")
+            """,
+            ["TEL002"],
+        )
+        assert findings == []
+
+    def test_unit_suffix_inside_index_bracket_leaf(self):
+        findings = run(
+            """
+            def f(tel, worker):
+                tel.observe(f"queue_wait_seconds[{worker}]", 0.1)
+                tel.observe(f"queue_wait[{worker}]", 0.1)
+            """,
+            ["TEL002"],
+        )
+        assert rule_ids(findings) == ["TEL002"]
+        assert "queue_wait" in findings[0].message
+
+    def test_noqa_suppression(self):
+        findings = run(
+            """
+            def f(tel):
+                tel.observe("legacy/latency", 0.1)  # repro: noqa[TEL002]
+            """,
+            ["TEL002"],
+        )
+        assert findings == []
+
+
 # -- API001 -----------------------------------------------------------------
 
 

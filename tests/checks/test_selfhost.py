@@ -32,6 +32,7 @@ def test_every_registered_rule_ran_against_the_tree():
         "DET001",
         "SCHEMA001",
         "TEL001",
+        "TEL002",
         "API001",
         "PY001",
         "PY002",
@@ -48,10 +49,12 @@ def test_canonical_paths_are_package_rooted():
 
 
 def test_known_suppressions_are_intentional():
-    # The bench runner measures wall time by design; its DET001
-    # suppressions are the only noqa directives in the tree right now.
-    # New suppressions are allowed, but must be deliberate: this pin
-    # makes any new '# repro: noqa' show up in review.
+    # The bench runner measures wall time by design, and the Chrome
+    # trace-event exporter emits an externally specified document with
+    # no room for a schema_version stamp; those are the only noqa
+    # directives in the tree right now.  New suppressions are allowed,
+    # but must be deliberate: this pin makes any new '# repro: noqa'
+    # show up in review.
     suppressed = {}
     for source_file in sorted(checks.default_root().rglob("*.py")):
         table = checks.suppressions(source_file.read_text())
@@ -60,4 +63,7 @@ def test_known_suppressions_are_intentional():
             for line_rules in table.values():
                 rules |= {"*"} if line_rules is None else set(line_rules)
             suppressed[checks.canonical_path(source_file)] = rules
-    assert suppressed == {"repro/bench/runner.py": {"DET001"}}
+    assert suppressed == {
+        "repro/bench/runner.py": {"DET001"},
+        "repro/telemetry/export.py": {"SCHEMA001"},
+    }

@@ -1,0 +1,128 @@
+"""Prometheus text exposition: name mapping, render/parse round trip.
+
+The contract under ``GET /v1/metrics``: collector paths map onto the
+flat Prometheus naming model (indexed segments become labels), the
+rendered document is deterministic, and :func:`parse_prometheus` reads
+every rendered sample straight back — which is exactly how the CI
+smoke run asserts metric values.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.telemetry import (
+    Collector,
+    metric_name,
+    parse_prometheus,
+    render_prometheus,
+    sample_value,
+)
+
+
+class TestMetricName:
+    def test_plain_path_joins_with_namespace(self):
+        name, labels = metric_name("serve/latency/queue_wait_seconds")
+        assert name == "repro_serve_latency_queue_wait_seconds"
+        assert labels == {}
+
+    def test_dots_flatten_to_underscores(self):
+        name, _ = metric_name("serve/jobs.done")
+        assert name == "repro_serve_jobs_done"
+
+    def test_indexed_segment_becomes_label(self):
+        name, labels = metric_name("serve/tenant[alice]/jobs.done")
+        assert name == "repro_serve_tenant_jobs_done"
+        assert labels == {"tenant": "alice"}
+
+    def test_repeated_base_names_get_positional_suffix(self):
+        _, labels = metric_name("tile[a]/tile[b]/reads")
+        assert labels == {"tile": "a", "tile_2": "b"}
+
+
+class TestRender:
+    def _collector(self):
+        collector = Collector()
+        collector.count("serve/jobs.done", 3)
+        collector.count("serve/tenant[alice]/jobs.done", 2)
+        collector.count("serve/tenant[bob]/jobs.done", 1)
+        collector.observe("coalesce/batch_size_jobs", 8, bounds=[4.0, 16.0])
+        collector.observe("coalesce/batch_size_jobs", 32, bounds=[4.0, 16.0])
+        return collector
+
+    def test_gauges_and_histograms_render(self):
+        collector = self._collector()
+        text = render_prometheus(
+            collector.counters(), collector.histograms()
+        )
+        assert "# TYPE repro_serve_jobs_done gauge" in text
+        assert "repro_serve_jobs_done 3" in text
+        assert 'repro_serve_tenant_jobs_done{tenant="alice"} 2' in text
+        assert "# TYPE repro_coalesce_batch_size_jobs histogram" in text
+        # Cumulative buckets: nothing <= 4, one <= 16, two total.
+        assert 'repro_coalesce_batch_size_jobs_bucket{le="4.0"} 0' in text
+        assert 'repro_coalesce_batch_size_jobs_bucket{le="16.0"} 1' in text
+        assert 'repro_coalesce_batch_size_jobs_bucket{le="+Inf"} 2' in text
+        assert "repro_coalesce_batch_size_jobs_count 2" in text
+        assert text.endswith("\n")
+
+    def test_render_is_deterministic(self):
+        first = self._collector()
+        second = self._collector()
+        assert render_prometheus(
+            first.counters(), first.histograms()
+        ) == render_prometheus(second.counters(), second.histograms())
+
+    def test_empty_collector_renders_empty_document(self):
+        assert render_prometheus({}, {}) == "\n"
+
+
+class TestParseRoundTrip:
+    def test_every_rendered_sample_parses_back(self):
+        collector = TestRender()._collector()
+        text = render_prometheus(
+            collector.counters(), collector.histograms()
+        )
+        samples = parse_prometheus(text)
+        assert sample_value(samples, "repro_serve_jobs_done") == 3.0
+        assert sample_value(
+            samples,
+            "repro_serve_tenant_jobs_done",
+            {"tenant": "bob"},
+        ) == 1.0
+        assert sample_value(
+            samples,
+            "repro_coalesce_batch_size_jobs_bucket",
+            {"le": "+Inf"},
+        ) == 2.0
+        assert sample_value(
+            samples, "repro_coalesce_batch_size_jobs_sum"
+        ) == 40.0
+
+    def test_label_escaping_round_trips(self):
+        collector = Collector()
+        collector.count('tenant[we"ird\\name]/jobs.done', 1)
+        text = render_prometheus(collector.counters(), {})
+        samples = parse_prometheus(text)
+        assert sample_value(
+            samples,
+            "repro_tenant_jobs_done",
+            {"tenant": 'we"ird\\name'},
+        ) == 1.0
+
+    def test_infinities_round_trip(self):
+        assert parse_prometheus("m_bucket 3\nm_inf +Inf\n")[
+            ("m_inf", ())
+        ] == math.inf
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_prometheus("this is not a sample\n")
+
+    def test_comments_and_blanks_skipped(self):
+        assert parse_prometheus("# HELP x y\n\n# TYPE x gauge\n") == {}
+
+    def test_sample_value_default(self):
+        assert sample_value({}, "missing", default=-1.0) == -1.0
