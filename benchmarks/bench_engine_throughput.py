@@ -85,12 +85,15 @@ def bench_engine_throughput():
             # so these are exact across same-platform reruns); wall
             # time and MVMs/s stay outside `metrics` so the baseline
             # gate never bands a wall-clock number.
+            # Exact-leaf match: the energy event counters
+            # (static.array_subcycles, ...) share the suffix but are
+            # separate series priced by the attribution layer.
             metrics = {
                 short: float(
                     sum(
                         value
                         for path, value in counters.items()
-                        if path.endswith(short)
+                        if path == short or path.endswith("/" + short)
                     )
                 )
                 for short in ("mvm_calls", "macs", "subcycles",

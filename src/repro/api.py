@@ -290,6 +290,18 @@ class Simulator:
             return {}
         return self.deployment.total_stats()
 
+    def counters_snapshot(self) -> Dict[str, float]:
+        """Point-in-time copy of this simulator's counter tree.
+
+        Empty when no collector is attached.  Long-lived holders (the
+        serve cache) subtract two snapshots around a run to get the
+        exact event counters that run added — the delta a cost table
+        prices into per-job energy.
+        """
+        if self.collector is None:
+            return {}
+        return dict(self.collector.counters())
+
     def undeploy(self) -> None:
         """Detach the engines; the network falls back to exact matmul."""
         if self.deployment is not None:

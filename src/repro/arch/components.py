@@ -59,6 +59,31 @@ def chip_area_mm2(tech: XbarTechParams, array_count: int) -> float:
     return array_count * tech.array_area_mm2
 
 
+def event_costs(tech: XbarTechParams) -> "dict[str, float]":
+    """Per-event cost table for counter-based energy attribution.
+
+    Flattens the technology table into the plain ``name -> cost`` dict
+    that :func:`repro.telemetry.attribute_energy` prices event counters
+    with (the telemetry layer takes a dict, not a tech object, so it
+    never imports :mod:`repro.arch`).  The keys mirror the event
+    counters the crossbar engine and the analytic models emit; by
+    construction one array read priced through this table —
+    ``array_read + rows * dac_line + cols * (adc_sample + shift_add)``
+    — equals :func:`array_subcycle_energy` exactly.
+    """
+    return {
+        "array_read_joules": tech.array_read_energy,
+        "dac_line_joules": tech.driver_energy_per_line,
+        "adc_sample_joules": tech.adc_energy_per_conversion,
+        "shift_add_joules": tech.shift_add_energy_per_column,
+        "cell_write_joules": tech.cell_write_energy,
+        "buffer_bit_joules": tech.buffer_energy_per_bit,
+        "array_static_watts": tech.array_static_power,
+        "controller_static_watts": tech.controller_static_power,
+        "subcycle_seconds": tech.subcycle_time,
+    }
+
+
 @dataclass(frozen=True)
 class EnergyBreakdown:
     """Energy ledger for one workload execution (joules).

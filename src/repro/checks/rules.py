@@ -396,7 +396,7 @@ class TelemetryPathRule(Rule):
 #: a histogram name self-describing in the Prometheus exposition.
 _TEL_UNITS = (
     "seconds", "bytes", "jobs", "inputs", "cells", "entries",
-    "calls", "ratio", "total",
+    "calls", "ratio", "total", "joules", "watts",
 )
 
 

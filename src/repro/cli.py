@@ -535,6 +535,67 @@ def _smoke_metrics_checks(
     return metrics_ok, metrics_deterministic, counts[1][1]
 
 
+def _smoke_energy_checks(
+    snapshots: List[str], stats: dict
+) -> Tuple[bool, bool]:
+    """Check the smoke's energy attribution gauges over three passes.
+
+    ``energy_ok``: the server-wide ``energy/*_joules`` counters are
+    present and positive, the ``energy/average_watts`` gauge exists,
+    and every tenant exposes its own unit-suffixed
+    ``energy/total_joules``.  ``energy_deterministic``: the joules the
+    third identical pass added equal the second pass's delta *exactly*
+    (pass one additionally pays one-time array programming; after
+    that, identical job mixes must cost identical energy).  The
+    server quantizes every contribution to an exact binary grid, so
+    these are byte-level equalities, not tolerances.
+    """
+    try:
+        scrapes = [parse_prometheus(snapshot) for snapshot in snapshots]
+    except ValueError:
+        return False, False
+    if len(scrapes) < 3:
+        return False, False
+    counters = stats.get("counters", {})
+    tenants = sorted(
+        {
+            path[len(_TENANT_PREFIX) : path.index("]")]
+            for path in counters
+            if path.startswith(_TENANT_PREFIX) and "]" in path
+        }
+    )
+    energy_ok = (
+        counters.get("serve/energy/total_joules", 0.0) > 0.0
+        and counters.get("serve/energy/simulated_seconds", 0.0) > 0.0
+        and "serve/energy/average_watts" in counters
+        and bool(tenants)
+        and all(
+            f"serve/tenant[{tenant}]/energy/total_joules" in counters
+            for tenant in tenants
+        )
+    )
+    targets: List[Tuple[str, Optional[dict]]] = [
+        ("repro_serve_energy_total_joules", None),
+        ("repro_serve_energy_simulated_seconds", None),
+    ]
+    targets.extend(
+        ("repro_serve_tenant_energy_total_joules", {"tenant": tenant})
+        for tenant in tenants
+    )
+    energy_deterministic = True
+    for name, labels in targets:
+        first, second, third = (
+            sample_value(scrape, name, labels) for scrape in scrapes
+        )
+        if third - second != second - first:
+            energy_deterministic = False
+    steady = sample_value(
+        scrapes[2], "repro_serve_energy_total_joules"
+    ) - sample_value(scrapes[1], "repro_serve_energy_total_joules")
+    energy_deterministic = energy_deterministic and steady > 0.0
+    return energy_ok, energy_deterministic
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the multi-tenant job server (or its self-checking smoke)."""
     from repro.serve.client import ServeClient
@@ -575,12 +636,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if not client.health():
             print("serve: health probe failed", file=sys.stderr)
             return 1
-        # Same mix twice: the second pass must hit the warm cache and
+        # Same mix three times: every warm pass must hit the cache and
         # reproduce every result payload byte-for-byte.  A metrics
-        # scrape after each pass checks the exposition is parseable
-        # and its observation counts advance deterministically.
+        # scrape after each pass checks the exposition is parseable,
+        # its observation counts advance deterministically, and the
+        # energy counters grow by an identical exact delta once the
+        # one-time programming cost of pass one is behind.
         reports, metric_snapshots = [], []
-        for _ in range(2):
+        for _ in range(3):
             reports.append(client.run_many(jobs))
             metric_snapshots.append(client.metrics_text())
         stats = client.stats()
@@ -591,18 +654,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
         except (ValueError, KeyError, IndexError):
             trace_ok = False
-    for report in reports[0] + reports[1]:
-        validate_job_report(report)
+    for run in reports:
+        for report in run:
+            validate_job_report(report)
     failed = sum(
         1
-        for report in reports[0] + reports[1]
+        for run in reports
+        for report in run
         if report["status"] != "done"
     )
-    deterministic = [r["result"] for r in reports[0]] == [
-        r["result"] for r in reports[1]
-    ]
+    first_results = [r["result"] for r in reports[0]]
+    deterministic = all(
+        [r["result"] for r in run] == first_results
+        for run in reports[1:]
+    )
     metrics_ok, metrics_deterministic, observed = _smoke_metrics_checks(
-        metric_snapshots, len(jobs)
+        metric_snapshots[:2], len(jobs)
+    )
+    energy_ok, energy_deterministic = _smoke_energy_checks(
+        metric_snapshots, stats
     )
     cache_hits = int(stats["counters"].get("serve/cache/hits", 0))
     coalesced = int(stats["counters"].get("serve/coalesced.jobs", 0))
@@ -612,12 +682,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         and failed == 0
         and metrics_ok
         and metrics_deterministic
+        and energy_ok
+        and energy_deterministic
         and trace_ok
     )
     document = {
         "schema_version": SCHEMA_VERSION,
         "jobs": len(jobs),
-        "runs": 2,
+        "runs": 3,
         "failed": failed,
         "deterministic": deterministic,
         "cache_hits": cache_hits,
@@ -625,6 +697,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "coalesced_jobs": coalesced,
         "metrics_ok": metrics_ok,
         "metrics_deterministic": metrics_deterministic,
+        "energy_ok": energy_ok,
+        "energy_deterministic": energy_deterministic,
+        "energy_joules": stats["counters"].get(
+            "serve/energy/total_joules", 0.0
+        ),
         "latency_observations": observed,
         "trace_ok": trace_ok,
         "ok": ok,
@@ -634,12 +711,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         document["events"] = len(read_event_log(args.event_log))
     text = (
-        f"serve smoke: {len(jobs)} jobs x 2 runs on {host}:{port} — "
+        f"serve smoke: {len(jobs)} jobs x 3 runs on {host}:{port} — "
         f"{failed} failed, deterministic={deterministic}, "
         f"cache hits={cache_hits}, coalesced jobs={coalesced}, "
         f"metrics ok={metrics_ok} deterministic="
-        f"{metrics_deterministic}, trace ok={trace_ok} -> "
-        f"{'OK' if ok else 'FAIL'}"
+        f"{metrics_deterministic}, energy ok={energy_ok} "
+        f"deterministic={energy_deterministic}, trace ok={trace_ok} "
+        f"-> {'OK' if ok else 'FAIL'}"
     )
     _emit(args, document, text)
     return 0 if ok else 1
@@ -696,6 +774,9 @@ def _top_rows(
                     key: round(float(value), 6)
                     for key, value in percentiles.items()
                 },
+                "energy_joules": float(
+                    counters.get(f"{prefix}energy/total_joules", 0.0)
+                ),
             }
         )
     return rows
@@ -711,13 +792,15 @@ def _render_top(stats: dict, rows: List[dict]) -> str:
         f"{cache.get('hits', 0)}/{lookups} hits "
         f"({hit_ratio:.0%}), {cache.get('entries', 0)} resident",
         f"{'tenant':<12s}{'subm':>6s}{'done':>6s}{'jobs/s':>8s}"
-        f"{'p50(s)':>10s}{'p95(s)':>10s}{'p99(s)':>10s}",
+        f"{'p50(s)':>10s}{'p95(s)':>10s}{'p99(s)':>10s}"
+        f"{'energy(J)':>11s}",
     ]
     for row in rows:
         lines.append(
             f"{row['tenant']:<12s}{row['submitted']:>6d}"
             f"{row['done']:>6d}{row['throughput_jobs_s']:>8.2f}"
             f"{row['p50']:>10.4f}{row['p95']:>10.4f}{row['p99']:>10.4f}"
+            f"{row['energy_joules']:>11.3e}"
         )
     if len(lines) == 2:
         lines.append("(no tenant activity yet)")
@@ -882,6 +965,20 @@ def _cmd_report(args: argparse.Namespace) -> int:
         except (OSError, json.JSONDecodeError) as error:
             print(f"report: cannot read profile: {error}", file=sys.stderr)
             return 2
+        version = (
+            document.get("schema_version")
+            if isinstance(document, dict)
+            else None
+        )
+        if version != SCHEMA_VERSION:
+            print(
+                f"report: profile {args.profile_path} has "
+                f"schema_version {version!r}; this build reads version "
+                f"{SCHEMA_VERSION} — regenerate it with 'repro profile "
+                f"... --json'",
+                file=sys.stderr,
+            )
+            return 2
         try:
             counters = counters_from(document)
         except TypeError as error:
@@ -896,6 +993,20 @@ def _cmd_report(args: argparse.Namespace) -> int:
         collector, exit_code, _, _ = _run_wrapped(command, inner)
         counters = collector.counters()
         source = "repro " + " ".join(command)
+    if args.energy:
+        from repro.arch.components import event_costs
+        from repro.arch.params import DEFAULT_TECH
+        from repro.telemetry import (
+            attribute_energy,
+            render_energy_report,
+            validate_energy_report,
+        )
+
+        report = attribute_energy(
+            counters, event_costs(DEFAULT_TECH), source_name=source
+        )
+        validate_energy_report(report)
+        return _emit(args, report, render_energy_report(report))
     analysis = analyze_counters(counters, source_name=source)
     validate_analysis_report(analysis)
     return _emit(args, analysis, render_analysis_report(analysis))
@@ -1366,6 +1477,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="analyse a saved profile/analysis JSON instead of running "
         "a subcommand",
+    )
+    p_report.add_argument(
+        "--energy",
+        action="store_true",
+        help="attribute energy instead: price the event counters "
+        "through the technology cost table and render the per-group "
+        "energy/power breakdown",
     )
     p_report.add_argument(
         "wrapped",

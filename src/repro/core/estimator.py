@@ -11,7 +11,7 @@ the two rows of Table I.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -141,4 +141,137 @@ def table1(
     return {
         "PipeLayer": pipelayer_table1(batch=batch, tech=tech),
         "ReGAN": regan_table1(batch=batch, tech=tech),
+    }
+
+
+#: Documented tolerance of the counter-vs-analytic consistency gate:
+#: both paths multiply the same operation counts by the same
+#: technology costs, differing only in float summation order, so the
+#: relative disagreement must stay within a few ULP-scale rounding
+#: steps.
+MEASURED_CONSISTENCY_RTOL = 1e-9
+
+
+def measured_table1(
+    batch: int = 32,
+    tech: XbarTechParams = DEFAULT_TECH,
+    collector=None,
+) -> Dict[str, Any]:
+    """Table I energy savings derived from *counters*, not formulas.
+
+    Runs both accelerator models in event-counter mode
+    (``record_event_counters``), prices the counters through
+    :func:`repro.telemetry.attribute_energy` with the
+    :func:`repro.arch.components.event_costs` table, and rebuilds the
+    energy-saving ratios from the attributed totals.  The closed-form
+    :func:`table1` path is the consistency oracle: per workload,
+    ``consistency`` records the worst relative disagreement between
+    the counter-derived total and the analytic
+    ``EnergyBreakdown.total``, and the gate asserts it stays within
+    :data:`MEASURED_CONSISTENCY_RTOL`.
+
+    Counters land under ``table1/pipelayer[<net>]/`` and
+    ``table1/regan[<dataset>]/`` on ``collector`` when given (and on a
+    private collector otherwise), so the same counter tree feeds
+    ``repro report --energy`` and the ``energy_attribution`` bench.
+    """
+    from repro.arch.components import event_costs
+    from repro.telemetry import Collector, attribute_energy
+
+    check_positive("batch", batch)
+    tel = collector if collector is not None else Collector(
+        record_spans=False
+    )
+    costs = event_costs(tech)
+    analytic = table1(batch=batch, tech=tech)
+    rows: Dict[str, Any] = {}
+    worst = 0.0
+
+    def measure(prefix: str, analytic_total: float,
+                gpu_energy: float) -> Dict[str, Any]:
+        nonlocal worst
+        report = attribute_energy(
+            {
+                path: value
+                for path, value in tel.counters().items()
+                if path.startswith(prefix + "/")
+            },
+            costs,
+            source_name=prefix,
+        )
+        measured = report["totals"]["total_joules"]
+        error = abs(measured - analytic_total) / analytic_total
+        worst = max(worst, error)
+        return {
+            "measured_joules": measured,
+            "analytic_joules": analytic_total,
+            "consistency": error,
+            "energy_saving": gpu_energy / measured,
+            "average_watts": report["totals"]["average_watts"],
+        }
+
+    pipelayer_workloads: Dict[str, Any] = {}
+    for spec in pipelayer_suite():
+        model = PipeLayerModel(
+            spec, array_budget=PIPELAYER_ARRAY_BUDGET, tech=tech
+        )
+        scope = tel.scope(f"table1/pipelayer[{spec.name.lower()}]")
+        model.record_event_counters(scope, batch=batch, training=True)
+        report = model.report(batch=batch, training=True)
+        pipelayer_workloads[spec.name] = measure(
+            f"table1/pipelayer[{spec.name.lower()}]",
+            report.energy_per_image.total,
+            report.gpu_energy_per_image,
+        )
+    regan_workloads: Dict[str, Any] = {}
+    for name, (generator, discriminator) in regan_suite().items():
+        model = ReGANModel(
+            generator,
+            discriminator,
+            array_budget=REGAN_ARRAY_BUDGET,
+            scheme="sp_cs",
+            tech=tech,
+            dataset=name,
+        )
+        scope = tel.scope(f"table1/regan[{name.lower()}]")
+        model.record_event_counters(scope, batch=batch)
+        report = model.report(batch=batch)
+        regan_workloads[name] = measure(
+            f"table1/regan[{name.lower()}]",
+            report.energy_per_iteration.total,
+            report.gpu_energy_per_iteration,
+        )
+    rows = {
+        "PipeLayer": {
+            "workloads": pipelayer_workloads,
+            "energy_saving_geomean": geometric_mean(
+                [w["energy_saving"] for w in pipelayer_workloads.values()]
+            ),
+            "analytic_energy_saving_geomean": analytic[
+                "PipeLayer"
+            ].energy_saving,
+            "paper_energy_saving": PAPER_PIPELAYER_ENERGY,
+        },
+        "ReGAN": {
+            "workloads": regan_workloads,
+            "energy_saving_geomean": geometric_mean(
+                [w["energy_saving"] for w in regan_workloads.values()]
+            ),
+            "analytic_energy_saving_geomean": analytic[
+                "ReGAN"
+            ].energy_saving,
+            "paper_energy_saving": PAPER_REGAN_ENERGY,
+        },
+    }
+    if worst > MEASURED_CONSISTENCY_RTOL:
+        raise ValueError(
+            f"counter-derived Table I energy disagrees with the "
+            f"analytic estimator: worst relative error {worst:.3e} > "
+            f"{MEASURED_CONSISTENCY_RTOL}"
+        )
+    return {
+        "batch": batch,
+        "consistency_rtol": MEASURED_CONSISTENCY_RTOL,
+        "worst_consistency": worst,
+        "rows": rows,
     }

@@ -224,6 +224,63 @@ class PipeLayerModel:
             mvm=mvm, buffer=buffer, weight_write=update, static=static
         )
 
+    # -- event counters --------------------------------------------------------------
+    def record_event_counters(
+        self, tel, batch: int = 32, training: bool = True
+    ) -> None:
+        """Emit this model's per-image work as physical event counters.
+
+        Writes the same event grammar the crossbar engine emits
+        (``array_reads``, ``dac.line_fires``, ``adc.samples``,
+        ``shift_adds``, ``buffer.bits``, ``cell_writes``,
+        ``static.*_subcycles``) onto ``tel``, scaled to *one image* —
+        so pricing the counters through
+        :func:`repro.arch.components.event_costs` reconstructs
+        :meth:`energy_per_image` exactly.  This is what lets the
+        measured Table I path derive the paper's energy ratios from
+        counters rather than formulas, with the closed-form model as
+        its consistency oracle.  Counters are per-image averages and
+        may be fractional (e.g. weight-update cells amortised over the
+        batch).
+        """
+        check_positive("batch", batch)
+        waves = TRAINING_MVM_FACTOR if training else 1
+        activations = sum(
+            m.array_activations_per_image for m in self.mappings.values()
+        )
+        reads = activations * waves
+        tel.count("array_reads", reads)
+        tel.count("dac.line_fires", reads * self.config.array_rows)
+        tel.count("adc.samples", reads * self.config.array_cols)
+        tel.count("shift_adds", reads * self.config.array_cols)
+        drive_bits = sum(
+            m.layer.output_vectors
+            * m.layer.matrix_rows
+            * self.config.activation_bits
+            for m in self.mappings.values()
+        )
+        result_bits = sum(
+            m.layer.output_size * ACCUMULATOR_BITS
+            for m in self.mappings.values()
+        )
+        bits = drive_bits + result_bits
+        if training:
+            bits *= TRAINING_MVM_FACTOR
+        tel.count("buffer.bits", bits)
+        if training:
+            cells = sum(m.cells for m in self.mappings.values())
+            if self.training_arrays:
+                cells *= TRAINING_ARRAY_FACTOR
+            tel.count("cell_writes", cells / batch)
+        time_per_image = (
+            self.training_time_per_image(batch)
+            if training
+            else self.inference_time_per_image()
+        )
+        occupancy = time_per_image / self.tech.subcycle_time
+        tel.count("static.array_subcycles", self.total_arrays * occupancy)
+        tel.count("static.controller_subcycles", occupancy)
+
     # -- comparison ------------------------------------------------------------------
     def report(self, batch: int = 32, training: bool = True) -> PipeLayerReport:
         """Full comparison record against the GPU baseline."""

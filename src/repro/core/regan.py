@@ -230,6 +230,63 @@ class ReGANModel:
             mvm=mvm, buffer=buffer, weight_write=update, static=static
         )
 
+    # -- event counters --------------------------------------------------------------
+    def record_event_counters(self, tel, batch: int = 32) -> None:
+        """Emit one training iteration's work as physical event counters.
+
+        The ReGAN twin of
+        :meth:`repro.core.pipelayer.PipeLayerModel.record_event_counters`:
+        the same event grammar the crossbar engine emits, scaled to one
+        iteration, so pricing the counters through
+        :func:`repro.arch.components.event_costs` reconstructs
+        :meth:`energy_per_iteration` exactly.
+        """
+        check_positive("batch", batch)
+        sweeps = self._sweep_counts()
+
+        def activations(mappings: Dict[str, LayerMapping]) -> float:
+            return sum(
+                m.array_activations_per_image for m in mappings.values()
+            )
+
+        def sweep_bits(mappings: Dict[str, LayerMapping]) -> float:
+            drive_bits = sum(
+                m.layer.output_vectors
+                * m.layer.matrix_rows
+                * self.config.activation_bits
+                for m in mappings.values()
+            )
+            result_bits = sum(
+                m.layer.output_size * ACCUMULATOR_BITS
+                for m in mappings.values()
+            )
+            return drive_bits + result_bits
+
+        reads = batch * (
+            sweeps["g"] * activations(self.g_mappings)
+            + sweeps["d"] * activations(self.d_mappings)
+        )
+        tel.count("array_reads", reads)
+        tel.count("dac.line_fires", reads * self.config.array_rows)
+        tel.count("adc.samples", reads * self.config.array_cols)
+        tel.count("shift_adds", reads * self.config.array_cols)
+        tel.count(
+            "buffer.bits",
+            batch * self.storage_factor * (
+                sweeps["g"] * sweep_bits(self.g_mappings)
+                + sweeps["d"] * sweep_bits(self.d_mappings)
+            ),
+        )
+        g_cells = sum(m.cells for m in self.g_mappings.values())
+        d_cells = sum(m.cells for m in self.d_mappings.values())
+        tel.count(
+            "cell_writes",
+            TRAINING_ARRAY_FACTOR * (g_cells + d_cells * self.d_copies),
+        )
+        occupancy = self.time_per_iteration(batch) / self.tech.subcycle_time
+        tel.count("static.array_subcycles", self.total_arrays * occupancy)
+        tel.count("static.controller_subcycles", occupancy)
+
     # -- comparison ------------------------------------------------------------------
     def report(self, batch: int = 32) -> ReGANReport:
         """Full comparison record against the GPU baseline."""

@@ -157,10 +157,15 @@ class ProgrammedStateCache:
                     builder = False
             if builder:
                 try:
+                    # Each cached deployment carries a private
+                    # collector: the engines write their event
+                    # counters there, and the server snapshots the
+                    # tree around each run to price per-job energy.
                     simulator = Simulator.from_workload(
                         job.workload,
                         engine_config=self.resolved_config(job.backend),
                         seed=job.seed,
+                        collector=Collector(record_spans=False),
                     )
                     entry = CacheEntry(simulator=simulator, key=key)
                     with self._lock:

@@ -84,6 +84,8 @@ from repro.serve.jobs import (
     job_from_dict,
 )
 from repro.serve.scheduler import DEFAULT_MAX_COALESCE, coalesce_plan
+from repro.arch.components import event_costs
+from repro.arch.params import DEFAULT_TECH
 from repro.telemetry import (
     SCHEMA_VERSION,
     Collector,
@@ -91,6 +93,8 @@ from repro.telemetry import (
     TelemetryLike,
     TraceContext,
     TraceLog,
+    attribute_energy,
+    energy_counter_map,
     event_record,
     render_prometheus,
     trace_document,
@@ -104,6 +108,31 @@ _log = get_logger("serve")
 
 #: Statuses a job record moves through (monotonically, left to right).
 JOB_STATUSES = ("pending", "running", "done", "error")
+
+#: Power-of-two grid every per-job energy contribution is rounded to
+#: before entering the shared counters (~0.9 fJ, far below any single
+#: event cost).  Grid multiples are exact binary floats, so the
+#: cumulative ``energy/*`` counters are order-independent sums — the
+#: smoke's byte-determinism check holds no matter which worker
+#: finishes first.
+ENERGY_QUANTUM = 2.0 ** -50
+
+
+def _quantize_energy(value: float) -> float:
+    """Snap ``value`` to the exact-summation grid."""
+    return round(value / ENERGY_QUANTUM) * ENERGY_QUANTUM
+
+
+def _counter_delta(
+    before: Dict[str, float], after: Dict[str, float]
+) -> Dict[str, float]:
+    """Counters added between two :meth:`Simulator.counters_snapshot`\\ s."""
+    delta = {}
+    for path, value in after.items():
+        change = value - before.get(path, 0.0)
+        if change:
+            delta[path] = change
+    return delta
 
 _REASONS = {
     200: "OK",
@@ -351,6 +380,7 @@ class JobServer:
             collector if collector is not None else Collector()
         )
         self._serve_scope = self.collector.scope("serve")
+        self._event_costs = event_costs(DEFAULT_TECH)
         self._reusable = batch_invariant(self.config.engine_config)
         self._cache = ProgrammedStateCache(
             engine_config=self.config.engine_config,
@@ -554,7 +584,7 @@ class JobServer:
                 "unit", proc=f"unit[{leader.job_id}]"
             )
 
-        def work() -> Tuple[list, List[Dict[str, Any]]]:
+        def work() -> Tuple[list, List[Dict[str, Any]], Dict[str, float]]:
             # Worker-side spans live on a throwaway per-unit log with
             # its own proc lane; the loop absorbs them afterwards so
             # the shared trace log stays loop-thread-only.
@@ -565,21 +595,29 @@ class JobServer:
                 with ctx.span("cache_lease"):
                     entry = self._cache.lease(specs[0])
                 with entry.lock, ctx.span("engine_evaluate"):
+                    before = entry.simulator.counters_snapshot()
                     results = run_coalesced(
                         entry.simulator, specs, collector=local
+                    )
+                    delta = _counter_delta(
+                        before, entry.simulator.counters_snapshot()
                     )
                 ctx.finish({"jobs": len(specs)})
                 unit_spans = unit_log.to_dicts()
             else:
                 entry = self._cache.lease(specs[0])
                 with entry.lock:
+                    before = entry.simulator.counters_snapshot()
                     results = run_coalesced(
                         entry.simulator, specs, collector=local
                     )
-            return results, unit_spans
+                    delta = _counter_delta(
+                        before, entry.simulator.counters_snapshot()
+                    )
+            return results, unit_spans, delta
 
         try:
-            results, unit_spans = await loop.run_in_executor(
+            results, unit_spans, delta = await loop.run_in_executor(
                 self._pool, work
             )
         except Exception as exc:  # noqa: BLE001 - job isolation boundary
@@ -587,7 +625,17 @@ class JobServer:
             return
         self._trace_log.absorb(unit_spans)
         self._merge(self._serve_scope, local)
+        # One coalesced evaluation priced once, split across the
+        # group's jobs in proportion to their input counts.
+        energy = self._price_energy(delta)
+        total_inputs = sum(record.spec.count for record in records)
         for record, result in zip(records, results):
+            if total_inputs > 0:
+                self._record_energy(
+                    record.spec.tenant,
+                    energy,
+                    share=record.spec.count / total_inputs,
+                )
             self._finish(record, result, coalesced=True)
 
     async def _execute_single(self, record: _JobRecord) -> None:
@@ -595,22 +643,29 @@ class JobServer:
         local = Collector(record_spans=False)
         spec = record.spec
 
-        def work() -> Any:
+        def work() -> Tuple[Any, Optional[Dict[str, float]]]:
             from repro.api import run_job
 
             if isinstance(spec, InferenceJob) and self._reusable:
                 entry = self._cache.lease(spec)
                 with entry.lock:
-                    return entry.simulator.run(spec)
+                    before = entry.simulator.counters_snapshot()
+                    result = entry.simulator.run(spec)
+                    return result, _counter_delta(
+                        before, entry.simulator.counters_snapshot()
+                    )
             engine_config = self._cache.resolved_config(spec.backend)
             if isinstance(spec, ReliabilityJob):
-                return run_job(spec, collector=local)
-            return run_job(
-                spec, engine_config=engine_config, collector=local
+                return run_job(spec, collector=local), None
+            return (
+                run_job(
+                    spec, engine_config=engine_config, collector=local
+                ),
+                None,
             )
 
         try:
-            result = await loop.run_in_executor(self._pool, work)
+            result, delta = await loop.run_in_executor(self._pool, work)
         except Exception as exc:  # noqa: BLE001 - job isolation boundary
             self._fail([record], exc)
             return
@@ -618,6 +673,14 @@ class JobServer:
             f"serve/tenant[{spec.tenant}]"
         )
         self._merge(tenant_scope, local)
+        # Cached runs price the entry-simulator snapshot delta; fresh
+        # runs price the events their private collector captured.
+        self._record_energy(
+            spec.tenant,
+            self._price_energy(
+                delta if delta is not None else local.counters()
+            ),
+        )
         self._finish(record, result, coalesced=False)
 
     # -- completion (event-loop thread only) ---------------------------------
@@ -626,6 +689,54 @@ class JobServer:
         for path, value in local.counters().items():
             target.count(path, value)
         target.merge_histograms(local.histograms())
+
+    # -- energy attribution (event-loop thread only) -------------------------
+    def _price_energy(
+        self, counters: Dict[str, float]
+    ) -> Dict[str, float]:
+        """Price a job's event-counter delta into ``energy/*`` counters.
+
+        Returns the :func:`repro.telemetry.energy_counter_map` of the
+        attributed report — per-component ``..._joules``, the total,
+        and ``simulated_seconds`` — or ``{}`` when the run emitted no
+        priceable events (e.g. the exact-matmul fallback).
+        """
+        if not counters:
+            return {}
+        report = attribute_energy(
+            counters, self._event_costs, source_name="serve"
+        )
+        if not report["groups"]:
+            return {}
+        return energy_counter_map(report)
+
+    def _record_energy(
+        self,
+        tenant: str,
+        energy: Dict[str, float],
+        share: float = 1.0,
+    ) -> None:
+        """Add one job's energy slice to its tenant and the serve totals.
+
+        Each contribution is quantized to :data:`ENERGY_QUANTUM` so the
+        cumulative counters are exact (order-independent) sums, then
+        the ``energy/average_watts`` gauge is re-derived from the
+        cumulative joules over cumulative simulated seconds.
+        """
+        if not energy:
+            return
+        tenant_scope = self.collector.scope(f"serve/tenant[{tenant}]")
+        for name, value in energy.items():
+            slice_value = _quantize_energy(value * share)
+            tenant_scope.count(name, slice_value)
+            self._serve_scope.count(name, slice_value)
+        for scope in (tenant_scope, self._serve_scope):
+            seconds = scope.get("energy/simulated_seconds")
+            if seconds > 0.0:
+                scope.set(
+                    "energy/average_watts",
+                    scope.get("energy/total_joules") / seconds,
+                )
 
     def _close_spans(
         self,

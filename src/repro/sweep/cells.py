@@ -137,6 +137,38 @@ class SweepCell:
         }
 
 
+def _cell_energy(collector: Collector) -> Optional[Dict[str, Any]]:
+    """Price a finished cell's event counters into energy, in place.
+
+    Attributes the collector's counters through the default technology
+    cost table, adds the resulting ``energy/*`` counters back into the
+    collector (so they merge across workers like any other
+    deterministic counter), and returns a small totals summary for the
+    payload — or ``None`` when the cell emitted no priceable events.
+    Lazy imports keep the sweep layer's import graph light.
+    """
+    from repro.arch.components import event_costs
+    from repro.arch.params import DEFAULT_TECH
+    from repro.telemetry import attribute_energy, energy_counter_map
+
+    report = attribute_energy(
+        collector.counters(),
+        event_costs(DEFAULT_TECH),
+        source_name="sweep_cell",
+    )
+    if not report["groups"]:
+        return None
+    for path, value in energy_counter_map(report).items():
+        collector.count(path, value)
+    totals = report["totals"]
+    return {
+        "components_joules": dict(totals["components"]),
+        "total_joules": totals["total_joules"],
+        "simulated_seconds": totals["simulated_seconds"],
+        "average_watts": totals["average_watts"],
+    }
+
+
 def run_cell(
     cell: SweepCell,
     trace_carrier: Optional[Dict[str, Any]] = None,
@@ -169,6 +201,12 @@ def run_cell(
         trace_spans = cell_log.to_dicts()
     else:
         result = function(dict(cell.spec), collector)
+    # Price the cell's event counters into ``energy/*`` counters (and
+    # a payload summary) *before* the counter capture, so the energy
+    # attribution merges across workers exactly like any other
+    # deterministic counter.  A cell that emitted no priceable events
+    # gains neither counters nor summary.
+    energy_summary = _cell_energy(collector)
     payload = {
         "schema_version": SCHEMA_VERSION,
         "kind": cell.kind,
@@ -178,6 +216,8 @@ def run_cell(
         "result": result,
         "counters": collector.counters(),
     }
+    if energy_summary is not None:
+        payload["energy"] = energy_summary
     if trace_spans is not None:
         payload["trace"] = trace_spans
     # Canonical round-trip: a freshly computed payload gets the exact

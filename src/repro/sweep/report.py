@@ -31,15 +31,19 @@ def sweep_report(
     cells = []
     for cell, payload in zip(run.cells, run.payloads):
         validate_cell_payload(payload, cell)
-        cells.append(
-            {
-                "kind": payload["kind"],
-                "config_hash": payload["config_hash"],
-                "seed": payload["seed"],
-                "spec": payload["spec"],
-                "result": payload["result"],
-            }
-        )
+        entry = {
+            "kind": payload["kind"],
+            "config_hash": payload["config_hash"],
+            "seed": payload["seed"],
+            "spec": payload["spec"],
+            "result": payload["result"],
+        }
+        # Priced event counters are deterministic data, so the energy
+        # summary (when the cell emitted events) rides along without
+        # weakening the byte-identity contract.
+        if "energy" in payload:
+            entry["energy"] = payload["energy"]
+        cells.append(entry)
     return {
         "schema_version": SCHEMA_VERSION,
         "kind": "sweep_report",

@@ -50,6 +50,7 @@ from repro.telemetry.analysis import (
     histogram_quantile,
     latency_summary,
     render_analysis_report,
+    render_energy_report,
     resource_utilization,
     schedule_prefixes,
     stage_utilization,
@@ -67,6 +68,15 @@ from repro.telemetry.collector import (
     SpanRecord,
     TelemetryLike,
     default_bucket_bounds,
+)
+from repro.telemetry.energy import (
+    COST_KEYS,
+    ENERGY_COMPONENTS,
+    attribute_energy,
+    emit_energy_counters,
+    energy_counter_map,
+    validate_cost_table,
+    validate_energy_report,
 )
 from repro.telemetry.events import (
     EVENT_NAMES,
@@ -134,6 +144,14 @@ __all__ = [
     "schedule_prefixes",
     "stage_utilization",
     "SUMMARY_QUANTILES",
+    "COST_KEYS",
+    "ENERGY_COMPONENTS",
+    "attribute_energy",
+    "emit_energy_counters",
+    "energy_counter_map",
+    "validate_cost_table",
+    "validate_energy_report",
+    "render_energy_report",
     "DEFAULT_MAX_TRACE_SPANS",
     "TraceContext",
     "TraceLog",

@@ -472,6 +472,81 @@ def render_analysis_report(report: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def _si_joules(value: float) -> str:
+    """Joules with an SI prefix (energy spans ~15 orders of magnitude)."""
+    for scale, suffix in ((1.0, "J"), (1e-3, "mJ"), (1e-6, "uJ"),
+                          (1e-9, "nJ"), (1e-12, "pJ")):
+        if abs(value) >= scale:
+            return f"{value / scale:.4g} {suffix}"
+    return f"{value:.4g} J"
+
+
+def render_energy_report(report: Dict[str, Any]) -> str:
+    """Human-readable rendering of an ``energy`` document.
+
+    The table half of the ``repro report --energy`` surface: one row
+    per counter group with its component breakdown
+    (:data:`repro.telemetry.energy.ENERGY_COMPONENTS`), the roll-up
+    totals with average power, and — when the counter tree carried
+    ``inference.inputs`` / ``epochs`` — the per-inference and
+    per-epoch figures.
+    """
+    from repro.telemetry.energy import ENERGY_COMPONENTS
+
+    totals = report["totals"]
+    lines: List[str] = [
+        f"energy attribution of {report['source']}"
+        f" ({len(report['groups'])} group(s))"
+    ]
+    if report["groups"]:
+        lines.append("")
+        lines += _table(
+            ("group",) + ENERGY_COMPONENTS + ("total", "avg_power"),
+            [
+                tuple(
+                    [group["prefix"] or "<root>"]
+                    + [
+                        _si_joules(group["components"][name])
+                        for name in ENERGY_COMPONENTS
+                    ]
+                    + [
+                        _si_joules(group["total_joules"]),
+                        f"{group['average_watts']:.4g} W"
+                        if group["simulated_seconds"]
+                        else "-",
+                    ]
+                )
+                for group in report["groups"]
+            ],
+            indent="",
+        )
+    lines.append(
+        f"\ntotal {_si_joules(totals['total_joules'])} "
+        f"(dynamic {_si_joules(totals['dynamic_joules'])}, "
+        f"static {_si_joules(totals['components']['static'])})"
+        + (
+            f"; {totals['average_watts']:.4g} W average over "
+            f"{totals['simulated_seconds']:.4g} simulated s"
+            if totals["simulated_seconds"]
+            else ""
+        )
+    )
+    if "energy_per_inference_joules" in totals:
+        lines.append(
+            f"per inference: "
+            f"{_si_joules(totals['energy_per_inference_joules'])} "
+            f"({int(totals['inference_inputs'])} inputs)"
+        )
+    if "energy_per_epoch_joules" in totals:
+        lines.append(
+            f"per epoch: {_si_joules(totals['energy_per_epoch_joules'])} "
+            f"({int(totals['epochs'])} epochs)"
+        )
+    if not report["groups"]:
+        lines.append("no event counters found to attribute")
+    return "\n".join(lines)
+
+
 # -- histogram percentiles ---------------------------------------------------
 
 #: Percentiles every latency summary derives.
@@ -563,6 +638,7 @@ __all__ = [
     "histogram_quantile",
     "latency_summary",
     "render_analysis_report",
+    "render_energy_report",
     "resource_utilization",
     "schedule_prefixes",
     "stage_utilization",

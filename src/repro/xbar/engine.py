@@ -257,6 +257,26 @@ _STAT_FIELDS = (
     "fast_ideal_calls",
 )
 
+#: Physical event counters priced by the energy-attribution layer
+#: (:mod:`repro.telemetry.energy`).  Dotted names are counter paths
+#: only (no ``XbarStats`` attribute); all are emitted identically by
+#: both full-path backends, so the bit-identity contract extends to
+#: energy attribution for free.
+_EVENT_FIELDS = (
+    "dac.line_fires",
+    "adc.samples",
+    "shift_adds",
+    "buffer.bits",
+    "cell_writes",
+    "static.array_subcycles",
+    "static.controller_subcycles",
+)
+
+#: Digital accumulator width (bits) a result word occupies in the
+#: output buffer — mirrors ``repro.core.pipelayer.ACCUMULATOR_BITS``
+#: (the xbar layer must not import the core layer).
+_ACCUMULATOR_BITS = 16
+
 
 class XbarStats:
     """Operation counters consumed by the energy/latency models.
@@ -298,6 +318,8 @@ class XbarStats:
     def reset(self) -> None:
         """Drop all engine counters (including per-tile sub-trees)."""
         for field in _STAT_FIELDS:
+            self.telemetry.clear(field)
+        for field in _EVENT_FIELDS:
             self.telemetry.clear(field)
         self.telemetry.clear("prepare.skips")
         self.telemetry.clear_tree("tile[")
@@ -482,6 +504,15 @@ class CrossbarEngine(MatmulEngine):
                     tile = self._tiles[(plane_name, slice_index)]
                     tile.program(level_plane)
                     tel.count("array_programs", tile.array_count)
+                    # Write pulses hit every cell of every programmed
+                    # physical array (edge arrays are padded, so the
+                    # full rows x cols grid is pulsed).
+                    tel.count(
+                        "cell_writes",
+                        tile.array_count
+                        * self.config.array_rows
+                        * self.config.array_cols,
+                    )
                     tel.count(
                         self._tile_paths[(plane_name, slice_index)]
                         + "/programs",
@@ -691,8 +722,43 @@ class CrossbarEngine(MatmulEngine):
                 row_sums = integers.sum(axis=1, keepdims=True).astype(np.float64)
                 accumulator -= input_sign * sliced.offset_int * row_sums
 
+        self._record_call_events(call_subcycles, batch)
         self.stats.record_call(call_subcycles)
         return accumulator * (a_scale * sliced.scale)
+
+    def _record_call_events(self, call_subcycles: int, batch: int) -> None:
+        """Physical event counters of one full-path matmul call.
+
+        Both backends call this with the same ``call_subcycles`` and
+        ``batch``, and every term below is a pure function of those
+        plus the prepared geometry — so the event counters (and the
+        energy attributed from them) are bit-identical across backends
+        by construction.  Per array read: every word line fires
+        (spike-driver/DAC lines), every bit line converts (I&F ADC)
+        and merges (shift-add), matching
+        :func:`repro.arch.components.array_subcycle_energy` exactly
+        when priced through ``event_costs``.  Buffer traffic per call:
+        the drive planes read the activations once per image
+        (``rows x encoding bits``) and the results write back at
+        accumulator width.  Static occupancy counts array- and
+        controller-sub-cycles, the time base average power divides by.
+        """
+        tel = self.telemetry
+        arrays_total = sum(
+            tile.array_count for tile in self._tiles.values()
+        )
+        reads = call_subcycles * arrays_total * batch
+        tel.count("dac.line_fires", reads * self.config.array_rows)
+        tel.count("adc.samples", reads * self.config.array_cols)
+        tel.count("shift_adds", reads * self.config.array_cols)
+        logical_rows, logical_cols = self._cached_weights.shape
+        tel.count(
+            "buffer.bits",
+            batch * logical_rows * self.config.encoding.bits
+            + batch * logical_cols * _ACCUMULATOR_BITS,
+        )
+        tel.count("static.array_subcycles", reads)
+        tel.count("static.controller_subcycles", call_subcycles * batch)
 
     # -- vectorized backend -------------------------------------------------
     def _decompose_drive(
@@ -986,5 +1052,6 @@ class CrossbarEngine(MatmulEngine):
                 for array in row:
                     array.reads += reads
                     array.adc.conversions += conversions
+        self._record_call_events(call_subcycles, batch)
         self.stats.record_call(call_subcycles)
         return accumulator * (a_scale * sliced.scale)

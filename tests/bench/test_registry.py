@@ -73,5 +73,5 @@ class TestDiscover:
         modules = sorted(
             path.stem for path in bench_dir.glob("bench_*.py")
         )
-        assert len(specs) == len(modules) == 16
+        assert len(specs) == len(modules) == 17
         assert {spec.suite for spec in specs} == {"quick", "full"}

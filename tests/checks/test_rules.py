@@ -420,6 +420,29 @@ class TestTel002:
         assert rule_ids(findings) == ["TEL002"]
         assert "queue_wait" in findings[0].message
 
+    def test_flags_misspelled_energy_units(self):
+        findings = run(
+            """
+            def f(tel):
+                tel.observe("energy/total_joule", 1e-9)
+                tel.observe("power/avg_watt", 0.5)
+            """,
+            ["TEL002"],
+        )
+        assert rule_ids(findings) == ["TEL002"] * 2
+        assert "unit suffix" in findings[0].message
+
+    def test_allows_energy_unit_suffixes(self):
+        findings = run(
+            """
+            def f(tel):
+                tel.observe("energy/total_joules", 1e-9)
+                tel.observe("energy/average_watts", 0.5)
+            """,
+            ["TEL002"],
+        )
+        assert findings == []
+
     def test_noqa_suppression(self):
         findings = run(
             """

@@ -187,3 +187,53 @@ class TestTableOne:
     def test_row_summary_mentions_paper(self):
         text = pipelayer_table1().summary()
         assert "42.45" in text
+
+
+class TestMeasuredTable1:
+    """Counter-derived Table I vs the analytic estimator (the oracle)."""
+
+    @pytest.fixture(scope="class")
+    def measured(self):
+        from repro.core.estimator import measured_table1
+
+        return measured_table1(batch=32)
+
+    def test_counters_agree_with_analytic_exactly(self, measured):
+        from repro.core.estimator import MEASURED_CONSISTENCY_RTOL
+
+        assert measured["worst_consistency"] <= MEASURED_CONSISTENCY_RTOL
+        for row in measured["rows"].values():
+            for workload in row["workloads"].values():
+                assert workload["measured_joules"] == pytest.approx(
+                    workload["analytic_joules"], rel=1e-9
+                )
+
+    def test_geomeans_match_analytic(self, measured):
+        for row in measured["rows"].values():
+            assert row["energy_saving_geomean"] == pytest.approx(
+                row["analytic_energy_saving_geomean"], rel=1e-9
+            )
+
+    def test_table1_orderings_hold(self, measured):
+        pipelayer = measured["rows"]["PipeLayer"]
+        regan = measured["rows"]["ReGAN"]
+        assert pipelayer["energy_saving_geomean"] > 2
+        assert regan["energy_saving_geomean"] > 5
+        assert (
+            regan["energy_saving_geomean"]
+            > pipelayer["energy_saving_geomean"]
+        )
+
+    def test_counters_land_on_caller_collector(self):
+        from repro.core.estimator import measured_table1
+        from repro.telemetry import Collector
+
+        collector = Collector(record_spans=False)
+        measured_table1(batch=32, collector=collector)
+        counters = collector.counters()
+        assert any(
+            path.startswith("table1/pipelayer[") for path in counters
+        )
+        assert any(
+            path.startswith("table1/regan[") for path in counters
+        )

@@ -110,3 +110,49 @@ class TestReportFromProfile:
         )
         assert code == 2
         assert "not both" in captured.err
+
+    def test_stale_schema_version_rejected(self, capsys, profile_path):
+        document = json.loads(profile_path.read_text())
+        document["schema_version"] = 999
+        profile_path.write_text(json.dumps(document))
+        code, captured = _report(
+            capsys, ["--profile", str(profile_path)]
+        )
+        assert code == 2
+        assert "schema_version 999" in captured.err
+        assert "regenerate" in captured.err
+
+    def test_missing_schema_version_rejected(self, capsys, profile_path):
+        document = json.loads(profile_path.read_text())
+        del document["schema_version"]
+        profile_path.write_text(json.dumps(document))
+        code, captured = _report(
+            capsys, ["--profile", str(profile_path)]
+        )
+        assert code == 2
+        assert "schema_version None" in captured.err
+
+
+class TestReportEnergy:
+    def test_energy_report_from_infer(self, capsys):
+        from repro.telemetry import validate_energy_report
+
+        code, captured = _report(
+            capsys,
+            ["--json", "--energy", "infer", "mlp", "--count", "4"],
+        )
+        assert code == 0
+        document = json.loads(captured.out)
+        validate_energy_report(document)
+        assert document["kind"] == "energy"
+        totals = document["totals"]
+        assert totals["total_joules"] > 0
+        assert totals["energy_per_inference_joules"] > 0
+
+    def test_energy_text_rendering(self, capsys):
+        code, captured = _report(
+            capsys, ["--energy", "infer", "mlp", "--count", "4"]
+        )
+        assert code == 0
+        assert "energy" in captured.out
+        assert "total" in captured.out

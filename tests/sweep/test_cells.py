@@ -88,6 +88,52 @@ class TestRunCell:
         ) == canonical_json(payload)
 
 
+def metered_cell(spec, collector):
+    scope = collector.scope("engine/fc0")
+    scope.count("array_reads", spec.get("reads", 4))
+    scope.count("static.controller_subcycles", 2)
+    return {"ok": True}
+
+
+class TestCellEnergy:
+    def test_metered_cell_gains_energy_summary_and_counters(self):
+        register_cell_kind("metered_cells", metered_cell)
+        payload = run_cell(SweepCell("metered_cells", {"reads": 4}))
+        energy = payload["energy"]
+        assert energy["total_joules"] > 0
+        assert energy["simulated_seconds"] > 0
+        assert energy["average_watts"] > 0
+        assert set(energy["components_joules"]) == {
+            "array", "adc", "driver", "write", "buffer", "static",
+        }
+        # The priced joules also land as counters, so they merge
+        # across workers like any other deterministic counter.
+        assert (
+            payload["counters"]["energy/total_joules"]
+            == energy["total_joules"]
+        )
+
+    def test_eventless_cell_gains_no_energy_key(self):
+        payload = run_cell(SweepCell("toy_cells", {"x": 1}))
+        assert "energy" not in payload
+        assert "energy/total_joules" not in payload["counters"]
+
+    def test_sweep_report_carries_energy_through(self):
+        from repro.sweep.executor import SweepRun
+        from repro.sweep.report import sweep_report, validate_sweep_report
+
+        register_cell_kind("metered_cells", metered_cell)
+        cells = [
+            SweepCell("metered_cells", {"reads": 4}),
+            SweepCell("toy_cells", {"x": 1}),
+        ]
+        run = SweepRun(cells, [run_cell(cell) for cell in cells])
+        report = validate_sweep_report(sweep_report(run))
+        metered, toy = report["cells"]
+        assert metered["energy"]["total_joules"] > 0
+        assert "energy" not in toy
+
+
 class TestValidatePayload:
     def test_missing_key_rejected(self):
         payload = run_cell(SweepCell("toy_cells", {"x": 1}))
