@@ -586,6 +586,48 @@ def table1_report(batch: int = 32) -> Dict[str, Any]:
     return document
 
 
+def validate_table1_report(document: Dict[str, Any]) -> Dict[str, Any]:
+    """Raise ``ValueError`` unless ``document`` is a Table I report."""
+    if document.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            "unsupported table1_report schema_version "
+            f"{document.get('schema_version')!r}"
+        )
+    rows = {
+        name: row
+        for name, row in document.items()
+        if name != "schema_version"
+    }
+    if not rows:
+        raise ValueError("table1_report carries no accelerator rows")
+    for name, row in rows.items():
+        if not isinstance(row, dict):
+            raise ValueError(f"table1_report row {name!r} not a dict")
+        for key in (
+            "speedup",
+            "energy_saving",
+            "paper_speedup",
+            "paper_energy_saving",
+        ):
+            value = row.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                raise ValueError(
+                    f"table1_report row {name!r} needs positive "
+                    f"{key}, got {value!r}"
+                )
+        per_workload = row.get("per_workload")
+        if not isinstance(per_workload, list) or not per_workload:
+            raise ValueError(
+                f"table1_report row {name!r} needs per_workload rows"
+            )
+        for entry in per_workload:
+            if not isinstance(entry.get("network"), str):
+                raise ValueError(
+                    "per_workload entries must name their network"
+                )
+    return document
+
+
 def mapping_sweep(
     duplications: Sequence[int] = (1, 4, 16, 64, 256, 1024, 4096, 12544),
 ) -> Dict[str, Any]:
@@ -673,6 +715,45 @@ def reliability_report(
     )
 
 
+def validate_reliability_report(
+    document: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Raise ``ValueError`` unless ``document`` is a campaign report."""
+    if document.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            "unsupported reliability_report schema_version "
+            f"{document.get('schema_version')!r}"
+        )
+    for key in ("workload", "axis", "backend"):
+        if not isinstance(document.get(key), str):
+            raise ValueError(
+                f"reliability_report {key} must be a string"
+            )
+    for key in ("seed", "count", "batch", "train_epochs",
+                "train_count"):
+        if not isinstance(document.get(key), int):
+            raise ValueError(
+                f"reliability_report {key} must be an int"
+            )
+    baseline = document.get("baseline_accuracy")
+    if not isinstance(baseline, (int, float)):
+        raise ValueError(
+            "reliability_report baseline_accuracy must be a number"
+        )
+    scenarios = document.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        raise ValueError(
+            "reliability_report must carry at least one scenario"
+        )
+    for scenario in scenarios:
+        if not isinstance(scenario, dict):
+            raise ValueError("scenario entries must be dicts")
+        for key in ("name", "rate", "accuracy", "accuracy_drop"):
+            if key not in scenario:
+                raise ValueError(f"scenario missing {key!r}")
+    return document
+
+
 def gan_scheme_report(batch: int = 32) -> Dict[str, Any]:
     """Fig. 9 GAN pipeline schemes per ReGAN dataset."""
     datasets = {}
@@ -685,6 +766,39 @@ def gan_scheme_report(batch: int = 32) -> Dict[str, Any]:
         "batch": int(batch),
         "datasets": datasets,
     }
+
+
+def validate_gan_scheme_report(
+    document: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Raise ``ValueError`` unless ``document`` is a scheme report."""
+    if document.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            "unsupported gan_scheme_report schema_version "
+            f"{document.get('schema_version')!r}"
+        )
+    batch = document.get("batch")
+    if not isinstance(batch, int) or batch <= 0:
+        raise ValueError(
+            f"gan_scheme_report batch must be positive, got {batch!r}"
+        )
+    datasets = document.get("datasets")
+    if not isinstance(datasets, dict) or not datasets:
+        raise ValueError(
+            "gan_scheme_report must carry at least one dataset"
+        )
+    for name, rows in datasets.items():
+        if not isinstance(rows, list) or not rows:
+            raise ValueError(
+                f"gan_scheme_report dataset {name!r} has no rows"
+            )
+        for row in rows:
+            for key in ("scheme", "cycles", "speedup", "d_copies"):
+                if key not in row:
+                    raise ValueError(
+                        f"scheme row missing {key!r} in {name!r}"
+                    )
+    return document
 
 
 def schedule_trace(

@@ -18,9 +18,12 @@ no-delta-encoding case the papers assume), so
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro.core.pipelayer import PipeLayerModel
 from repro.utils.validation import check_positive
+
+if TYPE_CHECKING:  # annotation-only: core sits above arch (ARCH001)
+    from repro.core.pipelayer import PipeLayerModel
 
 SECONDS_PER_DAY = 86_400.0
 SECONDS_PER_YEAR = 365.25 * SECONDS_PER_DAY

@@ -18,11 +18,14 @@ The GPU comparison point is the GTX 1080's GP104 die (314 mm^2,
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.arch.components import chip_area_mm2
-from repro.core.pipelayer import PipeLayerModel
-from repro.core.regan import ReGANModel
 from repro.utils.validation import check_positive
+
+if TYPE_CHECKING:  # annotation-only: core sits above arch (ARCH001)
+    from repro.core.pipelayer import PipeLayerModel
+    from repro.core.regan import ReGANModel
 
 #: GP104 die area (mm^2), the GTX 1080's silicon.
 GTX1080_DIE_MM2 = 314.0

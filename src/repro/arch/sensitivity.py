@@ -32,7 +32,6 @@ from typing import (
 )
 
 from repro.arch.params import DEFAULT_TECH, XbarTechParams
-from repro.sweep import SweepCell, run_sweep
 from repro.telemetry import TelemetryLike
 from repro.utils.validation import check_positive
 
@@ -182,6 +181,10 @@ def tech_sensitivity(
     check_positive("low_factor", low_factor)
     check_positive("high_factor", high_factor)
     if isinstance(metric, str):
+        # Lazy: sweep sits above arch in the layer DAG (ARCH001);
+        # only the sharded path needs the cell machinery.
+        from repro.sweep import SweepCell, run_sweep
+
         cells = [
             SweepCell(
                 "sensitivity_point",

@@ -141,6 +141,24 @@ class Rule:
         return True
 
 
+class ProjectRule(Rule):
+    """A rule that analyses the whole project, not one file.
+
+    Subclasses implement :meth:`check_project` against a
+    :class:`repro.checks.project.ProjectIndex`; the per-file
+    :meth:`check` hook is a no-op so project rules are inert under
+    :func:`check_source`.  Findings are still routed through the
+    per-file suppression and allowed-path machinery by
+    :func:`check_paths`.
+    """
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: Any) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
 #: Registered rule classes by id, in registration order.
 RULES: Dict[str, Type[Rule]] = {}
 
@@ -303,28 +321,99 @@ def check_paths(
 ) -> List[Finding]:
     """Run the checker over file-system targets (default: the package).
 
+    File rules run per file; :class:`ProjectRule` subclasses run once
+    per directory target over a whole-project index.  Suppressions are
+    applied to both, and every suppression that never fired is handed
+    to the ``NOQA001`` audit so stale pins surface as findings.
+
     Returns every unsuppressed finding, sorted by location.  Raises
     :class:`FileNotFoundError` for a missing target and
     :class:`ValueError` for an unknown rule in ``config.select``.
     """
     config = config or CheckConfig()
     rules = config.rules()
+    file_rules = [
+        rule for rule in rules if not isinstance(rule, ProjectRule)
+    ]
+    project_rules = [
+        rule for rule in rules if isinstance(rule, ProjectRule)
+    ]
     targets = [Path(p) for p in paths] if paths else [default_root()]
     package_root = default_root()
     for rule in rules:
         rule.prepare(package_root)
     findings: List[Finding] = []
+    raw: List[Finding] = []
+    tables: Dict[str, Dict[int, Optional[FrozenSet[str]]]] = {}
     for target in targets:
         if not target.exists():
             raise FileNotFoundError(f"no such file or directory: {target}")
         for source_file in iter_python_files(target):
+            path = canonical_path(source_file)
+            if path in tables:
+                continue
             source = source_file.read_text()
+            tables[path] = suppressions(source)
+            try:
+                tree = ast.parse(source)
+            except SyntaxError as error:
+                findings.append(
+                    Finding(
+                        rule="PARSE",
+                        path=path,
+                        line=error.lineno or 1,
+                        col=(error.offset or 0) + 1,
+                        message=f"file does not parse: {error.msg}",
+                    )
+                )
+                continue
+            context = FileContext(path, tree, source)
+            for rule in file_rules:
+                if not rule.applies_to(
+                    path, config.allow.get(rule.id, ())
+                ):
+                    continue
+                raw.extend(rule.check(context))
+    if project_rules:
+        from repro.checks.project import ProjectIndex
+
+        for target in targets:
+            if not Path(target).is_dir():
+                continue
+            project = ProjectIndex.build(Path(target).resolve())
+            for rule in project_rules:
+                for finding in rule.check_project(project):
+                    if rule.applies_to(
+                        finding.path, config.allow.get(rule.id, ())
+                    ):
+                        raw.append(finding)
+    # Apply suppressions, remembering which pins actually fired so the
+    # NOQA001 audit can flag the rest as stale.
+    used: Dict[Tuple[str, int], set] = {}
+    for finding in raw:
+        table = tables.get(finding.path, {})
+        if _suppressed(finding, table):
+            used.setdefault(
+                (finding.path, finding.line), set()
+            ).add(finding.rule)
+        else:
+            findings.append(finding)
+    active = {rule.id for rule in rules}
+    for rule in rules:
+        audit = getattr(rule, "audit", None)
+        if audit is None:
+            continue
+        for path in sorted(tables):
+            if not rule.applies_to(path, config.allow.get(rule.id, ())):
+                continue
             findings.extend(
-                check_source(
-                    source,
-                    path=canonical_path(source_file),
-                    config=config,
-                    rules=rules,
+                audit(
+                    path,
+                    tables[path],
+                    used,
+                    active,
+                    set(RULES),
+                    config.select is None,
                 )
             )
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
@@ -349,6 +438,126 @@ def check_report(
         "counts": dict(sorted(counts.items())),
         "findings": [finding.to_dict() for finding in findings],
     }
+
+
+def validate_check_report(document: Mapping[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``document`` is a check report."""
+    if document.get("kind") != "check_report":
+        raise ValueError(
+            f"not a check_report: kind={document.get('kind')!r}"
+        )
+    if document.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            "unsupported check_report schema_version "
+            f"{document.get('schema_version')!r}"
+        )
+    findings = document.get("findings")
+    if not isinstance(findings, list):
+        raise ValueError("check_report findings must be a list")
+    for entry in findings:
+        for key in ("rule", "path", "message"):
+            if not isinstance(entry.get(key), str):
+                raise ValueError(f"finding {key} must be a string")
+        for key in ("line", "col"):
+            if not isinstance(entry.get(key), int):
+                raise ValueError(f"finding {key} must be an int")
+    if document.get("finding_count") != len(findings):
+        raise ValueError("finding_count disagrees with findings")
+    counts = document.get("counts")
+    if not isinstance(counts, dict):
+        raise ValueError("check_report counts must be a dict")
+    tally: Dict[str, int] = {}
+    for entry in findings:
+        tally[entry["rule"]] = tally.get(entry["rule"], 0) + 1
+    if counts != tally:
+        raise ValueError("counts disagrees with findings")
+
+
+# -- baseline ratchet -------------------------------------------------------
+#
+# A baseline is the set of findings a tree is *known* to have: matched
+# findings are muted so new code can adopt a rule incrementally, and
+# entries that no longer fire are reported as stale so the file only
+# ever shrinks.  Fingerprints are (rule, path, message) — line numbers
+# are excluded so unrelated edits do not churn the file.
+
+
+def baseline_document(
+    findings: Sequence[Finding],
+) -> Dict[str, Any]:
+    """A ``checks_baseline.json`` document muting ``findings``."""
+    entries = sorted(
+        {(f.rule, f.path, f.message) for f in findings}
+    )
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "check_baseline",
+        "entries": [
+            {"rule": rule, "path": path, "message": message}
+            for rule, path, message in entries
+        ],
+    }
+
+
+def validate_baseline_document(document: Mapping[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``document`` is a check baseline."""
+    if document.get("kind") != "check_baseline":
+        raise ValueError(
+            f"not a check_baseline: kind={document.get('kind')!r}"
+        )
+    if document.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            "unsupported check_baseline schema_version "
+            f"{document.get('schema_version')!r}"
+        )
+    entries = document.get("entries")
+    if not isinstance(entries, list):
+        raise ValueError("check_baseline entries must be a list")
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise ValueError("baseline entry must be an object")
+        for key in ("rule", "path", "message"):
+            if not isinstance(entry.get(key), str):
+                raise ValueError(
+                    f"baseline entry {key} must be a string"
+                )
+
+
+def load_baseline(path: Path) -> Dict[str, Any]:
+    """Read and validate a baseline file."""
+    import json
+
+    document = json.loads(Path(path).read_text())
+    validate_baseline_document(document)
+    return document
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Mapping[str, Any]
+) -> Tuple[List[Finding], List[Dict[str, str]]]:
+    """Split findings against a baseline.
+
+    Returns ``(fresh, stale)``: findings not muted by the baseline,
+    and baseline entries that no longer fire (the ratchet — stale
+    entries must be deleted from the file).
+    """
+    muted = {
+        (entry["rule"], entry["path"], entry["message"])
+        for entry in baseline["entries"]
+    }
+    fresh = [
+        finding
+        for finding in findings
+        if (finding.rule, finding.path, finding.message) not in muted
+    ]
+    fired = {(f.rule, f.path, f.message) for f in findings}
+    stale = [
+        entry
+        for entry in baseline["entries"]
+        if (entry["rule"], entry["path"], entry["message"])
+        not in fired
+    ]
+    return fresh, stale
 
 
 def render_findings(

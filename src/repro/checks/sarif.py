@@ -1,0 +1,183 @@
+"""SARIF 2.1.0 export for ``repro check`` findings.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub
+code scanning ingests, so ``repro check --format sarif`` lets CI
+annotate PR diffs with findings in place.  The document here is the
+minimal valid subset: one run, one tool driver carrying the rule
+metadata, one result per finding.
+
+Determinism contract: the document is a pure function of the
+findings — rules and results are emitted in sorted order and nothing
+wall-clock (invocation times, absolute paths, machine names) is
+included, so two same-tree runs serialize byte-identically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Sequence
+
+from repro.checks.engine import RULES, Finding
+
+#: The SARIF spec version this exporter targets (the document's own
+#: schema stamp — SARIF defines the envelope, so there is no separate
+#: ``schema_version`` key).
+SARIF_VERSION = "2.1.0"
+
+_SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+    "master/Schemata/sarif-schema-2.1.0.json"
+)
+
+_TOOL_NAME = "repro-check"
+
+_TOOL_INFO_URI = (
+    "https://github.com/paper-repro/reram-accelerator"
+    "/blob/main/docs/TOUR.md"
+)
+
+
+def _rule_metadata(rule_ids: Iterable[str]) -> List[Dict[str, Any]]:
+    entries = []
+    for rule_id in sorted(set(rule_ids)):
+        rule_class = RULES.get(rule_id)
+        summary = rule_class.summary if rule_class else rule_id
+        entries.append(
+            {
+                "id": rule_id,
+                "shortDescription": {"text": summary},
+            }
+        )
+    return entries
+
+
+def sarif_document(
+    findings: Sequence[Finding],
+    rule_ids: Iterable[str] = (),
+    uri_prefix: str = "src/",
+) -> Dict[str, Any]:
+    """The findings as a SARIF 2.1.0 log.
+
+    ``rule_ids`` names the rules that *ran* (so a clean run still
+    advertises its rule set); rules of the findings themselves are
+    always included.  ``uri_prefix`` maps canonical finding paths
+    (``repro/...``) onto repository paths (``src/repro/...``) so
+    GitHub anchors annotations on the right files.
+    """
+    all_rules = set(rule_ids) | {f.rule for f in findings}
+    results = []
+    ordered = sorted(
+        findings, key=lambda f: (f.path, f.line, f.col, f.rule)
+    )
+    for finding in ordered:
+        uri = (
+            f"{uri_prefix}{finding.path}"
+            if finding.path.startswith("repro/")
+            else finding.path
+        )
+        results.append(
+            {
+                "ruleId": finding.rule,
+                "level": "error",
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": uri,
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": finding.line,
+                                "startColumn": finding.col,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return {  # repro: noqa[SCHEMA001] -- SARIF's envelope is external
+        "$schema": _SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": _TOOL_INFO_URI,
+                        "rules": _rule_metadata(all_rules),
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+
+
+def validate_sarif_document(document: Mapping[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``document`` is a SARIF log we emit.
+
+    Structural validation of the subset :func:`sarif_document`
+    produces — version, tool driver, rule metadata, and one anchored
+    location per result — plus the cross-reference that every
+    result's ``ruleId`` appears in the driver's rule table.
+    """
+    if document.get("version") != SARIF_VERSION:
+        raise ValueError(
+            f"unsupported SARIF version {document.get('version')!r}"
+        )
+    if not isinstance(document.get("$schema"), str):
+        raise ValueError("SARIF document must carry a $schema URI")
+    runs = document.get("runs")
+    if not isinstance(runs, list) or not runs:
+        raise ValueError("SARIF document must have at least one run")
+    for run in runs:
+        driver = run.get("tool", {}).get("driver", {})
+        if not isinstance(driver.get("name"), str):
+            raise ValueError("SARIF run must name its tool driver")
+        rules = driver.get("rules")
+        if not isinstance(rules, list):
+            raise ValueError("SARIF driver must list its rules")
+        known = set()
+        for rule in rules:
+            if not isinstance(rule.get("id"), str):
+                raise ValueError("SARIF rule metadata must carry id")
+            text = rule.get("shortDescription", {}).get("text")
+            if not isinstance(text, str):
+                raise ValueError(
+                    "SARIF rule metadata must carry a description"
+                )
+            known.add(rule["id"])
+        results = run.get("results")
+        if not isinstance(results, list):
+            raise ValueError("SARIF run must list its results")
+        for result in results:
+            rule_id = result.get("ruleId")
+            if rule_id not in known:
+                raise ValueError(
+                    f"SARIF result rule {rule_id!r} missing from "
+                    "driver rule metadata"
+                )
+            if not isinstance(
+                result.get("message", {}).get("text"), str
+            ):
+                raise ValueError("SARIF result must carry a message")
+            locations = result.get("locations")
+            if not isinstance(locations, list) or not locations:
+                raise ValueError("SARIF result must be anchored")
+            physical = locations[0].get("physicalLocation", {})
+            uri = physical.get("artifactLocation", {}).get("uri")
+            if not isinstance(uri, str) or not uri:
+                raise ValueError("SARIF location must carry a uri")
+            start = physical.get("region", {}).get("startLine")
+            if not isinstance(start, int) or start < 1:
+                raise ValueError(
+                    "SARIF location must carry a 1-based startLine"
+                )
+
+
+__all__ = [
+    "SARIF_VERSION",
+    "sarif_document",
+    "validate_sarif_document",
+]

@@ -1039,8 +1039,29 @@ def _cmd_check(args: argparse.Namespace) -> int:
     except (ValueError, FileNotFoundError) as error:
         print(f"check: {error}", file=sys.stderr)
         return 2
+    stale = []
+    if args.baseline:
+        try:
+            baseline = checks.load_baseline(Path(args.baseline))
+        except (OSError, ValueError) as error:
+            print(f"check: bad baseline: {error}", file=sys.stderr)
+            return 2
+        findings, stale = checks.apply_baseline(findings, baseline)
+        for entry in stale:
+            print(
+                "check: stale baseline entry (no longer fires): "
+                f"{entry['path']}: {entry['rule']} {entry['message']}"
+                " -- delete it from the baseline",
+                file=sys.stderr,
+            )
     targets = args.paths or [str(checks.default_root())]
-    if args.format == "json" or args.json:
+    if args.format == "sarif":
+        checked = select if select is not None else sorted(checks.RULES)
+        document = checks.sarif_document(findings, rule_ids=checked)
+        checks.validate_sarif_document(document)
+        json.dump(document, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    elif args.format == "json" or args.json:
         document = checks.check_report(findings, targets, select)
         json.dump(document, sys.stdout, indent=2)
         sys.stdout.write("\n")
@@ -1050,7 +1071,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
                 findings, select if select is not None else checks.RULES
             )
         )
-    return 1 if findings else 0
+    return 1 if findings or stale else 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -1567,9 +1588,12 @@ def build_parser() -> argparse.ArgumentParser:
         description="Run the repro.checks rules (RNG001 randomness "
         "routing, DET001 wall-clock isolation, SCHEMA001 schema_version "
         "stamping, TEL001 telemetry path grammar, API001 deprecated "
-        "shim imports, PY001/PY002 hygiene) over the installed package "
-        "or the given paths.  Exits 1 on findings, 0 when clean.  "
-        "Suppress one line with '# repro: noqa[RULE]'.",
+        "shim imports, PY001/PY002 hygiene) plus the whole-program "
+        "pass (ARCH001 layer DAG, CONC001-003 concurrency contracts, "
+        "SCHEMA002 validator exhaustiveness, NOQA001 stale "
+        "suppressions) over the installed package or the given paths.  "
+        "Exits 1 on findings (or stale baseline entries), 0 when "
+        "clean.  Suppress one line with '# repro: noqa[RULE]'.",
     )
     p_check.add_argument(
         "paths",
@@ -1579,9 +1603,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_check.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="output format (default text)",
+        help="output format (default text; sarif emits a SARIF 2.1.0 "
+        "log for GitHub code scanning)",
+    )
+    p_check.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="checks_baseline.json ratchet file: listed findings are "
+        "muted, entries that no longer fire are reported stale (exit "
+        "1) so the file only ever shrinks",
     )
     p_check.add_argument(
         "--json",

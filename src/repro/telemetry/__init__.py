@@ -92,6 +92,7 @@ from repro.telemetry.export import (
     validate_analysis_report,
     validate_bench_document,
     validate_profile_report,
+    validate_trace_chrome_document,
 )
 from repro.telemetry.metrics import (
     METRIC_NAMESPACE,
@@ -131,6 +132,7 @@ __all__ = [
     "validate_profile_report",
     "validate_bench_document",
     "validate_analysis_report",
+    "validate_trace_chrome_document",
     "analyze_counters",
     "counters_from",
     "engine_metrics",

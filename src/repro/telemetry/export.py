@@ -228,6 +228,41 @@ def trace_chrome_document(
     }
 
 
+def validate_trace_chrome_document(document: Dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``document`` is a Chrome trace.
+
+    Checks the shape :func:`trace_chrome_document` emits: a
+    ``traceEvents`` list of metadata (``ph == "M"``) and complete
+    (``ph == "X"``) events, where every span lane (``pid``) is
+    labelled by a ``process_name`` metadata event.
+    """
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("chrome trace must carry a traceEvents list")
+    labelled = set()
+    for event in events:
+        if not isinstance(event, dict):
+            raise ValueError("trace events must be dicts")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                raise ValueError(f"trace event missing {key!r}")
+        if event["ph"] == "M" and event["name"] == "process_name":
+            labelled.add(event["pid"])
+    for event in events:
+        if event["ph"] != "X":
+            continue
+        for key in ("ts", "dur", "args"):
+            if key not in event:
+                raise ValueError(f"span event missing {key!r}")
+        if event["dur"] < 0:
+            raise ValueError("span event dur must be >= 0")
+        if event["pid"] not in labelled:
+            raise ValueError(
+                f"span lane pid={event['pid']} has no process_name "
+                "metadata event"
+            )
+
+
 _ANALYSIS_REQUIRED = {
     "schema_version": int,
     "kind": str,

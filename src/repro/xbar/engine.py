@@ -1055,3 +1055,40 @@ class CrossbarEngine(MatmulEngine):
         self._record_call_events(call_subcycles, batch)
         self.stats.record_call(call_subcycles)
         return accumulator * (a_scale * sliced.scale)
+
+def validate_fault_report(document: Dict[str, object]) -> None:
+    """Raise ``ValueError`` unless ``document`` is a fault census.
+
+    Checks the shape :meth:`CrossbarEngine.fault_report` emits:
+    engine-level stuck-cell totals plus per-tile entries, with the
+    totals equal to the sum over tiles.
+    """
+    if document.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(
+            "unsupported fault_report schema_version "
+            f"{document.get('schema_version')!r}"
+        )
+    tiles = document.get("tiles")
+    if not isinstance(tiles, list):
+        raise ValueError("fault_report must carry a tiles list")
+    sums = {"cells": 0, "stuck_off": 0, "stuck_on": 0}
+    for tile in tiles:
+        if not isinstance(tile, dict):
+            raise ValueError("fault_report tiles must be dicts")
+        for key in ("plane", "slice", "grid"):
+            if key not in tile:
+                raise ValueError(f"fault_report tile missing {key!r}")
+        for key in sums:
+            value = tile.get(key)
+            if not isinstance(value, int) or value < 0:
+                raise ValueError(
+                    f"fault_report tile {key} must be a "
+                    f"non-negative int, got {value!r}"
+                )
+            sums[key] += value
+    for key, expected in sums.items():
+        if document.get(key) != expected:
+            raise ValueError(
+                f"fault_report total {key}={document.get(key)!r} "
+                f"disagrees with tile sum {expected}"
+            )

@@ -1,0 +1,187 @@
+"""The ``--baseline`` ratchet: muting, staleness, CLI exit codes."""
+
+import json
+
+import pytest
+
+from repro.checks import (
+    Finding,
+    apply_baseline,
+    baseline_document,
+    load_baseline,
+    validate_baseline_document,
+)
+from repro.cli import main
+
+FIRED = [
+    Finding(
+        rule="DET001",
+        path="repro/core/sim.py",
+        line=4,
+        col=5,
+        message="wall clock",
+    ),
+    Finding(
+        rule="PY001",
+        path="repro/core/sim.py",
+        line=9,
+        col=1,
+        message="mutable default",
+    ),
+]
+
+
+def test_baseline_round_trip(tmp_path):
+    document = baseline_document(FIRED)
+    validate_baseline_document(document)
+    # Entries are fingerprints — sorted, deduplicated, line-free.
+    assert document["entries"] == [
+        {
+            "rule": "DET001",
+            "path": "repro/core/sim.py",
+            "message": "wall clock",
+        },
+        {
+            "rule": "PY001",
+            "path": "repro/core/sim.py",
+            "message": "mutable default",
+        },
+    ]
+    file = tmp_path / "baseline.json"
+    file.write_text(json.dumps(document))
+    assert load_baseline(file) == document
+
+
+def test_apply_baseline_mutes_and_ratchets():
+    baseline = baseline_document(FIRED)
+    fresh, stale = apply_baseline(FIRED, baseline)
+    assert fresh == [] and stale == []
+    # A muted finding that moves lines stays muted (fingerprints
+    # exclude the line); a new finding stays fresh; an entry that no
+    # longer fires is stale.
+    moved = [
+        Finding(
+            rule="DET001",
+            path="repro/core/sim.py",
+            line=40,
+            col=5,
+            message="wall clock",
+        ),
+        Finding(
+            rule="RNG001",
+            path="repro/core/sim.py",
+            line=2,
+            col=1,
+            message="unseeded rng",
+        ),
+    ]
+    fresh, stale = apply_baseline(moved, baseline)
+    assert [f.rule for f in fresh] == ["RNG001"]
+    assert [entry["rule"] for entry in stale] == ["PY001"]
+
+
+def test_baseline_validator_rejects_malformed():
+    with pytest.raises(ValueError, match="kind"):
+        validate_baseline_document({"kind": "nope"})
+    with pytest.raises(ValueError, match="entries"):
+        validate_baseline_document(
+            {"kind": "check_baseline", "schema_version": 1}
+        )
+    with pytest.raises(ValueError, match="must be a string"):
+        validate_baseline_document(
+            {
+                "kind": "check_baseline",
+                "schema_version": 1,
+                "entries": [{"rule": "X", "path": "p"}],
+            }
+        )
+
+
+# -- the committed baseline -------------------------------------------------
+
+
+def test_committed_baseline_is_empty(repo_root):
+    # The acceptance bar for this tree: no grandfathered findings.
+    document = load_baseline(repo_root / "checks_baseline.json")
+    assert document["entries"] == []
+
+
+@pytest.fixture()
+def repo_root():
+    from pathlib import Path
+
+    return Path(__file__).resolve().parents[2]
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+def write_violation(tmp_path):
+    path = tmp_path / "bad.py"
+    path.write_text("import time\nt = time.time()\n")
+    return path
+
+
+def test_cli_baseline_mutes_known_findings(tmp_path, capsys):
+    from repro.checks import check_paths
+
+    path = write_violation(tmp_path)
+    assert main(["check", str(path)]) == 1
+    capsys.readouterr()
+    fired = check_paths([path])
+    assert [f.rule for f in fired] == ["DET001"]
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps(baseline_document(fired)))
+    assert (
+        main(["check", "--baseline", str(baseline), str(path)]) == 0
+    )
+
+
+def test_cli_stale_baseline_entry_fails(tmp_path, capsys):
+    clean = tmp_path / "fine.py"
+    clean.write_text("X = 1\n")
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(
+        json.dumps(
+            {
+                "schema_version": 1,
+                "kind": "check_baseline",
+                "entries": [
+                    {
+                        "rule": "DET001",
+                        "path": str(clean),
+                        "message": "gone",
+                    }
+                ],
+            }
+        )
+    )
+    assert (
+        main(["check", "--baseline", str(baseline), str(clean)]) == 1
+    )
+    err = capsys.readouterr().err
+    assert "stale baseline entry" in err
+    assert "delete it from the baseline" in err
+
+
+def test_cli_bad_baseline_exits_two(tmp_path, capsys):
+    path = write_violation(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text('{"kind": "nope"}')
+    assert (
+        main(["check", "--baseline", str(baseline), str(path)]) == 2
+    )
+    assert "bad baseline" in capsys.readouterr().err
+    capsys.readouterr()
+    missing = tmp_path / "missing.json"
+    assert (
+        main(["check", "--baseline", str(missing), str(path)]) == 2
+    )
+
+
+def test_cli_committed_tree_passes_committed_baseline(
+    repo_root, capsys
+):
+    baseline = repo_root / "checks_baseline.json"
+    assert main(["check", "--baseline", str(baseline)]) == 0
+    assert "clean" in capsys.readouterr().out

@@ -106,6 +106,8 @@ def test_clean_json_on_committed_tree(capsys):
     assert set(document["rules"]) == {
         "RNG001", "DET001", "SCHEMA001", "TEL001", "TEL002",
         "API001", "PY001", "PY002", "PY003",
+        "ARCH001", "CONC001", "CONC002", "CONC003", "SCHEMA002",
+        "NOQA001",
     }
 
 

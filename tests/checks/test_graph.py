@@ -1,0 +1,243 @@
+"""The import-graph builder behind the whole-program rules.
+
+Covers the resolution cases the cross-file rules depend on: eager vs
+lazy vs typing-only classification, ``from x import y as z``
+aliasing (submodule vs symbol), relative imports, namespace packages
+(no ``__init__.py``), deterministic shortest-cycle detection, and the
+golden layer-DAG fixture that forces edits to the committed layering
+table through review.
+"""
+
+import textwrap
+from typing import Dict
+
+from repro.checks.graph import (
+    LAYER_LABELS,
+    LAYER_TABLE,
+    build_import_graph,
+    layer_of,
+    module_name_for,
+)
+
+
+def write_project(root, files: Dict[str, str]):
+    for relative, source in files.items():
+        file = root / relative
+        file.parent.mkdir(parents=True, exist_ok=True)
+        file.write_text(textwrap.dedent(source))
+    return root
+
+
+def edge_set(graph, kinds=("eager", "lazy", "typing")):
+    return {
+        (edge.source, edge.target, edge.kind)
+        for edge in graph.edges
+        if edge.kind in kinds
+    }
+
+
+def test_eager_lazy_and_typing_classification(tmp_path):
+    root = write_project(
+        tmp_path / "pkg",
+        {
+            "__init__.py": "",
+            "low.py": "X = 1\n",
+            "mid.py": "Y = 2\n",
+            "high.py": """
+                from typing import TYPE_CHECKING
+
+                from pkg.low import X
+
+                if TYPE_CHECKING:
+                    from pkg.mid import Y
+
+                def use():
+                    from pkg.mid import Y as Z
+                    return Z
+                """,
+        },
+    )
+    graph = build_import_graph(root)
+    assert edge_set(graph) == {
+        ("pkg.high", "pkg.low", "eager"),
+        ("pkg.high", "pkg.mid", "typing"),
+        ("pkg.high", "pkg.mid", "lazy"),
+    }
+
+
+def test_from_import_resolves_submodule_vs_symbol(tmp_path):
+    root = write_project(
+        tmp_path / "pkg",
+        {
+            "__init__.py": "",
+            "sub/__init__.py": "",
+            "sub/leaf.py": "VALUE = 1\n",
+            "a.py": "from pkg.sub import leaf\n",
+            "b.py": "from pkg.sub.leaf import VALUE\n",
+            "c.py": "from pkg.sub import leaf as renamed\n",
+        },
+    )
+    graph = build_import_graph(root)
+    edges = edge_set(graph)
+    # ``from pkg.sub import leaf`` binds the submodule, aliased or
+    # not; ``from pkg.sub.leaf import VALUE`` binds a symbol of it.
+    assert ("pkg.a", "pkg.sub.leaf", "eager") in edges
+    assert ("pkg.b", "pkg.sub.leaf", "eager") in edges
+    assert ("pkg.c", "pkg.sub.leaf", "eager") in edges
+
+
+def test_relative_imports_resolve(tmp_path):
+    root = write_project(
+        tmp_path / "pkg",
+        {
+            "__init__.py": "",
+            "util.py": "X = 1\n",
+            "sub/__init__.py": "from .worker import go\n",
+            "sub/worker.py": """
+                from . import helper
+                from ..util import X
+
+                def go():
+                    return X
+                """,
+            "sub/helper.py": "H = 1\n",
+        },
+    )
+    graph = build_import_graph(root)
+    edges = edge_set(graph)
+    assert ("pkg.sub.worker", "pkg.sub.helper", "eager") in edges
+    assert ("pkg.sub.worker", "pkg.util", "eager") in edges
+    # A package __init__ resolves level-1 relative to itself.
+    assert ("pkg.sub", "pkg.sub.worker", "eager") in edges
+
+
+def test_namespace_packages_need_no_init(tmp_path):
+    root = write_project(
+        tmp_path / "pkg",
+        {
+            # No __init__.py anywhere: plain namespace directories.
+            "core/model.py": "M = 1\n",
+            "api.py": "from pkg.core.model import M\n",
+        },
+    )
+    graph = build_import_graph(root)
+    assert ("pkg.api", "pkg.core.model", "eager") in edge_set(graph)
+    assert "pkg.core.model" in graph.modules
+
+
+def test_module_names_from_paths(tmp_path):
+    root = tmp_path / "pkg"
+    (root / "sub").mkdir(parents=True)
+    (root / "__init__.py").write_text("")
+    (root / "sub" / "__init__.py").write_text("")
+    (root / "sub" / "leaf.py").write_text("")
+    assert module_name_for(root, root / "__init__.py") == "pkg"
+    assert module_name_for(root, root / "sub" / "__init__.py") == (
+        "pkg.sub"
+    )
+    assert module_name_for(root, root / "sub" / "leaf.py") == (
+        "pkg.sub.leaf"
+    )
+
+
+def test_out_of_project_imports_are_ignored(tmp_path):
+    root = write_project(
+        tmp_path / "pkg",
+        {
+            "__init__.py": "",
+            "a.py": """
+                import json
+                import numpy as np
+                from collections import OrderedDict
+                """,
+        },
+    )
+    graph = build_import_graph(root)
+    assert graph.edges == []
+
+
+def test_shortest_cycle_is_found_and_deterministic(tmp_path):
+    root = write_project(
+        tmp_path / "pkg",
+        {
+            "__init__.py": "",
+            # A 3-cycle a -> b -> c -> a plus a tight 2-cycle d <-> e;
+            # the shortest must win, ties broken lexicographically.
+            "a.py": "from pkg import b\n",
+            "b.py": "from pkg import c\n",
+            "c.py": "from pkg import a\n",
+            "d.py": "from pkg import e\n",
+            "e.py": "from pkg import d\n",
+        },
+    )
+    graph = build_import_graph(root)
+    assert graph.shortest_cycle() == ["pkg.d", "pkg.e", "pkg.d"]
+
+
+def test_lazy_imports_do_not_form_cycles(tmp_path):
+    root = write_project(
+        tmp_path / "pkg",
+        {
+            "__init__.py": "",
+            "a.py": "from pkg import b\n",
+            "b.py": """
+                def back():
+                    from pkg import a
+                    return a
+                """,
+        },
+    )
+    graph = build_import_graph(root)
+    assert graph.shortest_cycle(kinds=("eager",)) is None
+    assert graph.shortest_cycle(kinds=("eager", "lazy")) == [
+        "pkg.a",
+        "pkg.b",
+        "pkg.a",
+    ]
+
+
+# -- the golden layer DAG ---------------------------------------------------
+
+
+def test_layer_table_is_the_committed_architecture():
+    # Golden fixture: this is the repo's layer DAG.  Changing it is an
+    # architecture decision — update this test deliberately, in review.
+    assert LAYER_TABLE == (
+        ("repro/utils/", 0),
+        ("repro/telemetry/", 1),
+        ("repro/datasets/", 2),
+        ("repro/workloads/", 2),
+        ("repro/nn/", 3),
+        ("repro/xbar/", 3),
+        ("repro/arch/", 3),
+        ("repro/core/", 4),
+        ("repro/api.py", 5),
+        ("repro/serve/jobs.py", 5),
+        ("repro/reliability/", 6),
+        ("repro/sweep/", 6),
+        ("repro/serve/", 7),
+        ("repro/bench/", 7),
+        ("repro/__init__.py", 8),
+        ("repro/cli.py", 9),
+        ("repro/checks/", 9),
+    )
+    assert set(LAYER_LABELS) == {
+        layer for _, layer in LAYER_TABLE
+    }
+
+
+def test_layer_of_longest_prefix_wins():
+    # serve/jobs.py is re-layered to the API surface; its siblings are
+    # plain serve.
+    assert layer_of("repro/serve/jobs.py") == 5
+    assert layer_of("repro/serve/server.py") == 7
+    assert layer_of("repro/api.py") == 5
+    assert layer_of("repro/utils/rng.py") == 0
+    assert layer_of("repro/unmapped.py") is None
+    assert layer_of("elsewhere/x.py") is None
+
+
+def test_layer_of_honors_custom_tables():
+    table = (("repro/a/", 1), ("repro/a/deep/", 0))
+    assert layer_of("repro/a/x.py", table) == 1
+    assert layer_of("repro/a/deep/x.py", table) == 0

@@ -1,0 +1,72 @@
+"""``validate_trace_chrome_document`` against real exports."""
+
+import pytest
+
+from repro.telemetry import (
+    TraceSpan,
+    trace_chrome_document,
+    trace_id_for,
+    validate_trace_chrome_document,
+)
+
+
+def two_lane_spans():
+    trace_id = trace_id_for("job-00001")
+    return [
+        TraceSpan(
+            trace_id=trace_id,
+            span_id="0",
+            parent_id=None,
+            name="job",
+            proc="server",
+            start=0,
+            end=10,
+        ),
+        TraceSpan(
+            trace_id=trace_id,
+            span_id="0.0",
+            parent_id="0",
+            name="cell",
+            proc="unit-a",
+            start=2,
+            end=7,
+        ),
+    ]
+
+
+def test_real_document_validates():
+    document = trace_chrome_document(two_lane_spans())
+    validate_trace_chrome_document(document)
+    complete = [
+        event
+        for event in document["traceEvents"]
+        if event["ph"] == "X"
+    ]
+    assert len(complete) == 2
+
+
+def test_validator_rejects_damage():
+    document = trace_chrome_document(two_lane_spans())
+    with pytest.raises(ValueError, match="traceEvents"):
+        validate_trace_chrome_document({})
+    # Dropping the process_name metadata leaves span lanes unlabeled.
+    spans_only = {
+        "traceEvents": [
+            event
+            for event in document["traceEvents"]
+            if event["ph"] == "X"
+        ]
+    }
+    with pytest.raises(ValueError, match="process_name"):
+        validate_trace_chrome_document(spans_only)
+    negative = trace_chrome_document(two_lane_spans())
+    for event in negative["traceEvents"]:
+        if event["ph"] == "X":
+            event["dur"] = -1.0
+    with pytest.raises(ValueError, match="dur"):
+        validate_trace_chrome_document(negative)
+    missing_key = trace_chrome_document(two_lane_spans())
+    for event in missing_key["traceEvents"]:
+        event.pop("tid")
+    with pytest.raises(ValueError, match="tid"):
+        validate_trace_chrome_document(missing_key)

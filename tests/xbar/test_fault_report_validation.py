@@ -1,0 +1,61 @@
+"""``validate_fault_report`` against real engine fault censuses."""
+
+import numpy as np
+import pytest
+
+from repro.xbar.device import DeviceConfig
+from repro.xbar.engine import (
+    CrossbarEngine,
+    CrossbarEngineConfig,
+    validate_fault_report,
+)
+
+
+def prepared_engine(stuck_off_rate=0.0, stuck_on_rate=0.0):
+    config = CrossbarEngineConfig(
+        array_rows=16,
+        array_cols=16,
+        device=DeviceConfig(
+            stuck_off_rate=stuck_off_rate,
+            stuck_on_rate=stuck_on_rate,
+        ),
+    )
+    engine = CrossbarEngine(config, rng=0)
+    rng = np.random.default_rng(7)
+    engine.prepare(rng.normal(size=(24, 20)))
+    return engine
+
+
+def test_fault_free_report_validates():
+    document = prepared_engine().fault_report()
+    validate_fault_report(document)
+    assert document["stuck_off"] == 0
+    assert document["stuck_on"] == 0
+    assert document["cells"] == sum(
+        tile["cells"] for tile in document["tiles"]
+    )
+
+
+def test_faulty_report_validates_and_counts():
+    document = prepared_engine(
+        stuck_off_rate=0.05, stuck_on_rate=0.02
+    ).fault_report()
+    validate_fault_report(document)
+    assert document["stuck_off"] > 0
+    assert document["stuck_on"] > 0
+
+
+def test_validator_rejects_damage():
+    document = prepared_engine().fault_report()
+    with pytest.raises(ValueError, match="schema_version"):
+        validate_fault_report({**document, "schema_version": 99})
+    with pytest.raises(ValueError, match="tiles"):
+        validate_fault_report({**document, "tiles": None})
+    with pytest.raises(ValueError, match="total"):
+        validate_fault_report({**document, "cells": 1})
+    broken_tiles = [
+        {key: value for key, value in tile.items() if key != "grid"}
+        for tile in document["tiles"]
+    ]
+    with pytest.raises(ValueError, match="grid"):
+        validate_fault_report({**document, "tiles": broken_tiles})
